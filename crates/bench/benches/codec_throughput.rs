@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks of the codec hot paths: compression
+//! throughput (Figure 20's subject) and — more importantly — the modelled
+//! decompression engine, whose sample rate is the bandwidth-expansion
+//! claim of Figure 2.
+
+use compaqt_core::compress::{Compressor, Variant};
+use compaqt_core::engine::{DecompressionEngine, EngineStats};
+use compaqt_dsp::intdct::IntDct;
+use compaqt_pulse::shapes::{Drag, GaussianSquare, PulseShape};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_intdct_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intdct_kernel");
+    for ws in [8usize, 16, 32] {
+        let t = IntDct::new(ws).unwrap();
+        let x: Vec<compaqt_dsp::fixed::Q15> = (0..ws)
+            .map(|i| compaqt_dsp::fixed::Q15::from_f64(0.5 * (i as f64 / ws as f64).sin()))
+            .collect();
+        let y = t.forward(&x);
+        group.throughput(Throughput::Elements(ws as u64));
+        group.bench_function(format!("inverse_ws{ws}"), |b| {
+            b.iter(|| black_box(t.inverse(black_box(&y))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress");
+    let x_pulse = Drag::new(136, 0.5, 34.0, 0.2).to_waveform("X", 4.54);
+    let cr_pulse = GaussianSquare::new(1362, 0.3, 40.0, 1020).to_waveform("CR", 4.54);
+    for (name, wf) in [("x_136", &x_pulse), ("cr_1362", &cr_pulse)] {
+        group.throughput(Throughput::Elements(wf.len() as u64));
+        for ws in [8usize, 16] {
+            let comp = Compressor::new(Variant::IntDctW { ws });
+            group.bench_function(format!("{name}_ws{ws}"), |b| {
+                b.iter(|| black_box(comp.compress(black_box(wf)).unwrap()))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decompress_engine");
+    let cr_pulse = GaussianSquare::new(1362, 0.3, 40.0, 1020).to_waveform("CR", 4.54);
+    for ws in [8usize, 16] {
+        let z = Compressor::new(Variant::IntDctW { ws }).compress(&cr_pulse).unwrap();
+        let engine = DecompressionEngine::for_variant(z.variant).unwrap();
+        group.throughput(Throughput::Elements(2 * cr_pulse.len() as u64));
+        group.bench_function(format!("cr_1362_ws{ws}"), |b| {
+            b.iter(|| {
+                let mut stats = EngineStats::default();
+                let i = engine.decode_channel(black_box(&z.i), z.n_samples, &mut stats).unwrap();
+                let q = engine.decode_channel(black_box(&z.q), z.n_samples, &mut stats).unwrap();
+                black_box((i, q))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_intdct_kernel, bench_compress, bench_decompress);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Dynamic controller simulation (Figure 2c): play a real surface-code
+//! syndrome cycle through the sequencer + compressed banked memory and
+//! observe whether the memory system sustains it.
+
+use compaqt_bench::print;
+use compaqt_core::compress::{Compressor, Variant};
+use compaqt_core::sequencer::{Controller, ControllerConfig, Instruction};
+use compaqt_pulse::device::Device;
+use compaqt_pulse::library::{GateId, GateKind};
+use compaqt_pulse::vendor::Vendor;
+use compaqt_quantum::circuits::Op;
+use compaqt_quantum::schedule::asap;
+use compaqt_quantum::surface::SurfacePatch;
+use compaqt_quantum::transpile::transpile;
+
+/// Maps a scheduled circuit op to the device's gate id (H was transpiled
+/// away; RZ is virtual).
+fn gate_of(op: Op) -> Option<GateId> {
+    match op {
+        Op::X(q) => Some(GateId::single(GateKind::X, q as u16)),
+        Op::Sx(q) => Some(GateId::single(GateKind::Sx, q as u16)),
+        Op::Cx(c, t) => Some(GateId::pair(GateKind::Cx, c as u16, t as u16)),
+        Op::Measure(q) => Some(GateId::single(GateKind::Measure, q as u16)),
+        _ => None,
+    }
+}
+
+fn main() {
+    let patch = SurfacePatch::rotated_d3();
+    // Build a device whose coupling map is exactly the patch's
+    // ancilla-data graph, so every scheduled CX has a calibrated pulse.
+    let mut edges: Vec<(usize, usize)> = patch
+        .stabilizers
+        .iter()
+        .flat_map(|s| s.data.iter().map(move |&d| (s.ancilla.min(d), s.ancilla.max(d))))
+        .collect();
+    edges.sort_unstable();
+    edges.dedup();
+    let device = Device::synthesize_with_edges(Vendor::Ibm, patch.n_qubits, 0x5EC, &edges);
+    let lib = (*device.pulse_library()).clone();
+    let cycle = transpile(&patch.syndrome_cycle());
+    let sched = asap(&cycle, &Vendor::Ibm.params());
+    let instructions: Vec<Instruction> = sched
+        .ops
+        .iter()
+        .filter_map(|sop| {
+            gate_of(sop.op).map(|gate| Instruction { gate, start_ns: sop.start_ns })
+        })
+        .collect();
+
+    // Uncompressed baseline: every channel needs `clock_ratio` banks, so
+    // a gate (I+Q) costs 32 banks; peak demand is analytic.
+    let compressor = Compressor::new(Variant::IntDctW { ws: 16 }).with_max_window_words(3);
+    let mut rows = Vec::new();
+    for (name, budget) in [("generous (1152 banks)", 1152usize), ("tight (60 banks)", 60)] {
+        let controller = Controller::load(
+            ControllerConfig { total_banks: budget, clock_ratio: 16, window: 16 },
+            &lib,
+            &compressor,
+        )
+        .expect("library loads");
+        let report = controller.play(&instructions).expect("all gates resident");
+        let uncompressed_peak = report.peak_concurrent_gates * 2 * 16;
+        rows.push(vec![
+            name.to_string(),
+            report.peak_concurrent_gates.to_string(),
+            uncompressed_peak.to_string(),
+            format!(
+                "{} ({})",
+                report.peak_banks_demanded,
+                if report.sustained() { "sustained" } else { "OVERSUBSCRIBED" }
+            ),
+            if uncompressed_peak <= budget { "sustained".into() } else { "OVERSUBSCRIBED".to_string() },
+            print::f(report.bandwidth_expansion()),
+        ]);
+    }
+    print::table(
+        &format!(
+            "Controller simulation: one {} syndrome cycle ({} instructions)",
+            patch.name,
+            instructions.len()
+        ),
+        &["bank budget", "peak gates", "uncomp. banks", "COMPAQT banks", "uncomp. fits?", "expansion"],
+        &rows,
+    );
+    println!("  COMPAQT streams the same cycle in ~5.3x fewer banks (6 vs 32 per gate);");
+    println!("  on the 60-bank slice the uncompressed design oversubscribes, COMPAQT fits");
+    println!("  — the dynamic version of Figure 2c / Table V.");
+}

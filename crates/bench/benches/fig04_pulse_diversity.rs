@@ -1,0 +1,45 @@
+//! Figure 4: per-qubit π-pulse diversity on three IBM-class machines.
+//!
+//! Every qubit's X pulse is uniquely calibrated; the spread of amplitudes,
+//! widths and DRAG coefficients is what forces the waveform memory to hold
+//! one waveform per qubit per gate.
+
+use compaqt_bench::print;
+use compaqt_pulse::device::Device;
+
+fn main() {
+    for machine in ["toronto", "brooklyn", "washington"] {
+        let device = Device::named_machine(machine);
+        let n = device.n_qubits();
+        let mut amps = Vec::new();
+        let mut rows = Vec::new();
+        for q in 0..n {
+            let wf = device.pi_pulse(q);
+            let cal = device.qubit(q);
+            amps.push(cal.x_amp);
+            if q < 8 {
+                rows.push(vec![
+                    format!("q{q}"),
+                    print::f(cal.x_amp),
+                    print::f(cal.beta),
+                    print::f(wf.peak_amplitude()),
+                    print::bar(wf.peak_amplitude(), 32),
+                ]);
+            }
+        }
+        let min = amps.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = amps.iter().cloned().fold(0.0, f64::max);
+        print::table(
+            &format!("Figure 4: pi pulses on {} ({} qubits; first 8 shown)", device.name(), n),
+            &["qubit", "amp", "beta", "peak", "envelope peak"],
+            &rows,
+        );
+        println!(
+            "  all {n} qubits unique; amplitude spread {:.3}..{:.3} ({}x)",
+            min,
+            max,
+            print::f(max / min)
+        );
+    }
+    println!("\npaper: every qubit on 27/65/127-qubit machines has a distinct pi pulse (Fig. 4).");
+}

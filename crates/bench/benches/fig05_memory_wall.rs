@@ -1,0 +1,85 @@
+//! Figure 5: the waveform-memory wall.
+//!
+//! (a) capacity scaling, (b) bandwidth scaling, (c) peak/average bandwidth
+//! for representative circuits, (d) qubits supported under capacity vs
+//! bandwidth constraints.
+
+use compaqt_bench::print;
+use compaqt_hw::rfsoc::RfsocModel;
+use compaqt_pulse::memory_model::{
+    self, demand_sweep, rfsoc_bandwidth_per_qubit_gb, RFSOC_CAPACITY_BYTES, RFSOC_MAX_BANDWIDTH_GB,
+};
+use compaqt_pulse::vendor::Vendor;
+use compaqt_quantum::schedule::{asap, profile};
+use compaqt_quantum::surface::SurfacePatch;
+use compaqt_quantum::transpile::transpile;
+use compaqt_quantum::circuits;
+
+fn main() {
+    // (a) + (b): capacity and bandwidth demand curves.
+    let counts = [10, 25, 50, 75, 100, 150, 200];
+    let mut rows = Vec::new();
+    for vendor in [Vendor::Ibm, Vendor::Google] {
+        let p = vendor.params();
+        for d in demand_sweep(&p, counts) {
+            rows.push(vec![
+                p.name.to_string(),
+                d.qubits.to_string(),
+                print::f(d.capacity_mb),
+                print::f(d.bandwidth_gb),
+            ]);
+        }
+    }
+    print::table(
+        "Figure 5a/5b: waveform memory demand",
+        &["vendor", "qubits", "capacity (MB)", "bandwidth (GB/s)"],
+        &rows,
+    );
+    println!(
+        "  RFSoC reference: capacity {:.2} MB, max internal bandwidth {} GB/s",
+        RFSOC_CAPACITY_BYTES / 1e6,
+        RFSOC_MAX_BANDWIDTH_GB
+    );
+    println!("  paper: IBM reaches the 7.56 MB RFSoC capacity near ~100 qubits; BW crosses 866 GB/s near ~36.");
+
+    // (c): peak and average bandwidth for qaoa-40, surface-25, surface-81.
+    let params = Vendor::Ibm.params();
+    let bw = rfsoc_bandwidth_per_qubit_gb();
+    let mut rows = Vec::new();
+    let mut run = |name: &str, circuit: compaqt_quantum::Circuit| {
+        let sched = asap(&transpile(&circuit), &params);
+        let prof = profile(&sched, bw);
+        rows.push(vec![
+            name.to_string(),
+            print::f(prof.peak_bandwidth_gb),
+            print::f(prof.average_bandwidth_gb),
+        ]);
+    };
+    run("qaoa-40", circuits::qaoa(40, 3, 40));
+    run("surface-25 (d=3)", SurfacePatch::unrotated(3).syndrome_cycle());
+    run("surface-81 (d=5)", SurfacePatch::unrotated(5).syndrome_cycle());
+    print::table(
+        "Figure 5c: peak/average bandwidth per benchmark",
+        &["benchmark", "peak (GB/s)", "average (GB/s)"],
+        &rows,
+    );
+    println!("  paper: qaoa-40 894/241, surface-25 447/402, surface-81 1609/1453 GB/s.");
+
+    // (d): capacity-only vs bandwidth-only qubit limits.
+    let rfsoc = RfsocModel::default();
+    let by_cap = rfsoc.qubits_by_capacity(&params);
+    let by_bw = rfsoc.qubits_by_bandwidth();
+    print::table(
+        "Figure 5d: RFSoC qubit limits",
+        &["constraint", "qubits"],
+        &[
+            vec!["capacity only".into(), by_cap.to_string()],
+            vec!["bandwidth".into(), by_bw.to_string()],
+        ],
+    );
+    println!(
+        "  bandwidth drops the limit {:.1}x (paper: 5x, >200 -> <40).",
+        by_cap as f64 / by_bw as f64
+    );
+    let _ = memory_model::total_capacity_bytes(&params, 1);
+}

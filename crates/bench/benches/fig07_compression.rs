@@ -1,0 +1,36 @@
+//! Figure 7: compressibility and distortion of the DCT variants.
+
+use compaqt_bench::experiments::{fig07a, fig07bc};
+use compaqt_bench::print;
+
+fn main() {
+    // (a) per-waveform ratios.
+    let data = fig07a();
+    let headers: Vec<&str> = vec!["variant", "SX(q2)", "SX(q3)", "SX(q5)", "SX(q8)", "Meas(q0)"];
+    let variants: Vec<String> = data[0].1.iter().map(|(v, _)| v.clone()).collect();
+    let mut rows = Vec::new();
+    for (k, v) in variants.iter().enumerate() {
+        let mut row = vec![v.clone()];
+        for (_, per) in &data {
+            row.push(print::f(per[k].1));
+        }
+        rows.push(row);
+    }
+    print::table("Figure 7a: compression ratio per waveform (WS=16)", &headers, &rows);
+    println!("  paper: Delta ~1-2x, DCT variants 4-8x per waveform; Meas compresses most.");
+
+    // (b)+(c) overall ratio and MSE.
+    let rows: Vec<Vec<String>> = fig07bc("guadalupe")
+        .into_iter()
+        .map(|(label, ratio, mse)| vec![label, print::f(ratio), format!("{mse:.2e}")])
+        .collect();
+    print::table(
+        "Figure 7b/7c: overall compression and mean MSE (guadalupe library)",
+        &["variant", "overall R", "mean MSE"],
+        &rows,
+    );
+    println!("  paper (qft-4 library): Delta 1.9, DCT-N 126.2, DCT-W 4.0, int-DCT-W 7.8/8.0;");
+    println!("  MSE within 1e-7..5e-6. Our libraries store tight envelopes (no schedule");
+    println!("  padding), so DCT-N lands lower and WS=8 saturates near its 2.7-4x bound;");
+    println!("  orderings (WS16 > WS8, int-DCT MSE highest) match.");
+}

@@ -1,0 +1,32 @@
+//! Figure 11: histogram of stored words per compressed window — the
+//! empirical basis for the 3-word uniform memory width.
+
+use compaqt_bench::experiments::fig11;
+use compaqt_bench::print;
+
+fn main() {
+    for (ws, hist) in fig11() {
+        let total: usize = hist.values().sum();
+        let rows: Vec<Vec<String>> = hist
+            .iter()
+            .map(|(&words, &count)| {
+                vec![
+                    words.to_string(),
+                    count.to_string(),
+                    format!("{:.1}%", 100.0 * count as f64 / total as f64),
+                    print::bar(count as f64 / total as f64, 40),
+                ]
+            })
+            .collect();
+        print::table(
+            &format!("Figure 11: words per window, int-DCT-W WS={ws} (guadalupe library)"),
+            &["words", "windows", "share", ""],
+            &rows,
+        );
+        let le3: usize = hist.iter().filter(|(&w, _)| w <= 3).map(|(_, &c)| c).sum();
+        println!(
+            "  windows needing <= 3 stored words: {:.1}% (paper: worst case 3; Fig. 11)",
+            100.0 * le3 as f64 / total as f64
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! Figure 14: per-qubit compression ratios of the basis gates on the
+//! 16-qubit machine (int-DCT-W, WS=16).
+
+use compaqt_bench::experiments::fig14;
+use compaqt_bench::print;
+
+fn main() {
+    let data = fig14();
+    let rows: Vec<Vec<String>> = data
+        .iter()
+        .map(|(q, sx, x, cx)| {
+            vec![
+                format!("q{q}"),
+                print::f(*sx),
+                print::f(*x),
+                print::f(*cx),
+                print::bar(cx / 9.0, 27),
+            ]
+        })
+        .collect();
+    print::table(
+        "Figure 14: basis-gate compression ratio per qubit (WS=16)",
+        &["qubit", "SX", "X", "CX (mean)", "CX bar (0..9x)"],
+        &rows,
+    );
+    let avg: f64 = data.iter().map(|(_, sx, x, cx)| (sx + x + cx) / 3.0).sum::<f64>() / 16.0;
+    println!("  mean over qubits and gates: {avg:.2}x (paper: >5x per device, SX lowest at 5.33).");
+}

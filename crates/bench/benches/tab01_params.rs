@@ -1,0 +1,29 @@
+//! Table I: vendor parameters and the derived per-qubit memory footprint.
+
+use compaqt_bench::print;
+use compaqt_pulse::memory_model::capacity_per_qubit_bytes;
+use compaqt_pulse::vendor::Vendor;
+
+fn main() {
+    let mut rows = Vec::new();
+    for vendor in [Vendor::Ibm, Vendor::Google] {
+        let p = vendor.params();
+        let degree = p.topology.average_degree(27);
+        let mc = capacity_per_qubit_bytes(&p, degree);
+        rows.push(vec![
+            p.name.to_string(),
+            format!("{} GS/s", p.sampling_rate_gs),
+            format!("{}-bit", p.sample_bits),
+            format!("{}x 1Q + {}x 2Q", p.single_qubit_gate_types, p.two_qubit_gate_types),
+            format!("{}/{}/{} ns", p.tau_1q_ns, p.tau_2q_ns, p.tau_readout_ns),
+            format!("{:?}", p.topology),
+            format!("{:.1} KB", mc / 1024.0),
+        ]);
+    }
+    print::table(
+        "Table I: control-hardware parameters",
+        &["vendor", "fs", "Ns", "gate set", "latencies", "topology", "memory/qubit"],
+        &rows,
+    );
+    println!("  paper: IBM ~18 KB/qubit, Google ~3 KB/qubit.");
+}

@@ -1,0 +1,35 @@
+//! Table V: qubits supported by an FPGA controller, normalized.
+
+use compaqt_bench::print;
+use compaqt_hw::rfsoc::RfsocModel;
+
+fn main() {
+    let m = RfsocModel::default();
+    let base = m.qubits_uncompressed();
+    let rows = vec![
+        vec![
+            "Uncompressed".to_string(),
+            base.to_string(),
+            "1.00".to_string(),
+            "1".to_string(),
+        ],
+        vec![
+            "int-DCT-W WS=8".to_string(),
+            m.qubits_supported(3, 8).to_string(),
+            print::f(m.gain(3, 8)),
+            "2.66".to_string(),
+        ],
+        vec![
+            "int-DCT-W WS=16".to_string(),
+            m.qubits_supported(3, 16).to_string(),
+            print::f(m.gain(3, 16)),
+            "5.33".to_string(),
+        ],
+    ];
+    print::table(
+        "Table V: concurrent qubits per RFSoC (QICK-class, ratio 16)",
+        &["design", "qubits", "normalized (ours)", "normalized (paper)"],
+        &rows,
+    );
+    println!("  paper: QICK baseline ~36 qubits; ~95 with WS=8; ~191 with WS=16.");
+}

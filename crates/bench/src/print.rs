@@ -1,0 +1,49 @@
+//! Plain-text table rendering for the bench harnesses.
+
+/// Prints a titled, column-aligned table.
+pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!();
+    println!("== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (k, cell) in row.iter().enumerate() {
+            if k < widths.len() {
+                widths[k] = widths[k].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let joined: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(k, c)| format!("{:width$}", c, width = widths.get(k).copied().unwrap_or(8)))
+            .collect();
+        println!("  {}", joined.join("  "));
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Renders a unit-interval value as an ASCII bar (for decay curves).
+pub fn bar(value: f64, scale: usize) -> String {
+    let filled = (value.clamp(0.0, 1.0) * scale as f64).round() as usize;
+    format!("{}{}", "#".repeat(filled), ".".repeat(scale - filled))
+}
+
+/// Formats a float with engineering-friendly precision.
+pub fn f(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else if v.abs() >= 1e-3 {
+        format!("{v:.4}")
+    } else {
+        format!("{v:.2e}")
+    }
+}

@@ -1,0 +1,297 @@
+//! Adaptive decompression for flat-top waveforms (Section V-D, Figure 13).
+//!
+//! Flat-top pulses (cross-resonance drives, readout) spend most of their
+//! duration at a constant amplitude. The constant segment needs neither
+//! the IDCT nor repeated memory reads: a single repeat-run codeword is
+//! decoded straight into the buffer in front of the DAC, so both the
+//! memory and the IDCT engine idle for the whole plateau — the extra
+//! power savings of Figure 19.
+
+use crate::compress::{CompressedWaveform, Compressor, Variant};
+use crate::engine::{DecompressionEngine, EngineStats};
+use crate::CompressError;
+use compaqt_dsp::fixed::Q15;
+use compaqt_dsp::metrics::CompressionRatio;
+use compaqt_dsp::rle::{CodedWord, RleEncoder};
+use compaqt_pulse::waveform::Waveform;
+use serde::{Deserialize, Serialize};
+
+/// One segment of an adaptively compressed waveform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Segment {
+    /// A DCT-compressed region (rise or fall ramp).
+    Windows(CompressedWaveform),
+    /// A constant plateau: per-channel literal value + repeat run, decoded
+    /// with the IDCT bypassed.
+    Constant {
+        /// Plateau I value.
+        i_value: Q15,
+        /// Plateau Q value.
+        q_value: Q15,
+        /// Plateau length in samples.
+        len: usize,
+    },
+}
+
+/// An adaptively compressed flat-top waveform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveCompressed {
+    /// Waveform name.
+    pub name: String,
+    /// Original sample count.
+    pub n_samples: usize,
+    /// DAC sampling rate in GS/s.
+    pub sample_rate_gs: f64,
+    /// The variant used for the ramp segments.
+    pub variant: Variant,
+    /// The segments in playback order.
+    pub segments: Vec<Segment>,
+}
+
+impl AdaptiveCompressed {
+    /// Compression ratio including the plateau codewords.
+    pub fn ratio(&self) -> CompressionRatio {
+        let old = self.n_samples * crate::compress::SAMPLE_BYTES;
+        let new_bits: usize = self
+            .segments
+            .iter()
+            .map(|s| match s {
+                Segment::Windows(z) => z.i.size_bits() + z.q.size_bits(),
+                Segment::Constant { len, .. } => {
+                    // Per channel: one literal + ceil(run/MAX_RUN) codewords.
+                    let cws = (len - 1).div_ceil(compaqt_dsp::rle::MAX_RUN as usize).max(1);
+                    2 * (1 + cws) * 16
+                }
+            })
+            .sum();
+        CompressionRatio::new(old, new_bits.div_ceil(8).max(1))
+    }
+
+    /// Fraction of output samples produced with the IDCT bypassed.
+    pub fn bypass_fraction(&self) -> f64 {
+        let bypassed: usize = self
+            .segments
+            .iter()
+            .map(|s| match s {
+                Segment::Constant { len, .. } => *len,
+                _ => 0,
+            })
+            .sum();
+        bypassed as f64 / self.n_samples as f64
+    }
+
+    /// Decompresses, returning the waveform and engine stats (plateau
+    /// samples are accounted as bypassed).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed streams.
+    pub fn decompress(&self) -> Result<(Waveform, EngineStats), CompressError> {
+        let engine = DecompressionEngine::for_variant(self.variant)?;
+        let mut stats = EngineStats::default();
+        let mut i: Vec<f64> = Vec::with_capacity(self.n_samples);
+        let mut q: Vec<f64> = Vec::with_capacity(self.n_samples);
+        for seg in &self.segments {
+            match seg {
+                Segment::Windows(z) => {
+                    let mut s = EngineStats::default();
+                    i.extend(engine.decode_channel(&z.i, z.n_samples, &mut s)?);
+                    q.extend(engine.decode_channel(&z.q, z.n_samples, &mut s)?);
+                    stats.merge(&s);
+                }
+                Segment::Constant { i_value, q_value, len } => {
+                    // One literal word + codeword per channel; the run is
+                    // produced without memory traffic or IDCT work.
+                    let cws = (len - 1).div_ceil(compaqt_dsp::rle::MAX_RUN as usize).max(1);
+                    stats.memory_words_read += 2 * (1 + cws);
+                    stats.rle_codewords += 2 * cws;
+                    stats.bypassed_samples += 2 * len;
+                    stats.output_samples += 2 * len;
+                    stats.cycles += *len as u64;
+                    i.extend(std::iter::repeat_n(i_value.to_f64(), *len));
+                    q.extend(std::iter::repeat_n(q_value.to_f64(), *len));
+                }
+            }
+        }
+        i.truncate(self.n_samples);
+        q.truncate(self.n_samples);
+        let wf = Waveform::new(self.name.clone(), i, q, self.sample_rate_gs);
+        Ok((wf, stats))
+    }
+
+    /// The plateau as raw coded words (what actually sits in memory for
+    /// the constant segment).
+    pub fn plateau_words(&self) -> Vec<CodedWord> {
+        let enc = RleEncoder::new();
+        self.segments
+            .iter()
+            .filter_map(|s| match s {
+                Segment::Constant { i_value, len, .. } => {
+                    Some(enc.encode_constant_run(i_value.raw(), *len))
+                }
+                _ => None,
+            })
+            .flatten()
+            .collect()
+    }
+}
+
+/// Compresses flat-top waveforms with the adaptive scheme.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveCompressor {
+    inner: Compressor,
+    /// Minimum plateau length (in samples) worth bypassing.
+    min_plateau: usize,
+}
+
+impl AdaptiveCompressor {
+    /// Creates an adaptive compressor around a windowed variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variant is not windowed (adaptive mode segments the
+    /// waveform at window granularity).
+    pub fn new(variant: Variant) -> Self {
+        assert!(
+            variant.window_size().is_some(),
+            "adaptive compression requires a windowed variant"
+        );
+        AdaptiveCompressor { inner: Compressor::new(variant), min_plateau: 64 }
+    }
+
+    /// Sets the minimum plateau length worth bypassing.
+    pub fn with_min_plateau(mut self, samples: usize) -> Self {
+        self.min_plateau = samples;
+        self
+    }
+
+    /// Sets the ramp-segment threshold.
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        self.inner = self.inner.with_threshold(threshold);
+        self
+    }
+
+    /// Compresses a flat-top waveform: DCT windows for the ramps, a single
+    /// repeat-run for the plateau.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError::NoPlateau`] if the waveform has no plateau
+    /// of at least the configured minimum length.
+    pub fn compress(&self, wf: &Waveform) -> Result<AdaptiveCompressed, CompressError> {
+        let ws = self.inner.variant().window_size().expect("validated in new()");
+        let (start, len) = wf.flat_top_plateau(self.min_plateau).ok_or(CompressError::NoPlateau)?;
+        // Align the plateau cut points to window boundaries so the ramp
+        // segments are whole windows (the algorithm "treats the constant
+        // period as a single window").
+        let head_end = start.next_multiple_of(ws).min(wf.len());
+        let plateau_end = ((start + len) / ws) * ws;
+        if plateau_end <= head_end {
+            return Err(CompressError::NoPlateau);
+        }
+        let sub = |name: &str, range: std::ops::Range<usize>| -> Waveform {
+            Waveform::new(
+                name,
+                wf.i()[range.clone()].to_vec(),
+                wf.q()[range].to_vec(),
+                wf.sample_rate_gs(),
+            )
+        };
+        let mut segments = Vec::new();
+        if head_end > 0 {
+            segments.push(Segment::Windows(self.inner.compress(&sub("head", 0..head_end))?));
+        }
+        segments.push(Segment::Constant {
+            i_value: Q15::from_f64(wf.i()[head_end]),
+            q_value: Q15::from_f64(wf.q()[head_end]),
+            len: plateau_end - head_end,
+        });
+        if plateau_end < wf.len() {
+            segments.push(Segment::Windows(self.inner.compress(&sub("tail", plateau_end..wf.len()))?));
+        }
+        Ok(AdaptiveCompressed {
+            name: wf.name().to_string(),
+            n_samples: wf.len(),
+            sample_rate_gs: wf.sample_rate_gs(),
+            variant: self.inner.variant(),
+            segments,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compaqt_pulse::shapes::{GaussianSquare, PulseShape};
+
+    fn flat_top() -> Waveform {
+        // 100 ns flat-top at 4.54 GS/s (the Figure 19 experiment).
+        GaussianSquare::new(454, 0.35, 12.0, 360).to_waveform("flat", 4.54)
+    }
+
+    #[test]
+    fn adaptive_round_trip_is_accurate() {
+        let wf = flat_top();
+        let z = AdaptiveCompressor::new(Variant::IntDctW { ws: 16 }).compress(&wf).unwrap();
+        let (restored, _) = z.decompress().unwrap();
+        assert!(wf.mse(&restored) < 1e-4, "mse {:e}", wf.mse(&restored));
+    }
+
+    #[test]
+    fn most_samples_bypass_the_idct() {
+        let wf = flat_top();
+        let z = AdaptiveCompressor::new(Variant::IntDctW { ws: 16 }).compress(&wf).unwrap();
+        assert!(z.bypass_fraction() > 0.6, "bypass {}", z.bypass_fraction());
+        let (_, stats) = z.decompress().unwrap();
+        assert!(stats.bypassed_samples > stats.output_samples / 2);
+    }
+
+    #[test]
+    fn adaptive_compresses_better_than_plain() {
+        let wf = flat_top();
+        let plain = Compressor::new(Variant::IntDctW { ws: 16 }).compress(&wf).unwrap();
+        let adaptive = AdaptiveCompressor::new(Variant::IntDctW { ws: 16 }).compress(&wf).unwrap();
+        assert!(
+            adaptive.ratio().ratio() > plain.ratio().ratio(),
+            "adaptive {} vs plain {}",
+            adaptive.ratio(),
+            plain.ratio()
+        );
+    }
+
+    #[test]
+    fn gaussian_has_no_plateau() {
+        let wf = compaqt_pulse::shapes::Gaussian::new(160, 0.5, 40.0).to_waveform("G", 4.54);
+        let err = AdaptiveCompressor::new(Variant::IntDctW { ws: 16 }).compress(&wf).unwrap_err();
+        assert_eq!(err, CompressError::NoPlateau);
+    }
+
+    #[test]
+    fn plateau_words_are_two() {
+        let wf = flat_top();
+        let z = AdaptiveCompressor::new(Variant::IntDctW { ws: 16 }).compress(&wf).unwrap();
+        // One literal + one repeat codeword for a sub-16k plateau.
+        assert_eq!(z.plateau_words().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "windowed")]
+    fn non_windowed_variant_rejected() {
+        AdaptiveCompressor::new(Variant::DctN);
+    }
+
+    #[test]
+    fn segments_cover_all_samples() {
+        let wf = flat_top();
+        let z = AdaptiveCompressor::new(Variant::IntDctW { ws: 8 }).compress(&wf).unwrap();
+        let total: usize = z
+            .segments
+            .iter()
+            .map(|s| match s {
+                Segment::Windows(w) => w.n_samples,
+                Segment::Constant { len, .. } => *len,
+            })
+            .sum();
+        assert_eq!(total, wf.len());
+    }
+}

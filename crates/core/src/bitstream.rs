@@ -1,0 +1,325 @@
+//! Binary memory images: serializing compressed libraries for the
+//! controller.
+//!
+//! The COMPAQT flow ends with the host transferring the compressed pulse
+//! library into controller memory (Figure 6: "Compressed Pulse Library"
+//! -> "Compressed Waveform Memory"). This module defines that wire
+//! format: a compact binary image with one record per waveform — header,
+//! window structure, and the packed 16-bit coded words the hardware
+//! consumes directly.
+//!
+//! Format (little endian):
+//!
+//! ```text
+//! image  := magic:u32 version:u16 count:u16 record*
+//! record := name_len:u16 name:utf8 variant:u8 ws:u16 n_samples:u32
+//!           rate_mhz:u32 channel channel
+//! channel:= kind:u8 payload
+//!   kind 0 (windows): n_windows:u32 (words_len:u16 word:u16*)*
+//!   kind 1 (delta)  : base:i16 bits:u8 n:u32 delta:i16*
+//!   kind 2 (raw)    : n:u32 sample:i16*
+//! ```
+
+use crate::compress::{ChannelData, CompressedWaveform, Variant};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use compaqt_dsp::rle::CodedWord;
+use compaqt_pulse::library::GateId;
+use std::fmt;
+
+/// Magic number identifying a COMPAQT memory image.
+pub const MAGIC: u32 = 0xC0_4D_50_51; // "COMPQ"-ish
+
+/// Image format version.
+pub const VERSION: u16 = 1;
+
+/// Errors while parsing a memory image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageError {
+    /// The magic number or version did not match.
+    BadHeader,
+    /// The buffer ended mid-record.
+    Truncated,
+    /// A field held an invalid value.
+    Invalid(&'static str),
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::BadHeader => write!(f, "not a COMPAQT memory image"),
+            ImageError::Truncated => write!(f, "image truncated"),
+            ImageError::Invalid(what) => write!(f, "invalid field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+fn encode_variant(v: Variant) -> (u8, u16) {
+    match v {
+        Variant::Delta => (0, 0),
+        Variant::DctN => (1, 0),
+        Variant::DctW { ws } => (2, ws as u16),
+        Variant::IntDctW { ws } => (3, ws as u16),
+    }
+}
+
+fn decode_variant(tag: u8, ws: u16) -> Result<Variant, ImageError> {
+    Ok(match tag {
+        0 => Variant::Delta,
+        1 => Variant::DctN,
+        2 => Variant::DctW { ws: ws as usize },
+        3 => Variant::IntDctW { ws: ws as usize },
+        _ => return Err(ImageError::Invalid("variant tag")),
+    })
+}
+
+fn put_channel(buf: &mut BytesMut, channel: &ChannelData) {
+    match channel {
+        ChannelData::Windows(windows) => {
+            buf.put_u8(0);
+            buf.put_u32_le(windows.len() as u32);
+            for win in windows {
+                buf.put_u16_le(win.len() as u16);
+                for w in win {
+                    buf.put_u16_le(w.pack());
+                }
+            }
+        }
+        ChannelData::Delta { base, bits, deltas } => {
+            buf.put_u8(1);
+            buf.put_i16_le(*base);
+            buf.put_u8(*bits as u8);
+            buf.put_u32_le(deltas.len() as u32);
+            for &d in deltas {
+                buf.put_i16_le(d);
+            }
+        }
+        ChannelData::Raw(samples) => {
+            buf.put_u8(2);
+            buf.put_u32_le(samples.len() as u32);
+            for &s in samples {
+                buf.put_i16_le(s);
+            }
+        }
+    }
+}
+
+fn need(buf: &Bytes, n: usize) -> Result<(), ImageError> {
+    if buf.remaining() < n {
+        Err(ImageError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn take_channel(buf: &mut Bytes) -> Result<ChannelData, ImageError> {
+    need(buf, 1)?;
+    match buf.get_u8() {
+        0 => {
+            need(buf, 4)?;
+            let n_windows = buf.get_u32_le() as usize;
+            let mut windows = Vec::with_capacity(n_windows.min(1 << 20));
+            for _ in 0..n_windows {
+                need(buf, 2)?;
+                let len = buf.get_u16_le() as usize;
+                need(buf, 2 * len)?;
+                let words: Vec<CodedWord> =
+                    (0..len).map(|_| CodedWord::unpack(buf.get_u16_le())).collect();
+                windows.push(words);
+            }
+            Ok(ChannelData::Windows(windows))
+        }
+        1 => {
+            need(buf, 2 + 1 + 4)?;
+            let base = buf.get_i16_le();
+            let bits = u32::from(buf.get_u8());
+            let n = buf.get_u32_le() as usize;
+            need(buf, 2 * n)?;
+            let deltas = (0..n).map(|_| buf.get_i16_le()).collect();
+            Ok(ChannelData::Delta { base, bits, deltas })
+        }
+        2 => {
+            need(buf, 4)?;
+            let n = buf.get_u32_le() as usize;
+            need(buf, 2 * n)?;
+            let samples = (0..n).map(|_| buf.get_i16_le()).collect();
+            Ok(ChannelData::Raw(samples))
+        }
+        _ => Err(ImageError::Invalid("channel kind")),
+    }
+}
+
+/// Serializes a compressed library into a controller memory image.
+pub fn write_image(entries: &[(GateId, CompressedWaveform)]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4096);
+    buf.put_u32_le(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u16_le(entries.len() as u16);
+    for (gate, z) in entries {
+        let name = format!("{gate}");
+        buf.put_u16_le(name.len() as u16);
+        buf.put_slice(name.as_bytes());
+        let (tag, ws) = encode_variant(z.variant);
+        buf.put_u8(tag);
+        buf.put_u16_le(ws);
+        buf.put_u32_le(z.n_samples as u32);
+        buf.put_u32_le((z.sample_rate_gs * 1000.0).round() as u32);
+        put_channel(&mut buf, &z.i);
+        put_channel(&mut buf, &z.q);
+    }
+    buf.freeze()
+}
+
+/// A parsed record: the gate's display name and its compressed waveform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImageRecord {
+    /// Display name of the gate (e.g. `"X(q3)"`).
+    pub name: String,
+    /// The compressed stream.
+    pub waveform: CompressedWaveform,
+}
+
+/// Parses a controller memory image.
+///
+/// # Errors
+///
+/// Returns [`ImageError`] on malformed input; never panics on untrusted
+/// bytes.
+pub fn read_image(mut buf: Bytes) -> Result<Vec<ImageRecord>, ImageError> {
+    need(&buf, 8)?;
+    if buf.get_u32_le() != MAGIC {
+        return Err(ImageError::BadHeader);
+    }
+    if buf.get_u16_le() != VERSION {
+        return Err(ImageError::BadHeader);
+    }
+    let count = buf.get_u16_le() as usize;
+    let mut records = Vec::with_capacity(count);
+    for _ in 0..count {
+        need(&buf, 2)?;
+        let name_len = buf.get_u16_le() as usize;
+        need(&buf, name_len)?;
+        let name_bytes = buf.copy_to_bytes(name_len);
+        let name =
+            String::from_utf8(name_bytes.to_vec()).map_err(|_| ImageError::Invalid("name"))?;
+        need(&buf, 1 + 2 + 4 + 4)?;
+        let tag = buf.get_u8();
+        let ws = buf.get_u16_le();
+        let n_samples = buf.get_u32_le() as usize;
+        let rate_mhz = buf.get_u32_le();
+        if n_samples == 0 {
+            return Err(ImageError::Invalid("sample count"));
+        }
+        let variant = decode_variant(tag, ws)?;
+        let i = take_channel(&mut buf)?;
+        let q = take_channel(&mut buf)?;
+        records.push(ImageRecord {
+            name: name.clone(),
+            waveform: CompressedWaveform {
+                name,
+                variant,
+                n_samples,
+                sample_rate_gs: f64::from(rate_mhz) / 1000.0,
+                i,
+                q,
+            },
+        });
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::Compressor;
+    use compaqt_pulse::device::Device;
+    use compaqt_pulse::vendor::Vendor;
+
+    fn sample_entries() -> Vec<(GateId, CompressedWaveform)> {
+        let device = Device::synthesize(Vendor::Ibm, 3, 0xB17);
+        let lib = device.pulse_library();
+        let c = Compressor::new(Variant::IntDctW { ws: 16 });
+        lib.iter().map(|(g, wf)| (g.clone(), c.compress(wf).unwrap())).collect()
+    }
+
+    #[test]
+    fn image_round_trips_bit_exactly() {
+        let entries = sample_entries();
+        let image = write_image(&entries);
+        let records = read_image(image).unwrap();
+        assert_eq!(records.len(), entries.len());
+        for ((_, original), record) in entries.iter().zip(&records) {
+            assert_eq!(&record.waveform, original);
+        }
+    }
+
+    #[test]
+    fn decompression_works_after_round_trip() {
+        let entries = sample_entries();
+        let records = read_image(write_image(&entries)).unwrap();
+        for r in records {
+            assert!(r.waveform.decompress().is_ok(), "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn delta_and_raw_channels_round_trip() {
+        let device = Device::synthesize(Vendor::Ibm, 2, 0xDE17A);
+        let lib = device.pulse_library();
+        let c = Compressor::new(Variant::Delta);
+        let entries: Vec<(GateId, CompressedWaveform)> =
+            lib.iter().map(|(g, wf)| (g.clone(), c.compress(wf).unwrap())).collect();
+        let records = read_image(write_image(&entries)).unwrap();
+        for ((_, original), record) in entries.iter().zip(&records) {
+            assert_eq!(&record.waveform, original);
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u16_le(VERSION);
+        buf.put_u16_le(0);
+        assert_eq!(read_image(buf.freeze()), Err(ImageError::BadHeader));
+    }
+
+    #[test]
+    fn truncated_images_error_cleanly() {
+        let entries = sample_entries();
+        let image = write_image(&entries);
+        for cut in [0usize, 3, 9, 17, image.len() / 2, image.len() - 1] {
+            let partial = image.slice(0..cut);
+            assert!(read_image(partial).is_err(), "cut at {cut} parsed");
+        }
+    }
+
+    #[test]
+    fn fuzzed_garbage_never_panics() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xF422);
+        for _ in 0..200 {
+            let len = rng.random_range(0..512);
+            let mut garbage = vec![0u8; len];
+            for b in &mut garbage {
+                *b = rng.random();
+            }
+            // Must return an error (or an empty parse), never panic.
+            let _ = read_image(Bytes::from(garbage));
+        }
+    }
+
+    #[test]
+    fn image_size_reflects_compression() {
+        let entries = sample_entries();
+        let image = write_image(&entries);
+        let uncompressed: usize =
+            entries.iter().map(|(_, z)| z.n_samples * crate::compress::SAMPLE_BYTES).sum();
+        assert!(
+            image.len() < uncompressed / 3,
+            "image {} vs raw {uncompressed}",
+            image.len()
+        );
+    }
+}

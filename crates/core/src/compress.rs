@@ -1,0 +1,680 @@
+//! The COMPAQT compiler module: compile-time waveform compression.
+//!
+//! Four variants are implemented, matching Table II plus the delta
+//! baseline of Section IV-B:
+//!
+//! | variant | transform | hardware complexity |
+//! |---|---|---|
+//! | `Delta` | sample differences | trivial, but poor on zero crossings |
+//! | `DCT-N` | one DCT over the whole waveform | high (N varies, N can be 1000+) |
+//! | `DCT-W` | windowed float DCT (WS=8/16) | moderate (11/26 multipliers) |
+//! | `int-DCT-W` | windowed HEVC integer DCT | low (shift-add only) |
+//!
+//! The pipeline per channel is: transform each window -> zero coefficients
+//! below a threshold -> run-length encode the trailing zeros (Figure 8).
+//! Per the paper, I and Q keep the same number of stored words per window
+//! so the hardware decoder stays simple.
+
+use crate::CompressError;
+use compaqt_dsp::dct::Dct;
+use compaqt_dsp::fixed::Q15;
+use compaqt_dsp::intdct::IntDct;
+use compaqt_dsp::metrics::CompressionRatio;
+use compaqt_dsp::rle::{CodedWord, RleCodeword, MAX_COEFF, MIN_COEFF};
+use compaqt_dsp::threshold::ThresholdSchedule;
+use compaqt_pulse::waveform::Waveform;
+use serde::{Deserialize, Serialize};
+
+/// Bytes per stored word (all streams use 16-bit words).
+pub const WORD_BYTES: usize = 2;
+
+/// Bytes per uncompressed packed I+Q sample (two 16-bit channels).
+pub const SAMPLE_BYTES: usize = 4;
+
+/// A compression variant (Table II plus the delta baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Variant {
+    /// Base-delta compression of raw samples.
+    Delta,
+    /// Full-length DCT (window = entire waveform).
+    DctN,
+    /// Windowed floating-point DCT.
+    DctW {
+        /// Window size (4, 8, 16 or 32).
+        ws: usize,
+    },
+    /// Windowed HEVC-style integer DCT (the COMPAQT design point).
+    IntDctW {
+        /// Window size (4, 8, 16 or 32).
+        ws: usize,
+    },
+}
+
+impl Variant {
+    /// Short display name matching the paper's figures.
+    pub fn label(&self) -> String {
+        match self {
+            Variant::Delta => "Delta".to_string(),
+            Variant::DctN => "DCT-N".to_string(),
+            Variant::DctW { ws } => format!("DCT-W (WS={ws})"),
+            Variant::IntDctW { ws } => format!("int-DCT-W (WS={ws})"),
+        }
+    }
+
+    /// The transform window size, if the variant is windowed.
+    pub fn window_size(&self) -> Option<usize> {
+        match self {
+            Variant::DctW { ws } | Variant::IntDctW { ws } => Some(*ws),
+            _ => None,
+        }
+    }
+
+    fn validate(&self) -> Result<(), CompressError> {
+        if let Some(ws) = self.window_size() {
+            if !compaqt_dsp::intdct::SUPPORTED_SIZES.contains(&ws) {
+                return Err(CompressError::UnsupportedWindow(ws));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fixed-point scale (in bits) used to store *float* DCT coefficients in
+/// 15-bit words: the largest scale such that the worst-case coefficient
+/// magnitude `sqrt(n)` (a full-scale DC window) still fits.
+pub(crate) fn float_coeff_scale_bits(n: usize) -> u32 {
+    ((f64::from(MAX_COEFF) / (n as f64).sqrt()).log2().floor() as u32).min(14)
+}
+
+/// Extra right-shift applied to integer-DCT coefficients before storage so
+/// a full-scale DC window fits the 15-bit word (the tag bit of the RLE
+/// format costs one bit, the DC headroom another).
+pub(crate) const INT_STORE_SHIFT: u32 = 2;
+
+/// Rounding right-shift by [`INT_STORE_SHIFT`].
+pub(crate) fn int_store_quantize(c: i32) -> i32 {
+    (c + (1 << (INT_STORE_SHIFT - 1))) >> INT_STORE_SHIFT
+}
+
+/// Integer threshold equivalent to an orthonormal-domain `threshold` for
+/// the int-DCT's native coefficient scale `2^(15 - log2(ws)/2)`.
+pub(crate) fn int_threshold(threshold: f64, ws: usize) -> i32 {
+    let scale = 2f64.powf(15.0 - (ws as f64).log2() / 2.0);
+    (threshold * scale).round().max(1.0) as i32
+}
+
+/// One compressed channel (I or Q).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ChannelData {
+    /// Windowed coded streams: one word list per transform window.
+    Windows(Vec<Vec<CodedWord>>),
+    /// Base + reduced-width deltas.
+    Delta {
+        /// First sample at full width.
+        base: i16,
+        /// Bit width of each stored delta (including sign).
+        bits: u32,
+        /// Deltas between consecutive samples, each within `bits` bits.
+        deltas: Vec<i16>,
+    },
+    /// Uncompressed Q1.15 samples (delta fallback for zero-crossing
+    /// waveforms).
+    Raw(Vec<i16>),
+}
+
+impl ChannelData {
+    /// Storage footprint in bits.
+    pub fn size_bits(&self) -> usize {
+        match self {
+            ChannelData::Windows(windows) => {
+                windows.iter().map(|w| w.len() * 16).sum()
+            }
+            ChannelData::Delta { bits, deltas, .. } => 16 + 8 + deltas.len() * *bits as usize,
+            ChannelData::Raw(samples) => samples.len() * 16,
+        }
+    }
+
+    /// Number of 16-bit memory words occupied (delta bytes round up).
+    pub fn words(&self) -> usize {
+        self.size_bits().div_ceil(16)
+    }
+
+    /// Word counts per window (empty for non-windowed channels).
+    pub fn window_word_counts(&self) -> Vec<usize> {
+        match self {
+            ChannelData::Windows(windows) => windows.iter().map(Vec::len).collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// A compressed waveform: both channels plus enough metadata to
+/// reconstruct and to account storage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompressedWaveform {
+    /// Waveform name (copied from the source).
+    pub name: String,
+    /// The variant that produced this stream.
+    pub variant: Variant,
+    /// Original sample count per channel.
+    pub n_samples: usize,
+    /// DAC sampling rate in GS/s.
+    pub sample_rate_gs: f64,
+    /// Compressed I channel.
+    pub i: ChannelData,
+    /// Compressed Q channel.
+    pub q: ChannelData,
+}
+
+impl CompressedWaveform {
+    /// Compression ratio `R = old size / new size` (Figure 7's metric).
+    pub fn ratio(&self) -> CompressionRatio {
+        let old = self.n_samples * SAMPLE_BYTES;
+        let new = (self.i.size_bits() + self.q.size_bits()).div_ceil(8);
+        CompressionRatio::new(old, new.max(1))
+    }
+
+    /// Total stored 16-bit words across both channels.
+    pub fn words(&self) -> usize {
+        self.i.words() + self.q.words()
+    }
+
+    /// The worst-case number of stored words in any window (both
+    /// channels) — what sizes the uniform-width compressed memory
+    /// (Section V-A) and the Figure 11 histogram.
+    pub fn worst_case_window_words(&self) -> usize {
+        self.i
+            .window_word_counts()
+            .into_iter()
+            .chain(self.q.window_word_counts())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Decompresses through the bit-exact hardware-engine model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a run-length stream is malformed (cannot happen
+    /// for streams produced by [`Compressor::compress`]).
+    pub fn decompress(&self) -> Result<Waveform, CompressError> {
+        let (wf, _) = crate::engine::DecompressionEngine::for_variant(self.variant)?
+            .decompress(self)?;
+        Ok(wf)
+    }
+}
+
+/// The compile-time compressor.
+///
+/// # Example
+///
+/// ```
+/// use compaqt_core::compress::{Compressor, Variant};
+/// use compaqt_pulse::shapes::{GaussianSquare, PulseShape};
+///
+/// // A 300 ns cross-resonance flat-top at 4.54 GS/s.
+/// let cr = GaussianSquare::new(1362, 0.3, 40.0, 1000).to_waveform("CX(q0,q1)", 4.54);
+/// let z = Compressor::new(Variant::IntDctW { ws: 16 }).compress(&cr)?;
+/// assert!(z.ratio().ratio() > 5.0, "flat-tops compress well: {}", z.ratio());
+/// # Ok::<(), compaqt_core::CompressError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Compressor {
+    variant: Variant,
+    threshold: f64,
+    max_window_words: Option<usize>,
+}
+
+/// Default coefficient threshold (orthonormal domain). Chosen so the
+/// reconstruction MSE lands in the paper's 1e-6..1e-5 band (Figure 7c)
+/// while keeping 5x-class compression and a worst-case window of ~3
+/// stored words (Figure 11).
+pub const DEFAULT_THRESHOLD: f64 = 0.025;
+
+impl Compressor {
+    /// Creates a compressor with the default threshold.
+    pub fn new(variant: Variant) -> Self {
+        Compressor { variant, threshold: DEFAULT_THRESHOLD, max_window_words: None }
+    }
+
+    /// Sets the coefficient threshold (orthonormal-coefficient domain).
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Caps the stored words per window to `cap`, zeroing higher-order
+    /// coefficients in windows that exceed it.
+    ///
+    /// This is the uniform input-buffer constraint of Section V-A: the
+    /// banked memory and decompression pipeline are sized for a fixed
+    /// worst case (3 words in the paper), "sacrificing compressibility to
+    /// enable a significant performance boost". The extra distortion this
+    /// introduces is part of the measured MSE.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap < 2` (a window needs at least one coefficient and
+    /// the run-length codeword).
+    pub fn with_max_window_words(mut self, cap: usize) -> Self {
+        assert!(cap >= 2, "window cap must allow a coefficient plus a codeword");
+        self.max_window_words = Some(cap);
+        self
+    }
+
+    /// The variant this compressor implements.
+    pub fn variant(&self) -> Variant {
+        self.variant
+    }
+
+    /// The active threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Compresses a waveform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError::UnsupportedWindow`] for window sizes the
+    /// integer transform does not support.
+    pub fn compress(&self, wf: &Waveform) -> Result<CompressedWaveform, CompressError> {
+        self.variant.validate()?;
+        let (i, q) = match self.variant {
+            Variant::Delta => (delta_channel(wf.i()), delta_channel(wf.q())),
+            Variant::DctN => {
+                let n = wf.len();
+                let ci = float_full(wf.i(), self.threshold);
+                let cq = float_full(wf.q(), self.threshold);
+                equalize(ci, cq, n, self.max_window_words)
+            }
+            Variant::DctW { ws } => {
+                let dct = Dct::new(ws);
+                let ci = float_windows(&dct, wf.i(), ws, self.threshold);
+                let cq = float_windows(&dct, wf.q(), ws, self.threshold);
+                equalize(ci, cq, ws, self.max_window_words)
+            }
+            Variant::IntDctW { ws } => {
+                let t = IntDct::new(ws).map_err(|e| CompressError::UnsupportedWindow(e.size))?;
+                let thr = int_threshold(self.threshold, ws);
+                let ci = int_windows(&t, wf.i(), thr);
+                let cq = int_windows(&t, wf.q(), thr);
+                equalize(ci, cq, ws, self.max_window_words)
+            }
+        };
+        Ok(CompressedWaveform {
+            name: wf.name().to_string(),
+            variant: self.variant,
+            n_samples: wf.len(),
+            sample_rate_gs: wf.sample_rate_gs(),
+            i,
+            q,
+        })
+    }
+
+    /// Fidelity-aware compression (Algorithm 1): halve the threshold until
+    /// the reconstruction MSE meets `target_mse`, failing below the 1e-6
+    /// threshold floor.
+    ///
+    /// Returns the compressed waveform and the threshold that met the
+    /// target.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError::TargetUnreachable`] if no threshold above
+    /// the floor meets the target.
+    pub fn compress_with_target(
+        &self,
+        wf: &Waveform,
+        target_mse: f64,
+    ) -> Result<(CompressedWaveform, f64), CompressError> {
+        for threshold in ThresholdSchedule::new(self.threshold) {
+            let candidate = self.with_threshold(threshold).compress(wf)?;
+            let restored = candidate.decompress()?;
+            if wf.mse(&restored) <= target_mse {
+                return Ok((candidate, threshold));
+            }
+        }
+        Err(CompressError::TargetUnreachable { target_mse })
+    }
+}
+
+/// Thresholded coefficient windows for one channel, pre-RLE.
+struct CoeffWindows {
+    /// Quantized integer coefficients per window.
+    windows: Vec<Vec<i32>>,
+}
+
+/// Full-length (`DCT-N`) transform of one channel via the O(N log N)
+/// recursive DCT.
+fn float_full(samples: &[f64], threshold: f64) -> CoeffWindows {
+    let scale = f64::from(1u32 << float_coeff_scale_bits(samples.len()));
+    let mut coeffs = compaqt_dsp::fastdct::fast_dct2(samples);
+    compaqt_dsp::threshold::apply_threshold(&mut coeffs, threshold);
+    let window = coeffs
+        .iter()
+        .map(|&c| ((c * scale).round() as i32).clamp(MIN_COEFF, MAX_COEFF))
+        .collect();
+    CoeffWindows { windows: vec![window] }
+}
+
+fn float_windows(dct: &Dct, samples: &[f64], ws: usize, threshold: f64) -> CoeffWindows {
+    let (wins, _) = compaqt_dsp::window::split(samples, ws, compaqt_dsp::window::PadMode::Zero);
+    let scale = f64::from(1u32 << float_coeff_scale_bits(ws));
+    let windows = wins
+        .iter()
+        .map(|w| {
+            let mut coeffs = dct.forward(w);
+            compaqt_dsp::threshold::apply_threshold(&mut coeffs, threshold);
+            coeffs
+                .iter()
+                .map(|&c| ((c * scale).round() as i32).clamp(MIN_COEFF, MAX_COEFF))
+                .collect()
+        })
+        .collect();
+    CoeffWindows { windows }
+}
+
+fn int_windows(t: &IntDct, samples: &[f64], thr: i32) -> CoeffWindows {
+    let ws = t.len();
+    let (wins, _) = compaqt_dsp::window::split(samples, ws, compaqt_dsp::window::PadMode::Zero);
+    let windows = wins
+        .iter()
+        .map(|w| {
+            let q: Vec<Q15> = w.iter().map(|&v| Q15::from_f64(v)).collect();
+            let mut coeffs = t.forward(&q);
+            compaqt_dsp::threshold::apply_threshold_int(&mut coeffs, thr);
+            // Quantize to the 15-bit storage word (tag bit + DC headroom).
+            for c in coeffs.iter_mut() {
+                *c = int_store_quantize(*c).clamp(MIN_COEFF, MAX_COEFF);
+            }
+            coeffs
+        })
+        .collect();
+    CoeffWindows { windows }
+}
+
+/// Applies the paper's I/Q equalization: both channels keep the same
+/// number of stored words per window, then run-length encodes. A window
+/// cap (the uniform-width constraint) zeroes coefficients past the cap.
+fn equalize(
+    ci: CoeffWindows,
+    cq: CoeffWindows,
+    ws: usize,
+    cap: Option<usize>,
+) -> (ChannelData, ChannelData) {
+    let encode = |coeffs: &[i32], keep: usize| -> Vec<CodedWord> {
+        let mut words: Vec<CodedWord> = coeffs[..keep]
+            .iter()
+            .map(|&c| CodedWord::Coeff(CodedWord::clamp_coeff(c)))
+            .collect();
+        let zeros = ws - keep;
+        if zeros > 0 {
+            let mut remaining = zeros;
+            while remaining > 0 {
+                let run = remaining.min(compaqt_dsp::rle::MAX_RUN as usize);
+                words.push(CodedWord::Rle(RleCodeword { run: run as u16, repeat_previous: false }));
+                remaining -= run;
+            }
+        }
+        words
+    };
+    let mut i_out = Vec::with_capacity(ci.windows.len());
+    let mut q_out = Vec::with_capacity(cq.windows.len());
+    for (wi, wq) in ci.windows.iter().zip(&cq.windows) {
+        let keep_i = wi.len() - compaqt_dsp::threshold::trailing_zeros(wi);
+        let keep_q = wq.len() - compaqt_dsp::threshold::trailing_zeros(wq);
+        let mut keep = keep_i.max(keep_q);
+        if let Some(cap) = cap {
+            // Reserve one slot for the codeword unless the window fills.
+            let max_keep = if cap >= ws { ws } else { cap - 1 };
+            keep = keep.min(max_keep);
+        }
+        i_out.push(encode(wi, keep));
+        q_out.push(encode(wq, keep));
+    }
+    (ChannelData::Windows(i_out), ChannelData::Windows(q_out))
+}
+
+/// Delta-compresses one channel, or falls back to raw storage when the
+/// channel has zero crossings (Section IV-B's limitation: sign changes
+/// force full-width difference fields). Deltas are stored at the minimal
+/// uniform bit width that holds the largest step.
+fn delta_channel(samples: &[f64]) -> ChannelData {
+    let q: Vec<i16> = samples.iter().map(|&v| Q15::from_f64(v).raw()).collect();
+    // Zero crossing: consecutive samples with strictly opposite signs.
+    let crossing = q.windows(2).any(|w| (w[0] > 0 && w[1] < 0) || (w[0] < 0 && w[1] > 0));
+    if crossing {
+        return ChannelData::Raw(q);
+    }
+    let mut deltas = Vec::with_capacity(q.len().saturating_sub(1));
+    let mut max_abs: i32 = 0;
+    for w in q.windows(2) {
+        let d = i32::from(w[1]) - i32::from(w[0]);
+        max_abs = max_abs.max(d.abs());
+        deltas.push(d as i16);
+    }
+    if max_abs > i32::from(i16::MAX) / 2 {
+        // Deltas as wide as the samples: nothing gained.
+        return ChannelData::Raw(q);
+    }
+    // Signed width for the largest delta, at least 4 bits.
+    let bits = (33 - (max_abs.max(1) as u32).leading_zeros()).max(4);
+    ChannelData::Delta { base: q[0], bits, deltas }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compaqt_pulse::shapes::{Drag, Gaussian, GaussianSquare, PulseShape};
+
+    fn x_pulse() -> Waveform {
+        Drag::new(136, 0.5, 34.0, 0.2).to_waveform("X(q0)", 4.54)
+    }
+
+    fn cr_pulse() -> Waveform {
+        GaussianSquare::new(1362, 0.3, 40.0, 1020).to_waveform("CX(q0,q1)", 4.54)
+    }
+
+    #[test]
+    fn int_dct_round_trip_is_accurate() {
+        for ws in [8, 16] {
+            let wf = x_pulse();
+            let z = Compressor::new(Variant::IntDctW { ws }).compress(&wf).unwrap();
+            let back = z.decompress().unwrap();
+            let mse = wf.mse(&back);
+            assert!(mse < 1e-4, "ws={ws}: mse={mse:e}");
+        }
+    }
+
+    #[test]
+    fn all_variants_round_trip_below_threshold_bound() {
+        let wf = x_pulse();
+        for variant in [
+            Variant::DctN,
+            Variant::DctW { ws: 8 },
+            Variant::DctW { ws: 16 },
+            Variant::IntDctW { ws: 8 },
+            Variant::IntDctW { ws: 16 },
+        ] {
+            let z = Compressor::new(variant).compress(&wf).unwrap();
+            let back = z.decompress().unwrap();
+            let mse = wf.mse(&back);
+            // Zeroed coefficients are each below the threshold, so MSE is
+            // bounded by threshold^2 (plus integer rounding).
+            assert!(
+                mse < DEFAULT_THRESHOLD * DEFAULT_THRESHOLD + 1e-6,
+                "{}: mse={mse:e}",
+                variant.label()
+            );
+        }
+    }
+
+    #[test]
+    fn delta_round_trips_exactly() {
+        let wf = Gaussian::new(136, 0.5, 34.0).to_waveform("G", 4.54);
+        let z = Compressor::new(Variant::Delta).compress(&wf).unwrap();
+        let back = z.decompress().unwrap();
+        // Delta is lossless up to Q1.15 quantization.
+        assert!(wf.mse(&back) < 1e-9);
+    }
+
+    #[test]
+    fn delta_compresses_monotone_channel_about_2x() {
+        let wf = Gaussian::new(136, 0.5, 34.0).to_waveform("G", 4.54);
+        let z = Compressor::new(Variant::Delta).compress(&wf).unwrap();
+        let r = z.ratio().ratio();
+        assert!((1.5..2.5).contains(&r), "got {r}");
+    }
+
+    #[test]
+    fn delta_does_not_compress_zero_crossing_channel() {
+        // DRAG Q channel crosses zero -> raw fallback for that channel.
+        let wf = x_pulse();
+        let z = Compressor::new(Variant::Delta).compress(&wf).unwrap();
+        assert!(matches!(z.q, ChannelData::Raw(_)));
+        assert!(matches!(z.i, ChannelData::Delta { .. }));
+    }
+
+    #[test]
+    fn smooth_pulse_compresses_over_4x_with_ws16() {
+        let wf = x_pulse();
+        let z = Compressor::new(Variant::IntDctW { ws: 16 }).compress(&wf).unwrap();
+        let r = z.ratio().ratio();
+        assert!(r > 4.0, "got {r}");
+    }
+
+    #[test]
+    fn flat_top_compresses_better_than_short_gaussian() {
+        let c = Compressor::new(Variant::IntDctW { ws: 16 });
+        let r_x = c.compress(&x_pulse()).unwrap().ratio().ratio();
+        let r_cr = c.compress(&cr_pulse()).unwrap().ratio().ratio();
+        assert!(r_cr > r_x, "CR {r_cr} vs X {r_x}");
+    }
+
+    #[test]
+    fn dct_n_compresses_flat_top_most() {
+        // Figure 7a: DCT-N achieves the highest per-waveform ratios on
+        // long waveforms (one giant window, one RLE codeword).
+        let wf = cr_pulse();
+        let rn = Compressor::new(Variant::DctN).compress(&wf).unwrap().ratio().ratio();
+        let rw = Compressor::new(Variant::DctW { ws: 16 }).compress(&wf).unwrap().ratio().ratio();
+        assert!(rn > rw, "DCT-N {rn} vs DCT-W {rw}");
+        assert!(rn > 20.0, "DCT-N on a flat-top should be dramatic: {rn}");
+    }
+
+    #[test]
+    fn larger_windows_compress_better() {
+        // Figure 7b: WS=8 has the least reduction because RLE is limited
+        // to 8 samples at a time.
+        let wf = cr_pulse();
+        let r8 = Compressor::new(Variant::IntDctW { ws: 8 }).compress(&wf).unwrap().ratio().ratio();
+        let r16 = Compressor::new(Variant::IntDctW { ws: 16 }).compress(&wf).unwrap().ratio().ratio();
+        assert!(r16 > r8, "WS16 {r16} vs WS8 {r8}");
+        assert!(r8 <= 8.0 + 0.1, "WS=8 ratio is bounded near 8x by the window");
+    }
+
+    #[test]
+    fn channels_have_equal_words_per_window() {
+        let wf = x_pulse();
+        let z = Compressor::new(Variant::IntDctW { ws: 16 }).compress(&wf).unwrap();
+        assert_eq!(z.i.window_word_counts(), z.q.window_word_counts());
+    }
+
+    #[test]
+    fn worst_case_window_is_small_for_smooth_pulses() {
+        // Figure 11: <= 3 words per window for int-DCT-W on real pulses.
+        let z = Compressor::new(Variant::IntDctW { ws: 16 }).compress(&cr_pulse()).unwrap();
+        assert!(z.worst_case_window_words() <= 5, "got {}", z.worst_case_window_words());
+    }
+
+    #[test]
+    fn unsupported_window_is_rejected() {
+        let err = Compressor::new(Variant::IntDctW { ws: 12 }).compress(&x_pulse()).unwrap_err();
+        assert_eq!(err, CompressError::UnsupportedWindow(12));
+        let err = Compressor::new(Variant::DctW { ws: 7 }).compress(&x_pulse()).unwrap_err();
+        assert_eq!(err, CompressError::UnsupportedWindow(7));
+    }
+
+    #[test]
+    fn lower_threshold_means_lower_mse_and_ratio() {
+        let wf = x_pulse();
+        let hi = Compressor::new(Variant::IntDctW { ws: 16 }).with_threshold(0.02);
+        let lo = Compressor::new(Variant::IntDctW { ws: 16 }).with_threshold(0.0005);
+        let z_hi = hi.compress(&wf).unwrap();
+        let z_lo = lo.compress(&wf).unwrap();
+        let mse_hi = wf.mse(&z_hi.decompress().unwrap());
+        let mse_lo = wf.mse(&z_lo.decompress().unwrap());
+        assert!(mse_lo <= mse_hi, "mse {mse_lo:e} vs {mse_hi:e}");
+        assert!(z_lo.ratio().ratio() <= z_hi.ratio().ratio());
+    }
+
+    #[test]
+    fn fidelity_aware_meets_target() {
+        let wf = x_pulse();
+        let c = Compressor::new(Variant::IntDctW { ws: 16 }).with_threshold(0.05);
+        let target = 1e-6;
+        let (z, used) = c.compress_with_target(&wf, target).unwrap();
+        let mse = wf.mse(&z.decompress().unwrap());
+        assert!(mse <= target, "mse {mse:e}");
+        assert!(used <= 0.05);
+    }
+
+    #[test]
+    fn fidelity_aware_fails_for_impossible_target() {
+        let wf = x_pulse();
+        let c = Compressor::new(Variant::IntDctW { ws: 8 });
+        // int-DCT rounding alone exceeds this target.
+        let err = c.compress_with_target(&wf, 1e-18).unwrap_err();
+        assert!(matches!(err, CompressError::TargetUnreachable { .. }));
+    }
+
+    #[test]
+    fn ratio_accounts_packed_iq_samples() {
+        let wf = x_pulse();
+        let z = Compressor::new(Variant::IntDctW { ws: 16 }).compress(&wf).unwrap();
+        assert_eq!(z.ratio().old_size(), 136 * 4);
+    }
+
+    #[test]
+    fn window_cap_bounds_worst_case() {
+        let wf = x_pulse();
+        let uncapped = Compressor::new(Variant::IntDctW { ws: 16 })
+            .with_threshold(0.001)
+            .compress(&wf)
+            .unwrap();
+        assert!(uncapped.worst_case_window_words() > 3);
+        let capped = Compressor::new(Variant::IntDctW { ws: 16 })
+            .with_threshold(0.001)
+            .with_max_window_words(3)
+            .compress(&wf)
+            .unwrap();
+        assert!(capped.worst_case_window_words() <= 3);
+        // The cap is lossy but bounded: reconstruction still works.
+        let mse = wf.mse(&capped.decompress().unwrap());
+        assert!(mse < 1e-3, "mse {mse:e}");
+    }
+
+    #[test]
+    fn window_cap_of_full_window_changes_nothing() {
+        let wf = x_pulse();
+        let a = Compressor::new(Variant::IntDctW { ws: 16 }).compress(&wf).unwrap();
+        let b = Compressor::new(Variant::IntDctW { ws: 16 })
+            .with_max_window_words(16)
+            .compress(&wf)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "codeword")]
+    fn window_cap_below_two_rejected() {
+        Compressor::new(Variant::IntDctW { ws: 16 }).with_max_window_words(1);
+    }
+
+    #[test]
+    fn variant_labels_match_paper() {
+        assert_eq!(Variant::IntDctW { ws: 16 }.label(), "int-DCT-W (WS=16)");
+        assert_eq!(Variant::DctN.label(), "DCT-N");
+    }
+}

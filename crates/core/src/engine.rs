@@ -1,0 +1,317 @@
+//! The hardware decompression engine model (Figure 10).
+//!
+//! Decompression is a two-stage pipeline: (1) the RLE decoder expands
+//! codewords into the RLE buffer, then (2) the IDCT produces a full window
+//! of DAC samples. For `int-DCT-W` every constant multiply is a shift-add
+//! network, so the IDCT has a constant one-cycle latency (Section V-B).
+//!
+//! This model is bit-exact with the software compressor's expectations and
+//! additionally accounts memory reads, engine invocations and cycles — the
+//! numbers the bandwidth-expansion and power analyses are built on.
+
+use crate::compress::{ChannelData, CompressedWaveform, Variant};
+use crate::CompressError;
+use compaqt_dsp::dct::Dct;
+use compaqt_dsp::intdct::IntDct;
+use compaqt_dsp::rle::{CodedWord, RleDecoder};
+use compaqt_pulse::waveform::Waveform;
+use serde::{Deserialize, Serialize};
+
+/// Operation counts observed while decompressing (per waveform, both
+/// channels).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// 16-bit words fetched from compressed waveform memory.
+    pub memory_words_read: usize,
+    /// RLE codewords decoded.
+    pub rle_codewords: usize,
+    /// IDCT window evaluations.
+    pub idct_windows: usize,
+    /// Samples produced without touching the IDCT (adaptive bypass runs).
+    pub bypassed_samples: usize,
+    /// Total DAC samples produced.
+    pub output_samples: usize,
+    /// Engine cycles: one per memory word plus one per IDCT window (the
+    /// unpipelined int-DCT-W engine completes a window per cycle after its
+    /// inputs arrive).
+    pub cycles: u64,
+}
+
+impl EngineStats {
+    /// The waveform-memory bandwidth expansion factor: DAC samples
+    /// delivered per memory word fetched (Figure 2b's "5x" is this
+    /// number for typical pulse libraries).
+    ///
+    /// Returns `f64::INFINITY` when no memory reads occurred (pure bypass).
+    pub fn bandwidth_expansion(&self) -> f64 {
+        if self.memory_words_read == 0 {
+            f64::INFINITY
+        } else {
+            self.output_samples as f64 / self.memory_words_read as f64
+        }
+    }
+
+    /// Merges stats from another channel/segment.
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.memory_words_read += other.memory_words_read;
+        self.rle_codewords += other.rle_codewords;
+        self.idct_windows += other.idct_windows;
+        self.bypassed_samples += other.bypassed_samples;
+        self.output_samples += other.output_samples;
+        self.cycles += other.cycles;
+    }
+}
+
+/// The inverse transform stage of the engine.
+#[derive(Debug, Clone)]
+enum InverseStage {
+    /// Delta / raw channels need no transform.
+    None,
+    /// Float IDCT with the stored-coefficient dequantization scale.
+    Float { dct: Dct, scale: f64 },
+    /// Integer IDCT (shift-add hardware).
+    Integer(IntDct),
+}
+
+/// A modelled decompression engine for one variant.
+#[derive(Debug, Clone)]
+pub struct DecompressionEngine {
+    variant: Variant,
+    window: usize,
+    stage: InverseStage,
+}
+
+impl DecompressionEngine {
+    /// Builds the engine matching a compression variant.
+    ///
+    /// For `DCT-N` the engine is built lazily per waveform (the window is
+    /// the waveform length); this constructor accepts it and defers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError::UnsupportedWindow`] for bad window sizes.
+    pub fn for_variant(variant: Variant) -> Result<Self, CompressError> {
+        let (window, stage) = match variant {
+            Variant::Delta => (0, InverseStage::None),
+            Variant::DctN => (0, InverseStage::None), // built per waveform
+            Variant::DctW { ws } => {
+                if !compaqt_dsp::intdct::SUPPORTED_SIZES.contains(&ws) {
+                    return Err(CompressError::UnsupportedWindow(ws));
+                }
+                let scale = f64::from(1u32 << crate::compress::float_coeff_scale_bits(ws));
+                (ws, InverseStage::Float { dct: Dct::new(ws), scale })
+            }
+            Variant::IntDctW { ws } => {
+                let t = IntDct::new(ws).map_err(|e| CompressError::UnsupportedWindow(e.size))?;
+                (ws, InverseStage::Integer(t))
+            }
+        };
+        Ok(DecompressionEngine { variant, window, stage })
+    }
+
+    /// The variant this engine decodes.
+    pub fn variant(&self) -> Variant {
+        self.variant
+    }
+
+    /// Decompresses a waveform, returning the reconstruction and the
+    /// operation counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a stream is malformed or the waveform's variant
+    /// does not match the engine.
+    pub fn decompress(
+        &self,
+        z: &CompressedWaveform,
+    ) -> Result<(Waveform, EngineStats), CompressError> {
+        let mut stats = EngineStats::default();
+        let i = self.decode_channel(&z.i, z.n_samples, &mut stats)?;
+        let q = self.decode_channel(&z.q, z.n_samples, &mut stats)?;
+        let wf = Waveform::new(z.name.clone(), i, q, z.sample_rate_gs);
+        Ok((wf, stats))
+    }
+
+    /// Decodes one channel into DAC samples, accumulating stats.
+    pub fn decode_channel(
+        &self,
+        channel: &ChannelData,
+        n_samples: usize,
+        stats: &mut EngineStats,
+    ) -> Result<Vec<f64>, CompressError> {
+        match channel {
+            ChannelData::Raw(samples) => {
+                stats.memory_words_read += samples.len();
+                stats.output_samples += samples.len();
+                stats.cycles += samples.len() as u64;
+                Ok(samples.iter().map(|&s| f64::from(s) / 32768.0).collect())
+            }
+            ChannelData::Delta { base, bits, deltas } => {
+                let words = channel.size_bits().div_ceil(16);
+                let _ = bits;
+                stats.memory_words_read += words;
+                stats.output_samples += deltas.len() + 1;
+                stats.cycles += (deltas.len() + 1) as u64;
+                let mut acc = i32::from(*base);
+                let mut out = Vec::with_capacity(deltas.len() + 1);
+                out.push(f64::from(acc) / 32768.0);
+                for &d in deltas {
+                    acc += i32::from(d);
+                    out.push(f64::from(acc as i16) / 32768.0);
+                }
+                Ok(out)
+            }
+            ChannelData::Windows(windows) => {
+                let decoder = RleDecoder::new();
+                let mut out: Vec<f64> = Vec::with_capacity(n_samples);
+                for words in windows {
+                    let window = self.effective_window(windows.len(), n_samples);
+                    stats.memory_words_read += words.len();
+                    stats.rle_codewords +=
+                        words.iter().filter(|w| matches!(w, CodedWord::Rle(_))).count();
+                    let coeffs = decoder.decode_window(words, window)?;
+                    let samples = self.inverse(&coeffs, window);
+                    stats.idct_windows += 1;
+                    stats.cycles += words.len() as u64 + 1;
+                    out.extend_from_slice(&samples);
+                }
+                stats.output_samples += n_samples.min(out.len());
+                out.truncate(n_samples);
+                Ok(out)
+            }
+        }
+    }
+
+    /// Window length for this stream: fixed for windowed variants, the
+    /// padded waveform length for `DCT-N`.
+    fn effective_window(&self, n_windows: usize, n_samples: usize) -> usize {
+        if self.window > 0 {
+            self.window
+        } else {
+            debug_assert_eq!(n_windows, 1, "DCT-N stores exactly one window");
+            n_samples
+        }
+    }
+
+    fn inverse(&self, coeffs: &[i32], window: usize) -> Vec<f64> {
+        match &self.stage {
+            InverseStage::Integer(t) => {
+                // Undo the storage headroom shift (the lost LSBs are part
+                // of the measured quantization error).
+                let native: Vec<i32> =
+                    coeffs.iter().map(|&c| c << crate::compress::INT_STORE_SHIFT).collect();
+                t.inverse_f64(&native)
+            }
+            InverseStage::Float { dct, scale } => {
+                let f: Vec<f64> = coeffs.iter().map(|&c| f64::from(c) / scale).collect();
+                dct.inverse(&f)
+            }
+            InverseStage::None => {
+                // DCT-N: O(N log N) inverse at the waveform's full length.
+                let scale = f64::from(1u32 << crate::compress::float_coeff_scale_bits(window));
+                let f: Vec<f64> = coeffs.iter().map(|&c| f64::from(c) / scale).collect();
+                compaqt_dsp::fastdct::fast_dct3(&f)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::Compressor;
+    use compaqt_pulse::shapes::{Drag, GaussianSquare, PulseShape};
+
+    fn x_pulse() -> Waveform {
+        Drag::new(136, 0.5, 34.0, 0.2).to_waveform("X(q0)", 4.54)
+    }
+
+    #[test]
+    fn engine_matches_compressor_expectation() {
+        let wf = x_pulse();
+        let z = Compressor::new(Variant::IntDctW { ws: 16 }).compress(&wf).unwrap();
+        let engine = DecompressionEngine::for_variant(z.variant).unwrap();
+        let (restored, stats) = engine.decompress(&z).unwrap();
+        assert!(wf.mse(&restored) < 1e-4);
+        assert_eq!(stats.output_samples, 136 * 2);
+        assert_eq!(stats.memory_words_read, z.words());
+    }
+
+    #[test]
+    fn bandwidth_expansion_exceeds_4x_for_smooth_pulses() {
+        let wf = GaussianSquare::new(1362, 0.3, 40.0, 1020).to_waveform("CR", 4.54);
+        let z = Compressor::new(Variant::IntDctW { ws: 16 }).compress(&wf).unwrap();
+        let engine = DecompressionEngine::for_variant(z.variant).unwrap();
+        let (_, stats) = engine.decompress(&z).unwrap();
+        assert!(
+            stats.bandwidth_expansion() > 4.0,
+            "expansion {}",
+            stats.bandwidth_expansion()
+        );
+    }
+
+    #[test]
+    fn idct_invocations_match_window_count() {
+        let wf = x_pulse(); // 136 samples -> 9 windows of 16 per channel
+        let z = Compressor::new(Variant::IntDctW { ws: 16 }).compress(&wf).unwrap();
+        let engine = DecompressionEngine::for_variant(z.variant).unwrap();
+        let (_, stats) = engine.decompress(&z).unwrap();
+        assert_eq!(stats.idct_windows, 9 * 2);
+    }
+
+    #[test]
+    fn delta_channel_decodes_without_idct() {
+        let wf = compaqt_pulse::shapes::Gaussian::new(100, 0.5, 25.0).to_waveform("G", 4.54);
+        let z = Compressor::new(Variant::Delta).compress(&wf).unwrap();
+        let engine = DecompressionEngine::for_variant(Variant::Delta).unwrap();
+        let (restored, stats) = engine.decompress(&z).unwrap();
+        assert_eq!(stats.idct_windows, 0);
+        assert!(wf.mse(&restored) < 1e-9);
+    }
+
+    #[test]
+    fn stats_merge_adds_fields() {
+        let mut a = EngineStats {
+            memory_words_read: 1,
+            rle_codewords: 2,
+            idct_windows: 3,
+            bypassed_samples: 4,
+            output_samples: 5,
+            cycles: 6,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.memory_words_read, 2);
+        assert_eq!(a.cycles, 12);
+    }
+
+    #[test]
+    fn rejects_unsupported_window() {
+        assert!(DecompressionEngine::for_variant(Variant::IntDctW { ws: 10 }).is_err());
+    }
+
+    #[test]
+    fn malformed_stream_is_an_error_not_a_panic() {
+        use compaqt_dsp::rle::{CodedWord, RleCodeword};
+        // A window claiming a 100-sample zero run inside a 16-sample
+        // window must be rejected (bit-flip / corruption robustness).
+        let bogus = crate::compress::ChannelData::Windows(vec![vec![
+            CodedWord::Coeff(5),
+            CodedWord::Rle(RleCodeword { run: 100, repeat_previous: false }),
+        ]]);
+        let engine = DecompressionEngine::for_variant(Variant::IntDctW { ws: 16 }).unwrap();
+        let mut stats = EngineStats::default();
+        let err = engine.decode_channel(&bogus, 16, &mut stats).unwrap_err();
+        assert!(matches!(err, crate::CompressError::Rle(_)));
+    }
+
+    #[test]
+    fn dct_n_engine_round_trips_long_waveforms() {
+        let wf = GaussianSquare::new(1362, 0.3, 40.0, 1020).to_waveform("CR", 4.54);
+        let z = Compressor::new(Variant::DctN).compress(&wf).unwrap();
+        let engine = DecompressionEngine::for_variant(Variant::DctN).unwrap();
+        let (restored, stats) = engine.decompress(&z).unwrap();
+        assert!(wf.mse(&restored) < 1e-4, "mse {:e}", wf.mse(&restored));
+        assert_eq!(stats.idct_windows, 2, "one full-length window per channel");
+        assert!(stats.bandwidth_expansion() > 10.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! # compaqt-core
+//!
+//! The COMPAQT core: compile-time waveform compression, the compressed
+//! banked waveform memory, and a bit-exact model of the hardware
+//! decompression engine (Maurya & Tannu, MICRO 2022, Sections IV-V).
+//!
+//! Waveform memory is read-only during execution — it is (re)written only
+//! at the end of a calibration cycle. COMPAQT exploits this: compression
+//! runs in software with no hardware cost, while decompression is a small
+//! fixed-function pipeline (run-length decoder + integer IDCT) between the
+//! memory and the DAC. Expanding a handful of stored words into a full
+//! window of DAC samples multiplies the effective memory bandwidth.
+//!
+//! * [`compress`] — the compression pipelines: `Delta`, `DCT-N`, `DCT-W`
+//!   and `int-DCT-W` variants, plus fidelity-aware thresholding
+//!   (Algorithm 1).
+//! * [`engine`] — the two-stage decompression pipeline model (Figure 10)
+//!   with cycle and operation accounting.
+//! * [`memory`] — banked compressed waveform memory with uniform
+//!   worst-case window width (Figure 12).
+//! * [`adaptive`] — IDCT-bypass compression of flat-top waveforms
+//!   (Figure 13).
+//! * [`stats`] — library-level compression statistics (Figures 7/11/14,
+//!   Tables VII/IX).
+//!
+//! # Example
+//!
+//! ```
+//! use compaqt_core::compress::{Compressor, Variant};
+//! use compaqt_pulse::shapes::{Drag, PulseShape};
+//!
+//! let pulse = Drag::new(136, 0.5, 34.0, 0.2).to_waveform("X(q0)", 4.54);
+//! let compressed = Compressor::new(Variant::IntDctW { ws: 16 }).compress(&pulse)?;
+//! let restored = compressed.decompress()?;
+//! assert!(pulse.mse(&restored) < 5e-5);
+//! assert!(compressed.ratio().ratio() > 4.0);
+//! # Ok::<(), compaqt_core::CompressError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod adaptive;
+pub mod bitstream;
+pub mod calibration;
+pub mod compress;
+pub mod engine;
+pub mod memory;
+pub mod overlap;
+pub mod sequencer;
+pub mod stats;
+
+pub use compress::{CompressedWaveform, Compressor, Variant};
+pub use engine::{DecompressionEngine, EngineStats};
+
+use std::fmt;
+
+/// Errors produced by the compression/decompression pipelines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompressError {
+    /// The requested window size is not supported by the transform.
+    UnsupportedWindow(usize),
+    /// Algorithm 1 could not reach the target error before the threshold
+    /// floor (the pulse must be stored uncompressed).
+    TargetUnreachable {
+        /// The requested maximum MSE.
+        target_mse: f64,
+    },
+    /// A run-length stream was malformed.
+    Rle(compaqt_dsp::rle::RleError),
+    /// The waveform has no flat-top plateau long enough for adaptive
+    /// compression.
+    NoPlateau,
+}
+
+impl fmt::Display for CompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompressError::UnsupportedWindow(ws) => {
+                write!(f, "window size {ws} is not supported (use 4, 8, 16 or 32)")
+            }
+            CompressError::TargetUnreachable { target_mse } => {
+                write!(f, "fidelity-aware compression could not reach target MSE {target_mse:e}")
+            }
+            CompressError::Rle(e) => write!(f, "run-length stream error: {e}"),
+            CompressError::NoPlateau => {
+                write!(f, "waveform has no flat-top plateau for adaptive compression")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompressError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompressError::Rle(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<compaqt_dsp::rle::RleError> for CompressError {
+    fn from(e: compaqt_dsp::rle::RleError) -> Self {
+        CompressError::Rle(e)
+    }
+}

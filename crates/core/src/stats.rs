@@ -1,0 +1,206 @@
+//! Library-level compression statistics.
+//!
+//! The paper's compressibility results aggregate over whole pulse
+//! libraries: per-waveform ratios (Figure 7a, Figure 14), overall ratios
+//! (Figure 7b, Table VII), distortion (Figure 7c) and the
+//! samples-per-window histogram that sizes the uniform-width memory
+//! (Figure 11).
+
+use crate::compress::{CompressedWaveform, Compressor};
+use crate::CompressError;
+use compaqt_dsp::metrics::{CompressionRatio, Summary};
+use compaqt_pulse::library::{GateId, GateKind, PulseLibrary};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Compression outcome for one waveform.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WaveformReport {
+    /// Which gate the waveform implements.
+    pub gate: GateId,
+    /// Compression ratio.
+    pub ratio: f64,
+    /// Reconstruction MSE.
+    pub mse: f64,
+    /// Worst-case stored words in any window.
+    pub worst_case_window_words: usize,
+    /// The compressed stream.
+    pub compressed: CompressedWaveform,
+}
+
+/// Compression outcome for a whole pulse library.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LibraryReport {
+    /// Per-waveform outcomes (library order).
+    pub waveforms: Vec<WaveformReport>,
+    /// Overall ratio (total old size / total new size).
+    pub overall: CompressionRatio,
+}
+
+impl LibraryReport {
+    /// Min/avg/max summary of per-waveform ratios (Table VII rows).
+    pub fn ratio_summary(&self) -> Summary {
+        Summary::of(self.waveforms.iter().map(|w| w.ratio))
+            .expect("library reports are non-empty")
+    }
+
+    /// Mean reconstruction MSE over all waveforms (Figure 7c).
+    pub fn mean_mse(&self) -> f64 {
+        let n = self.waveforms.len().max(1);
+        self.waveforms.iter().map(|w| w.mse).sum::<f64>() / n as f64
+    }
+
+    /// Histogram of stored words per window across all waveforms
+    /// (Figure 11): `words -> window count`.
+    pub fn samples_per_window_histogram(&self) -> BTreeMap<usize, usize> {
+        let mut hist = BTreeMap::new();
+        for report in &self.waveforms {
+            for count in report
+                .compressed
+                .i
+                .window_word_counts()
+                .into_iter()
+                .chain(report.compressed.q.window_word_counts())
+            {
+                *hist.entry(count).or_insert(0) += 1;
+            }
+        }
+        hist
+    }
+
+    /// Mean ratio over waveforms of one gate kind (the per-gate bars of
+    /// Figure 14).
+    pub fn mean_ratio_of_kind(&self, kind: &GateKind) -> Option<f64> {
+        let values: Vec<f64> = self
+            .waveforms
+            .iter()
+            .filter(|w| &w.gate.kind == kind)
+            .map(|w| w.ratio)
+            .collect();
+        if values.is_empty() {
+            None
+        } else {
+            Some(values.iter().sum::<f64>() / values.len() as f64)
+        }
+    }
+
+    /// Mean ratio over waveforms of one gate kind touching qubit `q`
+    /// (Figure 14 averages CX ratios over all CNOTs a qubit participates
+    /// in).
+    pub fn mean_ratio_of_kind_on_qubit(&self, kind: &GateKind, q: u16) -> Option<f64> {
+        let values: Vec<f64> = self
+            .waveforms
+            .iter()
+            .filter(|w| &w.gate.kind == kind && w.gate.qubits.contains(&q))
+            .map(|w| w.ratio)
+            .collect();
+        if values.is_empty() {
+            None
+        } else {
+            Some(values.iter().sum::<f64>() / values.len() as f64)
+        }
+    }
+}
+
+/// Compresses every waveform of a library and aggregates the results.
+///
+/// # Errors
+///
+/// Propagates the first compression error (none occur for supported
+/// window sizes).
+pub fn compress_library(
+    library: &PulseLibrary,
+    compressor: &Compressor,
+) -> Result<LibraryReport, CompressError> {
+    let mut waveforms = Vec::with_capacity(library.len());
+    let mut overall: Option<CompressionRatio> = None;
+    for (gate, wf) in library.iter() {
+        let compressed = compressor.compress(wf)?;
+        let restored = compressed.decompress()?;
+        let ratio = compressed.ratio();
+        overall = Some(match overall {
+            Some(acc) => acc.combine(&ratio),
+            None => ratio,
+        });
+        waveforms.push(WaveformReport {
+            gate: gate.clone(),
+            ratio: ratio.ratio(),
+            mse: wf.mse(&restored),
+            worst_case_window_words: compressed.worst_case_window_words(),
+            compressed,
+        });
+    }
+    let overall = overall.expect("library must be non-empty");
+    Ok(LibraryReport { waveforms, overall })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::Variant;
+    use compaqt_pulse::device::Device;
+    use compaqt_pulse::vendor::Vendor;
+
+    fn report(ws: usize) -> LibraryReport {
+        let device = Device::synthesize(Vendor::Ibm, 5, 0xBEEF);
+        let lib = device.pulse_library();
+        compress_library(&lib, &Compressor::new(Variant::IntDctW { ws })).unwrap()
+    }
+
+    #[test]
+    fn overall_ratio_exceeds_4x() {
+        // Table VII: int-DCT-W (WS=16) averages ~6.5x; even small devices
+        // should clear 4x.
+        let r = report(16);
+        assert!(r.overall.ratio() > 4.0, "got {}", r.overall.ratio());
+    }
+
+    #[test]
+    fn two_qubit_gates_compress_better_than_single() {
+        // "measurement and 2Q gates are longer and more compressible than
+        // 1Q gates" (Section IV-D).
+        let r = report(16);
+        let sx = r.mean_ratio_of_kind(&GateKind::Sx).unwrap();
+        let cx = r.mean_ratio_of_kind(&GateKind::Cx).unwrap();
+        assert!(cx > sx, "CX {cx} vs SX {sx}");
+    }
+
+    #[test]
+    fn mse_is_in_paper_band() {
+        // Figure 7c: MSE between 1e-7 and 1e-5.
+        let r = report(16);
+        let mse = r.mean_mse();
+        assert!(mse < 5e-5, "got {mse:e}");
+        assert!(mse > 1e-12, "suspiciously perfect: {mse:e}");
+    }
+
+    #[test]
+    fn histogram_is_dominated_by_small_windows() {
+        // Figure 11: the overwhelming majority of windows store <= 3
+        // words including the codeword.
+        let r = report(16);
+        let hist = r.samples_per_window_histogram();
+        let total: usize = hist.values().sum();
+        let small: usize = hist.iter().filter(|(&k, _)| k <= 3).map(|(_, &v)| v).sum();
+        assert!(
+            small as f64 / total as f64 > 0.85,
+            "small-window fraction {}",
+            small as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn per_qubit_kind_filter_works() {
+        let r = report(16);
+        assert!(r.mean_ratio_of_kind_on_qubit(&GateKind::X, 0).is_some());
+        assert!(r.mean_ratio_of_kind_on_qubit(&GateKind::X, 99).is_none());
+    }
+
+    #[test]
+    fn summary_spans_are_sane() {
+        let r = report(16);
+        let s = r.ratio_summary();
+        assert!(s.min <= s.avg && s.avg <= s.max);
+        assert!(s.min > 1.0, "everything compresses at least a little");
+    }
+}

@@ -1,0 +1,222 @@
+//! Fast recursive DCT-II/III (O(N log N)) for long waveforms.
+//!
+//! `DCT-N` transforms whole waveforms — IBM cross-resonance pulses exceed
+//! 1300 samples, where the direct O(N^2) matrix transform is wasteful.
+//! This is the classic even/odd split: for even N,
+//!
+//! ```text
+//! even coefficients:  DCT-II of  e[n] = x[n] + x[N-1-n]   (length N/2)
+//! odd  coefficients:  from DCT-II of o[n] = (x[n] - x[N-1-n]) * 2cos(pi(2n+1)/2N)
+//!                     via y[2k+1] = O[k] - y[2k-1] recurrence
+//! ```
+//!
+//! Odd lengths fall back to the direct transform, so any N is accepted.
+//! Outputs use the same orthonormal convention as [`crate::dct`].
+
+use crate::dct::Dct;
+
+/// Fast orthonormal DCT-II; exact inverse is [`fast_dct3`].
+///
+/// # Example
+///
+/// ```
+/// let x: Vec<f64> = (0..1362).map(|i| (i as f64 * 0.01).sin()).collect();
+/// let fast = compaqt_dsp::fastdct::fast_dct2(&x);
+/// let direct = compaqt_dsp::dct::dct2(&x);
+/// for (a, b) in fast.iter().zip(&direct) {
+///     assert!((a - b).abs() < 1e-9);
+/// }
+/// ```
+pub fn fast_dct2(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    // Unnormalized recursive kernel, then orthonormal scaling.
+    let mut y = dct2_unnorm(x);
+    let s0 = (1.0 / n as f64).sqrt();
+    let s = (2.0 / n as f64).sqrt();
+    for (k, v) in y.iter_mut().enumerate() {
+        *v *= if k == 0 { s0 } else { s };
+    }
+    y
+}
+
+/// Fast orthonormal DCT-III (inverse of [`fast_dct2`]).
+pub fn fast_dct3(y: &[f64]) -> Vec<f64> {
+    let n = y.len();
+    // Undo orthonormal scaling, run the transposed recursion.
+    let s0 = (1.0 / n as f64).sqrt();
+    let s = (2.0 / n as f64).sqrt();
+    let scaled: Vec<f64> = y
+        .iter()
+        .enumerate()
+        .map(|(k, &v)| v * if k == 0 { s0 } else { s })
+        .collect();
+    dct3_unnorm(&scaled)
+}
+
+/// Unnormalized DCT-II: `y[k] = sum_n x[n] cos(pi (2n+1) k / 2N)`.
+fn dct2_unnorm(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![x[0]];
+    }
+    if n % 2 == 1 || n < 8 {
+        // Direct evaluation for odd or tiny lengths.
+        let mut y = vec![0.0; n];
+        for (k, yk) in y.iter_mut().enumerate() {
+            *yk = (0..n)
+                .map(|i| {
+                    x[i] * (std::f64::consts::PI * (2 * i + 1) as f64 * k as f64
+                        / (2 * n) as f64)
+                        .cos()
+                })
+                .sum();
+        }
+        return y;
+    }
+    let h = n / 2;
+    let mut even = vec![0.0; h];
+    let mut odd = vec![0.0; h];
+    for i in 0..h {
+        let a = x[i];
+        let b = x[n - 1 - i];
+        even[i] = a + b;
+        let c = 2.0 * (std::f64::consts::PI * (2 * i + 1) as f64 / (2 * n) as f64).cos();
+        odd[i] = (a - b) * c;
+    }
+    let ye = dct2_unnorm(&even);
+    let yo = dct2_unnorm(&odd);
+    let mut y = vec![0.0; n];
+    for k in 0..h {
+        y[2 * k] = ye[k];
+    }
+    // y[2k+1] = yo[k] - y[2k-1], with y[-1] defined so y[1] = yo[0]/2... the
+    // standard recurrence: y[1] = yo[0]/2? Derivation: O[k] = y[2k+1] + y[2k-1]
+    // with y[-1] = y[1], i.e. O[0] = 2 y[1].
+    y[1] = yo[0] / 2.0;
+    for k in 1..h {
+        y[2 * k + 1] = yo[k] - y[2 * k - 1];
+    }
+    y
+}
+
+/// Unnormalized DCT-III, the exact transpose of [`dct2_unnorm`].
+fn dct3_unnorm(y: &[f64]) -> Vec<f64> {
+    let n = y.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![y[0]];
+    }
+    if n % 2 == 1 || n < 8 {
+        let mut x = vec![0.0; n];
+        for (i, xi) in x.iter_mut().enumerate() {
+            *xi = (0..n)
+                .map(|k| {
+                    y[k] * (std::f64::consts::PI * (2 * i + 1) as f64 * k as f64
+                        / (2 * n) as f64)
+                        .cos()
+                })
+                .sum();
+        }
+        return x;
+    }
+    // Exact transpose of the forward factorization (DCT-III matrix is the
+    // transpose of DCT-II): transpose the interleave/recurrence stage,
+    // recurse, then transpose the input butterfly.
+    let h = n / 2;
+    let ye: Vec<f64> = (0..h).map(|k| y[2 * k]).collect();
+    // Forward recurrence was y[2k+1] = yo[k] - y[2k-1] (with y[1] =
+    // yo[0]/2); its transpose is the backward alternating suffix sum
+    // s[j] = u[j] - s[j+1] over u[k] = y[2k+1], halving the j = 0 term.
+    let mut yo = vec![0.0; h];
+    let mut suffix = 0.0;
+    for j in (0..h).rev() {
+        suffix = y[2 * j + 1] - suffix;
+        yo[j] = suffix;
+    }
+    yo[0] /= 2.0;
+    let xe = dct3_unnorm(&ye);
+    let xo = dct3_unnorm(&yo);
+    let mut x = vec![0.0; n];
+    for i in 0..h {
+        // The forward butterfly's odd rows carry 2cos(pi(2i+1)/2N).
+        let c = 2.0 * (std::f64::consts::PI * (2 * i + 1) as f64 / (2 * n) as f64).cos();
+        let o = xo[i] * c;
+        x[i] = xe[i] + o;
+        x[n - 1 - i] = xe[i] - o;
+    }
+    x
+}
+
+/// Convenience: pick the faster implementation by length (direct matrix
+/// for short windows where the precomputed basis wins, recursive for
+/// long waveforms).
+pub fn adaptive_dct2(x: &[f64]) -> Vec<f64> {
+    if x.len() <= 64 {
+        Dct::new(x.len()).forward(x)
+    } else {
+        fast_dct2(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dct::{dct2, dct3};
+
+    #[test]
+    fn fast_matches_direct_for_many_lengths() {
+        for n in [1usize, 2, 4, 7, 8, 16, 17, 64, 136, 160, 454, 1362] {
+            let x: Vec<f64> = (0..n).map(|i| ((i * i) as f64 * 0.013).sin() * 0.7).collect();
+            let fast = fast_dct2(&x);
+            let direct = dct2(&x);
+            for (k, (a, b)) in fast.iter().zip(&direct).enumerate() {
+                assert!((a - b).abs() < 1e-9, "n={n} k={k}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_inverse_matches_direct_inverse() {
+        for n in [8usize, 32, 136, 1362] {
+            let y: Vec<f64> = (0..n).map(|k| (k as f64 * 0.37).cos() / (1.0 + k as f64)).collect();
+            let fast = fast_dct3(&y);
+            let direct = dct3(&y);
+            for (a, b) in fast.iter().zip(&direct) {
+                assert!((a - b).abs() < 1e-9, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_round_trip() {
+        let x: Vec<f64> = (0..1024).map(|i| (i as f64 * 0.02).sin()).collect();
+        let back = fast_dct3(&fast_dct2(&x));
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_are_handled() {
+        assert!(fast_dct2(&[]).is_empty());
+        let y = fast_dct2(&[0.5]);
+        assert!((y[0] - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn adaptive_dispatches_consistently() {
+        for n in [8usize, 64, 65, 500] {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+            let a = adaptive_dct2(&x);
+            let d = dct2(&x);
+            for (u, v) in a.iter().zip(&d) {
+                assert!((u - v).abs() < 1e-9, "n={n}");
+            }
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Saturating fixed-point sample types.
+//!
+//! Qubit-control DACs consume signed fixed-point samples; the IBM systems
+//! modelled by the paper use 32-bit samples that pack the in-phase (I) and
+//! quadrature (Q) channels as two 16-bit values (Table I). [`Q15`] is that
+//! 16-bit channel format: a signed Q1.15 value in `[-1.0, 1.0)`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Neg, Sub};
+
+/// A signed Q1.15 fixed-point sample in the range `[-1.0, 1.0)`.
+///
+/// This is the per-channel DAC sample format. Conversions from `f64`
+/// saturate instead of wrapping, mirroring the saturating behaviour of the
+/// DAC front-end.
+///
+/// # Example
+///
+/// ```
+/// use compaqt_dsp::fixed::Q15;
+///
+/// let half = Q15::from_f64(0.5);
+/// assert!((half.to_f64() - 0.5).abs() < 1e-4);
+/// assert_eq!(Q15::from_f64(2.0), Q15::MAX); // saturates
+/// assert_eq!(Q15::from_f64(-2.0), Q15::MIN);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Q15(i16);
+
+/// Number of fractional bits in [`Q15`].
+pub const Q15_FRAC_BITS: u32 = 15;
+
+/// The scale factor `2^15` relating [`Q15`] raw values to real values.
+pub const Q15_ONE: f64 = (1i32 << Q15_FRAC_BITS) as f64;
+
+impl Q15 {
+    /// The largest representable value, `32767 / 32768`.
+    pub const MAX: Q15 = Q15(i16::MAX);
+    /// The smallest representable value, `-1.0`.
+    pub const MIN: Q15 = Q15(i16::MIN);
+    /// Zero.
+    pub const ZERO: Q15 = Q15(0);
+
+    /// Creates a sample from a raw two's-complement bit pattern.
+    pub const fn from_raw(raw: i16) -> Self {
+        Q15(raw)
+    }
+
+    /// Returns the raw two's-complement bit pattern.
+    pub const fn raw(self) -> i16 {
+        self.0
+    }
+
+    /// Converts a real value to Q1.15, saturating outside `[-1.0, 1.0)`.
+    pub fn from_f64(value: f64) -> Self {
+        let scaled = (value * Q15_ONE).round();
+        if scaled >= i16::MAX as f64 {
+            Q15::MAX
+        } else if scaled <= i16::MIN as f64 {
+            Q15::MIN
+        } else {
+            Q15(scaled as i16)
+        }
+    }
+
+    /// Converts the sample back to a real value.
+    pub fn to_f64(self) -> f64 {
+        f64::from(self.0) / Q15_ONE
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, rhs: Self) -> Self {
+        Q15(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Self) -> Self {
+        Q15(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Returns the absolute value, saturating `-1.0` to `MAX`.
+    pub fn saturating_abs(self) -> Self {
+        Q15(self.0.checked_abs().unwrap_or(i16::MAX))
+    }
+
+    /// True if the sample is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Q15 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:+.6}", self.to_f64())
+    }
+}
+
+impl From<i16> for Q15 {
+    fn from(raw: i16) -> Self {
+        Q15(raw)
+    }
+}
+
+impl From<Q15> for i16 {
+    fn from(q: Q15) -> Self {
+        q.0
+    }
+}
+
+impl From<Q15> for f64 {
+    fn from(q: Q15) -> Self {
+        q.to_f64()
+    }
+}
+
+impl Add for Q15 {
+    type Output = Q15;
+    fn add(self, rhs: Self) -> Self::Output {
+        self.saturating_add(rhs)
+    }
+}
+
+impl Sub for Q15 {
+    type Output = Q15;
+    fn sub(self, rhs: Self) -> Self::Output {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl Neg for Q15 {
+    type Output = Q15;
+    fn neg(self) -> Self::Output {
+        Q15(self.0.checked_neg().unwrap_or(i16::MAX))
+    }
+}
+
+/// Quantizes a slice of real-valued samples to Q1.15.
+///
+/// # Example
+///
+/// ```
+/// let q = compaqt_dsp::fixed::quantize(&[0.0, 0.25, -0.25]);
+/// assert_eq!(q.len(), 3);
+/// ```
+pub fn quantize(samples: &[f64]) -> Vec<Q15> {
+    samples.iter().map(|&s| Q15::from_f64(s)).collect()
+}
+
+/// Converts a slice of Q1.15 samples back to real values.
+pub fn dequantize(samples: &[Q15]) -> Vec<f64> {
+    samples.iter().map(|s| s.to_f64()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(Q15::default(), Q15::ZERO);
+        assert!(Q15::ZERO.is_zero());
+    }
+
+    #[test]
+    fn round_trip_is_tight() {
+        for &v in &[0.0, 0.5, -0.5, 0.999, -1.0, 0.123456, -0.654321] {
+            let q = Q15::from_f64(v);
+            assert!((q.to_f64() - v).abs() <= 1.0 / Q15_ONE, "value {v}");
+        }
+    }
+
+    #[test]
+    fn saturates_at_extremes() {
+        assert_eq!(Q15::from_f64(1.0), Q15::MAX);
+        assert_eq!(Q15::from_f64(1e9), Q15::MAX);
+        assert_eq!(Q15::from_f64(-1.0), Q15::MIN);
+        assert_eq!(Q15::from_f64(-1e9), Q15::MIN);
+    }
+
+    #[test]
+    fn saturating_arithmetic() {
+        assert_eq!(Q15::MAX + Q15::MAX, Q15::MAX);
+        assert_eq!(Q15::MIN + Q15::MIN, Q15::MIN);
+        assert_eq!(Q15::MIN - Q15::MAX, Q15::MIN);
+        let a = Q15::from_f64(0.25);
+        let b = Q15::from_f64(0.5);
+        assert!(((a + b).to_f64() - 0.75).abs() < 1e-4);
+    }
+
+    #[test]
+    fn neg_of_min_saturates() {
+        assert_eq!(-Q15::MIN, Q15::MAX);
+        assert_eq!(Q15::MIN.saturating_abs(), Q15::MAX);
+    }
+
+    #[test]
+    fn ordering_matches_real_values() {
+        let values = [-1.0, -0.7, -0.1, 0.0, 0.2, 0.9];
+        let qs: Vec<Q15> = values.iter().map(|&v| Q15::from_f64(v)).collect();
+        let mut sorted = qs.clone();
+        sorted.sort();
+        assert_eq!(qs, sorted);
+    }
+
+    #[test]
+    fn quantize_dequantize_round_trip() {
+        let signal: Vec<f64> = (0..64).map(|i| (i as f64 * 0.1).sin() * 0.8).collect();
+        let restored = dequantize(&quantize(&signal));
+        for (a, b) in signal.iter().zip(restored.iter()) {
+            assert!((a - b).abs() <= 1.0 / Q15_ONE);
+        }
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", Q15::ZERO).is_empty());
+        assert!(!format!("{:?}", Q15::ZERO).is_empty());
+    }
+}

@@ -1,0 +1,399 @@
+//! HEVC-style integer DCT/IDCT (`int-DCT-W`).
+//!
+//! The paper makes waveform decompression hardware-efficient by replacing
+//! the floating-point DCT with the integer transform of the HEVC video
+//! standard: matrix entries are small integers, so the inverse transform in
+//! hardware needs no multipliers at all — every constant multiplication
+//! lowers to a short shift-and-add network (see [`crate::csd`]).
+//!
+//! The N-point integer matrix approximates `S * D` where `D` is the
+//! orthonormal DCT-II matrix and `S = 2^(6 + log2(N)/2)` is the constant
+//! scaling factor quoted in Section IV-C. Because `T ≈ S*D` and `D` is
+//! orthogonal, `T^t * T ≈ S^2 * I = 2^(12 + log2 N) * I`, so the inverse is
+//! the transposed matrix followed by a pure right-shift — no division.
+//!
+//! The matrices are generated from the normative 33-entry magnitude table of
+//! the HEVC 32-point transform with the cosine sign-folding rule; the N-point
+//! matrix is the standard row-subsampling `T_N[k][n] = T_32[k*32/N][n]`.
+
+use crate::fixed::Q15;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Magnitudes of the HEVC 32-point transform basis, indexed by angle index
+/// `m` where the basis value is `cosfold(m) ~ 64*sqrt(2)*cos(m*pi/64)`.
+///
+/// These are normative constants of the HEVC core transform (a handful of
+/// entries are hand-tuned away from pure rounding for near-orthogonality,
+/// e.g. `g[8] = 83`, not 84).
+const HEVC_MAGNITUDE: [i32; 33] = [
+    64, 90, 90, 90, 89, 88, 87, 85, 83, 82, 80, 78, 75, 73, 70, 67, 64, 61, 57, 54, 50, 46, 43,
+    38, 36, 31, 25, 22, 18, 13, 9, 4, 0,
+];
+
+/// Evaluates the signed HEVC basis value for angle index `m` (mod 128),
+/// i.e. the integer approximation of `64*sqrt(2)*cos(m*pi/64)`.
+fn cos_fold(m: usize) -> i32 {
+    let m = m % 128;
+    match m {
+        0..=32 => HEVC_MAGNITUDE[m],
+        33..=64 => -HEVC_MAGNITUDE[64 - m],
+        65..=96 => -HEVC_MAGNITUDE[m - 64],
+        _ => HEVC_MAGNITUDE[128 - m],
+    }
+}
+
+/// Window sizes supported by the integer transform.
+pub const SUPPORTED_SIZES: [usize; 4] = [4, 8, 16, 32];
+
+/// Error returned when constructing an [`IntDct`] with an unsupported size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnsupportedSizeError {
+    /// The rejected transform length.
+    pub size: usize,
+}
+
+impl fmt::Display for UnsupportedSizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "integer DCT size {} is not supported (expected one of {:?})",
+            self.size, SUPPORTED_SIZES
+        )
+    }
+}
+
+impl std::error::Error for UnsupportedSizeError {}
+
+/// An N-point HEVC-style integer DCT/IDCT pair (N in 4/8/16/32).
+///
+/// Forward transforms map Q1.15 samples to integer coefficients; the
+/// inverse maps coefficients back to Q1.15 with only adds and shifts, which
+/// is what makes the hardware decompression engine cheap (Table IV).
+///
+/// # Example
+///
+/// ```
+/// use compaqt_dsp::intdct::IntDct;
+/// use compaqt_dsp::fixed::Q15;
+///
+/// let t = IntDct::new(16)?;
+/// let x: Vec<Q15> = (0..16)
+///     .map(|i| Q15::from_f64(0.6 * (std::f64::consts::PI * i as f64 / 16.0).sin()))
+///     .collect();
+/// let coeffs = t.forward(&x);
+/// let back = t.inverse(&coeffs);
+/// for (a, b) in x.iter().zip(&back) {
+///     assert!((a.to_f64() - b.to_f64()).abs() < 2e-3);
+/// }
+/// # Ok::<(), compaqt_dsp::intdct::UnsupportedSizeError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IntDct {
+    n: usize,
+    log2n: u32,
+    /// Row-major `n x n` integer basis matrix.
+    matrix: Vec<i32>,
+}
+
+impl IntDct {
+    /// Creates an N-point integer transform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnsupportedSizeError`] unless `n` is 4, 8, 16 or 32.
+    pub fn new(n: usize) -> Result<Self, UnsupportedSizeError> {
+        if !SUPPORTED_SIZES.contains(&n) {
+            return Err(UnsupportedSizeError { size: n });
+        }
+        let log2n = n.trailing_zeros();
+        let stride = 32 / n;
+        let mut matrix = vec![0i32; n * n];
+        for k in 0..n {
+            for i in 0..n {
+                matrix[k * n + i] = cos_fold((2 * i + 1) * k * stride);
+            }
+        }
+        Ok(IntDct { n, log2n, matrix })
+    }
+
+    /// Transform length (the window size `WS`).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always `false`; the transform length is at least 4.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The constant scaling factor `S = 2^(6 + log2(N)/2)` relating the
+    /// integer matrix to the orthonormal DCT (Section IV-C).
+    pub fn scale(&self) -> f64 {
+        2f64.powf(6.0 + self.log2n as f64 / 2.0)
+    }
+
+    /// The forward right-shift applied after the matrix multiply so that
+    /// full-scale Q1.15 inputs produce coefficients that fit in 16 bits.
+    pub fn forward_shift(&self) -> u32 {
+        6 + self.log2n
+    }
+
+    /// The inverse right-shift; `forward_shift + inverse_shift`
+    /// equals `12 + log2 N`, cancelling `S^2` exactly.
+    pub fn inverse_shift(&self) -> u32 {
+        6
+    }
+
+    /// Integer basis matrix entry `T[k][i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` or `i` is out of range.
+    pub fn coefficient(&self, k: usize, i: usize) -> i32 {
+        assert!(k < self.n && i < self.n, "matrix index out of range");
+        self.matrix[k * self.n + i]
+    }
+
+    /// The distinct positive constants of the matrix — the multiplier
+    /// constants a hardware engine must realize with shift-add networks.
+    pub fn distinct_constants(&self) -> Vec<i32> {
+        let mut v: Vec<i32> = self.matrix.iter().map(|c| c.abs()).filter(|&c| c != 0).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Forward integer DCT of one window of Q1.15 samples.
+    ///
+    /// The result is rounded and shifted by [`IntDct::forward_shift`];
+    /// coefficients are saturated to the 16-bit range so they can be stored
+    /// in one compressed-memory word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.len()`.
+    pub fn forward(&self, x: &[Q15]) -> Vec<i32> {
+        assert_eq!(x.len(), self.n, "window length must match transform size");
+        let shift = self.forward_shift();
+        let rnd = 1i64 << (shift - 1);
+        let mut y = vec![0i32; self.n];
+        for k in 0..self.n {
+            let row = &self.matrix[k * self.n..(k + 1) * self.n];
+            let acc: i64 = row
+                .iter()
+                .zip(x)
+                .map(|(&t, &s)| i64::from(t) * i64::from(s.raw()))
+                .sum();
+            let v = (acc + rnd) >> shift;
+            y[k] = v.clamp(i64::from(i16::MIN), i64::from(i16::MAX)) as i32;
+        }
+        y
+    }
+
+    /// Inverse integer DCT: transposed matrix multiply plus a right shift.
+    ///
+    /// This is the arithmetic the hardware IDCT engine performs (Figure 10,
+    /// stage 2); in silicon every `T[k][i] * y[k]` product is a shift-add
+    /// network, see [`crate::csd::Csd`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len() != self.len()`.
+    pub fn inverse(&self, y: &[i32]) -> Vec<Q15> {
+        assert_eq!(y.len(), self.n, "coefficient count must match transform size");
+        let shift = self.inverse_shift();
+        let rnd = 1i64 << (shift - 1);
+        let mut x = vec![Q15::ZERO; self.n];
+        for i in 0..self.n {
+            let mut acc = 0i64;
+            for k in 0..self.n {
+                acc += i64::from(self.matrix[k * self.n + i]) * i64::from(y[k]);
+            }
+            let v = (acc + rnd) >> shift;
+            x[i] = Q15::from_raw(v.clamp(i64::from(i16::MIN), i64::from(i16::MAX)) as i16);
+        }
+        x
+    }
+
+    /// Forward transform of real-valued samples (convenience for analysis
+    /// paths that have not yet quantized to Q1.15).
+    pub fn forward_f64(&self, x: &[f64]) -> Vec<i32> {
+        let q: Vec<Q15> = x.iter().map(|&v| Q15::from_f64(v)).collect();
+        self.forward(&q)
+    }
+
+    /// Inverse transform returning real values in `[-1, 1)`.
+    pub fn inverse_f64(&self, y: &[i32]) -> Vec<f64> {
+        self.inverse(y).iter().map(|q| q.to_f64()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dct::Dct;
+
+    #[test]
+    fn rejects_unsupported_sizes() {
+        for n in [0, 1, 2, 3, 5, 7, 9, 12, 24, 64] {
+            assert_eq!(IntDct::new(n).unwrap_err().size, n);
+        }
+        for n in SUPPORTED_SIZES {
+            assert!(IntDct::new(n).is_ok());
+        }
+    }
+
+    #[test]
+    fn matrix_matches_hevc_4pt() {
+        let t = IntDct::new(4).unwrap();
+        let expect = [
+            [64, 64, 64, 64],
+            [83, 36, -36, -83],
+            [64, -64, -64, 64],
+            [36, -83, 83, -36],
+        ];
+        for k in 0..4 {
+            for i in 0..4 {
+                assert_eq!(t.coefficient(k, i), expect[k][i], "T4[{k}][{i}]");
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_matches_hevc_8pt() {
+        let t = IntDct::new(8).unwrap();
+        let expect: [[i32; 8]; 8] = [
+            [64, 64, 64, 64, 64, 64, 64, 64],
+            [89, 75, 50, 18, -18, -50, -75, -89],
+            [83, 36, -36, -83, -83, -36, 36, 83],
+            [75, -18, -89, -50, 50, 89, 18, -75],
+            [64, -64, -64, 64, 64, -64, -64, 64],
+            [50, -89, 18, 75, -75, -18, 89, -50],
+            [36, -83, 83, -36, -36, 83, -83, 36],
+            [18, -50, 75, -89, 89, -75, 50, -18],
+        ];
+        for k in 0..8 {
+            for i in 0..8 {
+                assert_eq!(t.coefficient(k, i), expect[k][i], "T8[{k}][{i}]");
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_16pt_odd_rows_use_standard_constants() {
+        let t = IntDct::new(16).unwrap();
+        // First column of odd rows: the normative 16-point odd set.
+        let expect = [90, 87, 80, 70, 57, 43, 25, 9];
+        for (j, &e) in expect.iter().enumerate() {
+            assert_eq!(t.coefficient(2 * j + 1, 0), e);
+        }
+    }
+
+    #[test]
+    fn matrix_32pt_odd_rows_use_standard_constants() {
+        let t = IntDct::new(32).unwrap();
+        let expect = [90, 90, 88, 85, 82, 78, 73, 67, 61, 54, 46, 38, 31, 22, 13, 4];
+        for (j, &e) in expect.iter().enumerate() {
+            assert_eq!(t.coefficient(2 * j + 1, 0), e);
+        }
+    }
+
+    #[test]
+    fn rows_are_nearly_orthogonal() {
+        for n in SUPPORTED_SIZES {
+            let t = IntDct::new(n).unwrap();
+            let s2 = t.scale() * t.scale();
+            for k1 in 0..n {
+                for k2 in 0..n {
+                    let dot: i64 = (0..n)
+                        .map(|i| i64::from(t.coefficient(k1, i)) * i64::from(t.coefficient(k2, i)))
+                        .sum();
+                    if k1 == k2 {
+                        let rel = (dot as f64 - s2).abs() / s2;
+                        assert!(rel < 0.01, "n={n} row {k1} norm off by {rel}");
+                    } else {
+                        // Cross-terms are tiny relative to the diagonal.
+                        assert!(
+                            (dot as f64).abs() / s2 < 0.01,
+                            "n={n} rows {k1},{k2} dot {dot}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_approximates_scaled_orthonormal_dct() {
+        for n in SUPPORTED_SIZES {
+            let t = IntDct::new(n).unwrap();
+            let exact = Dct::new(n);
+            let s = t.scale();
+            // Entries differ from s*D by < 1.5 (the standard hand-tunes a
+            // few entries away from pure rounding, e.g. T4[1][1]=36 vs 34.6,
+            // to improve orthogonality).
+            for k in 0..n {
+                for i in 0..n {
+                    let mut probe = vec![0.0; n];
+                    probe[i] = 1.0;
+                    let d_ki = exact.forward(&probe)[k];
+                    assert!(
+                        (f64::from(t.coefficient(k, i)) - s * d_ki).abs() < 1.5,
+                        "n={n} entry [{k}][{i}]"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_error_is_small() {
+        for n in SUPPORTED_SIZES {
+            let t = IntDct::new(n).unwrap();
+            let x: Vec<Q15> = (0..n)
+                .map(|i| {
+                    let ph = std::f64::consts::PI * (i as f64 + 0.5) / n as f64;
+                    Q15::from_f64(0.7 * ph.sin() + 0.1 * (3.0 * ph).cos())
+                })
+                .collect();
+            let back = t.inverse(&t.forward(&x));
+            for (a, b) in x.iter().zip(&back) {
+                assert!(
+                    (a.to_f64() - b.to_f64()).abs() < 4e-3,
+                    "n={n}: {} vs {}",
+                    a.to_f64(),
+                    b.to_f64()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dc_window_compacts_to_single_coefficient() {
+        let t = IntDct::new(8).unwrap();
+        let x = vec![Q15::from_f64(0.5); 8];
+        let y = t.forward(&x);
+        assert!(y[0] > 0);
+        assert!(y[1..].iter().all(|&c| c == 0), "AC leakage: {y:?}");
+    }
+
+    #[test]
+    fn full_scale_dc_does_not_overflow() {
+        let t = IntDct::new(16).unwrap();
+        let x = vec![Q15::MAX; 16];
+        let y = t.forward(&x);
+        assert_eq!(y[0], i32::from(i16::MAX));
+        let back = t.inverse(&y);
+        for b in back {
+            assert!((b.to_f64() - Q15::MAX.to_f64()).abs() < 2e-3);
+        }
+    }
+
+    #[test]
+    fn scale_matches_paper_formula() {
+        // S = 2^((6 + log2 N) / ... ) printed as 2^(6 + log2(N)/2).
+        assert!((IntDct::new(8).unwrap().scale() - 181.019_335_983_756_22).abs() < 1e-9);
+        assert!((IntDct::new(16).unwrap().scale() - 256.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,60 @@
+//! # compaqt-dsp
+//!
+//! Signal-processing substrate for the COMPAQT compressed waveform memory
+//! architecture (Maurya & Tannu, MICRO 2022).
+//!
+//! This crate provides the numerical kernels that both the software
+//! compressor (compile-time) and the modelled hardware decompression engine
+//! (runtime) are built from:
+//!
+//! * [`fixed`] — saturating fixed-point sample types (`Q15`) matching the
+//!   16-bit DAC sample format used by qubit controllers.
+//! * [`dct`] — exact orthonormal DCT-II / DCT-III (the paper's Eq. 1/2),
+//!   both full-length (`DCT-N`) and windowed (`DCT-W`).
+//! * [`loeffler`] — Loeffler's fast 8-point DCT factorization (11 multiplies,
+//!   29 adds), the minimal-multiplier floating-point engine of Table IV.
+//! * [`intdct`] — HEVC-style integer DCT/IDCT for window sizes 4/8/16/32,
+//!   multiplierless when lowered through [`csd`].
+//! * [`csd`] — canonical-signed-digit decomposition used to replace constant
+//!   multipliers with shift-and-add networks, plus the resource-count model
+//!   behind Table IV.
+//! * [`rle`] — the run-length codeword scheme used after thresholding.
+//! * [`threshold`] — magnitude thresholding of transform coefficients.
+//! * [`metrics`] — MSE / PSNR / compression-ratio measurements.
+//! * [`window`] — splitting waveforms into fixed-size transform windows.
+//!
+//! # Example
+//!
+//! Round-trip a smooth signal through the windowed integer DCT:
+//!
+//! ```
+//! use compaqt_dsp::fixed::Q15;
+//! use compaqt_dsp::intdct::IntDct;
+//!
+//! let dct = IntDct::new(8).expect("8 is a supported window size");
+//! let x: Vec<Q15> = (0..8).map(|i| Q15::from_f64(0.5 * (i as f64 / 8.0))).collect();
+//! let y = dct.forward(&x);
+//! let x_hat = dct.inverse(&y);
+//! for (a, b) in x.iter().zip(x_hat.iter()) {
+//!     assert!((a.to_f64() - b.to_f64()).abs() < 1e-3);
+//! }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod csd;
+pub mod dct;
+pub mod fastdct;
+pub mod fixed;
+pub mod intdct;
+pub mod loeffler;
+pub mod metrics;
+pub mod rle;
+pub mod threshold;
+pub mod window;
+
+pub use dct::{dct2, dct3, Dct};
+pub use fixed::Q15;
+pub use intdct::IntDct;
+pub use rle::{RleCodeword, RleDecoder, RleEncoder};

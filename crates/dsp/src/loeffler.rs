@@ -1,0 +1,208 @@
+//! Loeffler's practical fast 8-point DCT (11 multiplications, 29 additions).
+//!
+//! This is the minimal-multiplier floating/fixed-point DCT factorization
+//! [Loeffler, Ligtenberg, Moschytz, ICASSP 1989] that the paper's `DCT-W`
+//! hardware engine is based on (Table IV: 11 multipliers, 29 adders for
+//! WS=8). The flowgraph computes a *uniformly scaled* DCT: every output
+//! equals `sqrt(8)` times the orthonormal DCT-II coefficient, so the scale
+//! can be folded into quantization with no extra hardware.
+//!
+//! The inverse runs the transposed flowgraph (rotations negated, stages
+//! reversed) followed by a single shift-by-8 normalization, which is why
+//! "IDCT circuits are simply the reverse of DCT circuits" (Section V-B).
+
+use std::f64::consts::PI;
+
+/// Number of multipliers in the 8-point Loeffler DCT/IDCT flowgraph.
+pub const LOEFFLER_8_MULTIPLIERS: usize = 11;
+/// Number of adders in the 8-point Loeffler DCT/IDCT flowgraph.
+pub const LOEFFLER_8_ADDERS: usize = 29;
+/// Multipliers for the minimal known 16-point factorization (Table IV).
+pub const LOEFFLER_16_MULTIPLIERS: usize = 26;
+/// Adders for the minimal known 16-point factorization (Table IV).
+pub const LOEFFLER_16_ADDERS: usize = 81;
+
+/// The uniform output scale of the flowgraph relative to the orthonormal
+/// DCT: `sqrt(8)`.
+pub const LOEFFLER_8_SCALE: f64 = 2.828_427_124_746_190_3;
+
+#[inline]
+fn rot(a: f64, b: f64, theta: f64) -> (f64, f64) {
+    let (s, c) = theta.sin_cos();
+    (a * c + b * s, -a * s + b * c)
+}
+
+/// Forward 8-point Loeffler DCT.
+///
+/// Returns `sqrt(8)` times the orthonormal DCT-II of `x`.
+///
+/// # Example
+///
+/// ```
+/// use compaqt_dsp::loeffler::{loeffler_dct8, LOEFFLER_8_SCALE};
+/// use compaqt_dsp::dct::dct2;
+///
+/// let x = [0.1, 0.3, 0.5, 0.7, 0.7, 0.5, 0.3, 0.1];
+/// let fast = loeffler_dct8(&x);
+/// let exact = dct2(&x);
+/// for k in 0..8 {
+///     assert!((fast[k] / LOEFFLER_8_SCALE - exact[k]).abs() < 1e-12);
+/// }
+/// ```
+pub fn loeffler_dct8(x: &[f64; 8]) -> [f64; 8] {
+    // Stage 1: reflection butterflies.
+    let a0 = x[0] + x[7];
+    let a1 = x[1] + x[6];
+    let a2 = x[2] + x[5];
+    let a3 = x[3] + x[4];
+    let a4 = x[3] - x[4];
+    let a5 = x[2] - x[5];
+    let a6 = x[1] - x[6];
+    let a7 = x[0] - x[7];
+
+    // Stage 2, even half: 4-point butterflies.
+    let b0 = a0 + a3;
+    let b1 = a1 + a2;
+    let b2 = a1 - a2;
+    let b3 = a0 - a3;
+    // Stage 2, odd half: two rotators (3 multipliers each in hardware).
+    let (b4, b7) = rot(a4, a7, 3.0 * PI / 16.0);
+    let (b5, b6) = rot(a5, a6, PI / 16.0);
+
+    // Stage 3, even: DC/Nyquist butterfly plus the sqrt(2)*c(pi/8) rotator.
+    let y0 = b0 + b1;
+    let y4 = b0 - b1;
+    let (c, s) = ((PI / 8.0).cos(), (PI / 8.0).sin());
+    let r2 = std::f64::consts::SQRT_2;
+    let y2 = r2 * (c * b3 + s * b2);
+    let y6 = r2 * (s * b3 - c * b2);
+
+    // Stage 3, odd: butterflies.
+    let c4 = b4 + b6;
+    let c5 = b7 - b5;
+    let c6 = b4 - b6;
+    let c7 = b7 + b5;
+
+    // Stage 4, odd: output butterflies and two sqrt(2) scalings.
+    let y1 = c7 + c4;
+    let y7 = c7 - c4;
+    let y3 = r2 * c5;
+    let y5 = r2 * c6;
+
+    [y0, y1, y2, y3, y4, y5, y6, y7]
+}
+
+/// Inverse 8-point Loeffler IDCT: the transposed flowgraph followed by a
+/// divide-by-8, the exact inverse of [`loeffler_dct8`].
+///
+/// # Example
+///
+/// ```
+/// use compaqt_dsp::loeffler::{loeffler_dct8, loeffler_idct8};
+///
+/// let x = [0.0, 0.2, 0.4, 0.2, -0.1, -0.4, -0.2, 0.0];
+/// let y = loeffler_dct8(&x);
+/// let x_hat = loeffler_idct8(&y);
+/// for k in 0..8 {
+///     assert!((x[k] - x_hat[k]).abs() < 1e-12);
+/// }
+/// ```
+pub fn loeffler_idct8(y: &[f64; 8]) -> [f64; 8] {
+    let r2 = std::f64::consts::SQRT_2;
+
+    // Transposed stage 4 (odd).
+    let c7 = y[1] + y[7];
+    let c4 = y[1] - y[7];
+    let c5 = r2 * y[3];
+    let c6 = r2 * y[5];
+
+    // Transposed stage 3 (odd butterflies).
+    let b4 = c4 + c6;
+    let b6 = c4 - c6;
+    let b5 = c7 - c5;
+    let b7 = c7 + c5;
+
+    // Transposed stage 3 (even).
+    let b0 = y[0] + y[4];
+    let b1 = y[0] - y[4];
+    let (c, s) = ((PI / 8.0).cos(), (PI / 8.0).sin());
+    let b2 = r2 * (s * y[2] - c * y[6]);
+    let b3 = r2 * (c * y[2] + s * y[6]);
+
+    // Transposed stage 2: even butterflies and negated rotators.
+    let a0 = b0 + b3;
+    let a3 = b0 - b3;
+    let a1 = b1 + b2;
+    let a2 = b1 - b2;
+    let (a4, a7) = rot(b4, b7, -3.0 * PI / 16.0);
+    let (a5, a6) = rot(b5, b6, -PI / 16.0);
+
+    // Transposed stage 1 and final 1/8 normalization.
+    [
+        (a0 + a7) / 8.0,
+        (a1 + a6) / 8.0,
+        (a2 + a5) / 8.0,
+        (a3 + a4) / 8.0,
+        (a3 - a4) / 8.0,
+        (a2 - a5) / 8.0,
+        (a1 - a6) / 8.0,
+        (a0 - a7) / 8.0,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dct::dct2;
+
+    #[test]
+    fn matches_exact_dct_up_to_scale() {
+        let x = [0.9, -0.3, 0.25, 0.6, -0.75, 0.1, 0.0, 0.45];
+        let fast = loeffler_dct8(&x);
+        let exact = dct2(&x);
+        for k in 0..8 {
+            assert!(
+                (fast[k] / LOEFFLER_8_SCALE - exact[k]).abs() < 1e-12,
+                "coefficient {k}: {} vs {}",
+                fast[k] / LOEFFLER_8_SCALE,
+                exact[k]
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let x = [0.11, 0.22, 0.33, 0.44, -0.44, -0.33, -0.22, -0.11];
+        let x_hat = loeffler_idct8(&loeffler_dct8(&x));
+        for k in 0..8 {
+            assert!((x[k] - x_hat[k]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn impulse_round_trips() {
+        for pos in 0..8 {
+            let mut x = [0.0; 8];
+            x[pos] = 1.0;
+            let x_hat = loeffler_idct8(&loeffler_dct8(&x));
+            for k in 0..8 {
+                let expect = if k == pos { 1.0 } else { 0.0 };
+                assert!((x_hat[k] - expect).abs() < 1e-12, "impulse at {pos}, sample {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn scale_constant_is_sqrt8() {
+        assert!((LOEFFLER_8_SCALE - 8f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn resource_counts_match_table_iv() {
+        // Table IV, DCT-W rows.
+        assert_eq!(LOEFFLER_8_MULTIPLIERS, 11);
+        assert_eq!(LOEFFLER_8_ADDERS, 29);
+        assert_eq!(LOEFFLER_16_MULTIPLIERS, 26);
+        assert_eq!(LOEFFLER_16_ADDERS, 81);
+    }
+}

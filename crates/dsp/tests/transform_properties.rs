@@ -1,0 +1,123 @@
+//! Property-based tests of the transform kernels.
+
+use compaqt_dsp::csd::Csd;
+use compaqt_dsp::dct::{dct2, energy_compaction, Dct};
+use compaqt_dsp::fixed::Q15;
+use compaqt_dsp::intdct::{IntDct, SUPPORTED_SIZES};
+use compaqt_dsp::loeffler::{loeffler_dct8, loeffler_idct8, LOEFFLER_8_SCALE};
+use compaqt_dsp::window::{join, split, PadMode};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn dct_is_linear(
+        a in proptest::collection::vec(-1.0f64..1.0, 16),
+        b in proptest::collection::vec(-1.0f64..1.0, 16),
+        s in -2.0f64..2.0,
+    ) {
+        let dct = Dct::new(16);
+        let lhs: Vec<f64> = a.iter().zip(&b).map(|(x, y)| s * x + y).collect();
+        let fa = dct.forward(&a);
+        let fb = dct.forward(&b);
+        let f_lhs = dct.forward(&lhs);
+        for k in 0..16 {
+            prop_assert!((f_lhs[k] - (s * fa[k] + fb[k])).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn dct_preserves_energy(xs in proptest::collection::vec(-1.0f64..1.0, 1..64)) {
+        let y = dct2(&xs);
+        let ex: f64 = xs.iter().map(|v| v * v).sum();
+        let ey: f64 = y.iter().map(|v| v * v).sum();
+        prop_assert!((ex - ey).abs() < 1e-9 * ex.max(1.0));
+    }
+
+    #[test]
+    fn energy_compaction_is_monotone(xs in proptest::collection::vec(-1.0f64..1.0, 32)) {
+        let y = dct2(&xs);
+        let mut prev = 0.0;
+        for k in 0..=32 {
+            let e = energy_compaction(&y, k);
+            prop_assert!(e + 1e-12 >= prev, "k={k}");
+            prev = e;
+        }
+        prop_assert!((energy_compaction(&y, 32) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loeffler_agrees_with_exact_dct(xs in proptest::collection::vec(-1.0f64..1.0, 8)) {
+        let arr: [f64; 8] = xs.clone().try_into().unwrap();
+        let fast = loeffler_dct8(&arr);
+        let exact = dct2(&xs);
+        for k in 0..8 {
+            prop_assert!((fast[k] / LOEFFLER_8_SCALE - exact[k]).abs() < 1e-10);
+        }
+        let back = loeffler_idct8(&fast);
+        for k in 0..8 {
+            prop_assert!((back[k] - arr[k]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn int_dct_is_shift_invariant_in_dc(level in -0.9f64..0.9) {
+        // A constant input must produce exactly one nonzero coefficient.
+        for &ws in &SUPPORTED_SIZES {
+            let t = IntDct::new(ws).unwrap();
+            let x = vec![Q15::from_f64(level); ws];
+            let y = t.forward(&x);
+            for (k, &c) in y.iter().enumerate().skip(1) {
+                prop_assert!(c.abs() <= 1, "ws={ws} k={k} leak {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn int_dct_round_trip_is_bounded_even_for_noise(
+        xs in proptest::collection::vec(-0.95f64..0.95, 32),
+    ) {
+        // Full-spectrum random inputs are outside the codec's smooth
+        // domain; the HEVC matrix's ~1% row non-orthogonality then
+        // accumulates, so the guarantee is a 3% absolute bound (smooth
+        // signals round-trip ~10x tighter, see the core crate's tests).
+        let t = IntDct::new(32).unwrap();
+        let q: Vec<Q15> = xs.iter().map(|&v| Q15::from_f64(v)).collect();
+        let back = t.inverse(&t.forward(&q));
+        for (a, b) in q.iter().zip(&back) {
+            prop_assert!((a.to_f64() - b.to_f64()).abs() < 0.03);
+        }
+    }
+
+    #[test]
+    fn csd_reconstructs_any_constant(v in 0u32..100_000) {
+        prop_assert_eq!(Csd::of(v).reconstruct(), v);
+    }
+
+    #[test]
+    fn csd_digit_count_at_most_binary(v in 1u32..100_000) {
+        let csd_digits = Csd::of(v).terms().len();
+        let binary_digits = v.count_ones() as usize;
+        prop_assert!(csd_digits <= binary_digits.max(1) + 1);
+    }
+
+    #[test]
+    fn split_join_round_trips(
+        xs in proptest::collection::vec(-1.0f64..1.0, 1..200),
+        ws in 1usize..32,
+    ) {
+        for pad in [PadMode::Zero, PadMode::Edge] {
+            let (wins, _) = split(&xs, ws, pad);
+            prop_assert_eq!(join(&wins, xs.len()), xs.clone());
+        }
+    }
+
+    #[test]
+    fn q15_conversion_is_monotone(a in -1.0f64..0.999, b in -1.0f64..0.999) {
+        let (qa, qb) = (Q15::from_f64(a), Q15::from_f64(b));
+        if a < b {
+            prop_assert!(qa <= qb);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # compaqt-hw
+//!
+//! Hardware models for the COMPAQT reproduction (Maurya & Tannu, MICRO
+//! 2022): the RFSoC qubit-capacity model (Table V, Figures 5d/17), the
+//! FPGA resource and timing models (Tables IV/VIII, Figure 16), and the
+//! cryogenic-ASIC power model (Figures 18/19).
+//!
+//! The paper derives these numbers from Vivado synthesis and the
+//! Destiny/CACTI memory models; neither toolchain exists here, so each is
+//! replaced by a first-order analytical model *calibrated to the paper's
+//! reported design points* and exercised by the same sweeps. See
+//! DESIGN.md for the substitution rationale.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod power;
+pub mod resources;
+pub mod rfsoc;
+pub mod sfq;
+pub mod timing;
+
+pub use power::{CryoPowerModel, PowerBreakdown};
+pub use rfsoc::RfsocModel;

@@ -1,0 +1,109 @@
+//! Property tests of the hardware models: monotonicity and conservation
+//! laws the analytical substitutions must obey.
+
+use compaqt_core::compress::Variant;
+use compaqt_dsp::csd::EngineResources;
+use compaqt_hw::power::{CryoDesign, CryoPowerModel};
+use compaqt_hw::rfsoc::RfsocModel;
+use compaqt_hw::timing::{EngineDesign, TimingModel};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn qubits_supported_is_monotone_in_banks(extra in 0usize..2000) {
+        let small = RfsocModel::default();
+        let big = RfsocModel { bram_count: small.bram_count + extra, ..small };
+        prop_assert!(big.qubits_supported(3, 16) >= small.qubits_supported(3, 16));
+    }
+
+    #[test]
+    fn qubits_supported_decreases_with_window_words(w1 in 1usize..16, w2 in 1usize..16) {
+        let m = RfsocModel::default();
+        if w1 <= w2 {
+            prop_assert!(m.qubits_supported(w1, 16) >= m.qubits_supported(w2, 16));
+        }
+    }
+
+    #[test]
+    fn gain_never_exceeds_window_over_words(words in 1usize..16) {
+        // The physical bound: a window of ws samples stored in `words`
+        // words cannot expand bandwidth more than ws/words.
+        let m = RfsocModel::default();
+        let gain = m.gain(words, 16);
+        prop_assert!(gain <= 16.0 / words as f64 + 1e-9, "gain {gain} words {words}");
+    }
+
+    #[test]
+    fn memory_power_is_monotone_in_rate(r1 in 0.1f64..20.0, r2 in 0.1f64..20.0) {
+        let m = CryoPowerModel::default();
+        if r1 <= r2 {
+            prop_assert!(
+                m.memory_power_mw(18_432.0, r1, 1.0) <= m.memory_power_mw(18_432.0, r2, 1.0)
+            );
+        }
+    }
+
+    #[test]
+    fn memory_power_is_monotone_in_capacity(c1 in 256.0f64..64_000.0, c2 in 256.0f64..64_000.0) {
+        let m = CryoPowerModel::default();
+        if c1 <= c2 {
+            prop_assert!(m.memory_power_mw(c1, 9.0, 1.0) <= m.memory_power_mw(c2, 9.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn bypass_only_helps(bypass in 0.0f64..1.0) {
+        let m = CryoPowerModel::default();
+        let with = m.breakdown(&CryoDesign::Adaptive {
+            ws: 16,
+            avg_words_per_window: 2.2,
+            capacity_ratio: 6.0,
+            bypass_fraction: bypass,
+        });
+        let without = m.breakdown(&CryoDesign::Compressed {
+            ws: 16,
+            avg_words_per_window: 2.2,
+            capacity_ratio: 6.0,
+        });
+        prop_assert!(with.total_mw() <= without.total_mw() + 1e-12);
+    }
+
+    #[test]
+    fn compression_power_beats_uncompressed(
+        words in 1.0f64..4.0,
+        ratio in 2.0f64..10.0,
+    ) {
+        let m = CryoPowerModel::default();
+        let base = m.breakdown(&CryoDesign::Uncompressed);
+        let comp = m.breakdown(&CryoDesign::Compressed {
+            ws: 16,
+            avg_words_per_window: words,
+            capacity_ratio: ratio,
+        });
+        prop_assert!(comp.total_mw() < base.total_mw(), "comp {} base {}", comp.total_mw(), base.total_mw());
+    }
+
+    #[test]
+    fn engine_delay_is_nonnegative_and_bounded(ws_idx in 0usize..3) {
+        let ws = [8usize, 16, 32][ws_idx];
+        let m = TimingModel::default();
+        for pipelined in [false, true] {
+            let d = EngineDesign { variant: Variant::IntDctW { ws }, pipelined };
+            let delay = m.engine_delay_ns(&d);
+            prop_assert!(delay >= 0.0);
+            prop_assert!(m.normalized_frequency(&d) <= 1.0 + 1e-12);
+            prop_assert!(m.normalized_frequency(&d) > 0.5);
+        }
+    }
+
+    #[test]
+    fn idct_power_scales_linearly_with_rate(rate in 0.01f64..2.0) {
+        let m = CryoPowerModel::default();
+        let res = EngineResources::int_dct_w(16);
+        let p1 = m.idct_power_mw(&res, rate);
+        let p2 = m.idct_power_mw(&res, 2.0 * rate);
+        prop_assert!((p2 - 2.0 * p1).abs() < 1e-9);
+    }
+}

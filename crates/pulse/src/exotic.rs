@@ -1,0 +1,151 @@
+//! Complex multi-qubit and emerging-qubit gate pulses (Table IX).
+//!
+//! The paper's Discussion section shows that compressibility is not
+//! specific to IBM's basis gates: numerically optimized three-qubit drives
+//! (iToffoli, Toffoli, CCZ) and fluxonium single-qubit pulses compress
+//! 5-8x too. The published pulse data is not available, so we synthesize
+//! the same shape classes:
+//!
+//! * **iToffoli** [Kim et al. 2022] — a long, simultaneous two-tone drive
+//!   with smooth flat-top envelopes: very compressible.
+//! * **Toffoli / CCZ** [Zahedinejad et al. 2016] — machine-learned drives:
+//!   smooth but with energy spread over several harmonics, less
+//!   compressible than analytic shapes.
+//! * **Fluxonium 1Q set** [Propson et al. 2022] — trajectory-optimized
+//!   X, X/2, Y/2, Z/2 pulses: short and smooth.
+
+use crate::library::{GateId, GateKind, PulseLibrary};
+use crate::shapes::{BandLimited, CosineTapered, GaussianSquare, PulseShape};
+use crate::waveform::Waveform;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// IBM-style DAC rate used for the transmon pulses below.
+const TRANSMON_RATE_GS: f64 = 4.54;
+
+/// Synthesizes the iToffoli three-qubit gate drive (~350 ns flat-top
+/// simultaneous drive on the two control qubits).
+pub fn itoffoli(seed: u64) -> Waveform {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x17F0);
+    let n = (TRANSMON_RATE_GS * 350.0) as usize;
+    let amp = rng.random_range(0.30..0.40);
+    let width = (n as f64 * rng.random_range(0.78..0.84)) as usize;
+    let ramp = (n - width) / 2;
+    GaussianSquare::new(n, amp, 0.4 * ramp as f64, width).to_waveform("iToffoli", TRANSMON_RATE_GS)
+}
+
+/// Synthesizes a machine-learned Toffoli drive: band-limited with energy
+/// across ~8 harmonics (per the single-shot three-qubit gate designs).
+pub fn toffoli_ml(seed: u64) -> Waveform {
+    band_limited_drive("Toffoli", seed ^ 0x70FF, 300.0, 8)
+}
+
+/// Synthesizes a machine-learned CCZ drive (slightly narrower band than
+/// the Toffoli design).
+pub fn ccz_ml(seed: u64) -> Waveform {
+    band_limited_drive("CCZ", seed ^ 0xCC2, 280.0, 7)
+}
+
+/// Synthesizes the fluxonium single-qubit gate set (X, X/2, Y/2, Z/2):
+/// short trajectory-optimized cosine-tapered drives.
+pub fn fluxonium_gate_set(seed: u64) -> Vec<Waveform> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF1F0);
+    ["X", "X/2", "Y/2", "Z/2"]
+        .iter()
+        .map(|name| {
+            let n = (TRANSMON_RATE_GS * rng.random_range(55.0..75.0)) as usize;
+            let amp = rng.random_range(0.4..0.7);
+            let taper = rng.random_range(0.5..0.8);
+            CosineTapered::new(n, amp, taper)
+                .to_waveform(&format!("fluxonium-{name}"), TRANSMON_RATE_GS)
+        })
+        .collect()
+}
+
+fn band_limited_drive(name: &str, seed: u64, tau_ns: f64, harmonics: usize) -> Waveform {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = (TRANSMON_RATE_GS * tau_ns) as usize;
+    // Decaying random harmonic weights: smooth but non-analytic shape.
+    let coeffs = |rng: &mut StdRng| -> Vec<f64> {
+        (0..harmonics)
+            .map(|k| {
+                let scale = 1.0 / (1.0 + k as f64);
+                scale * rng.random_range(-1.0..1.0)
+            })
+            .collect()
+    };
+    let i = {
+        let mut c = coeffs(&mut rng);
+        c[0] = c[0].abs().max(0.5); // dominant fundamental
+        c
+    };
+    let q = coeffs(&mut rng).iter().map(|c| 0.3 * c).collect();
+    BandLimited::new(n, rng.random_range(0.4..0.6), i, q).to_waveform(name, TRANSMON_RATE_GS)
+}
+
+/// The full Table IX pulse set as a library (one instance of each gate on
+/// representative qubits).
+pub fn table_ix_library(seed: u64) -> PulseLibrary {
+    let mut lib = PulseLibrary::new();
+    lib.insert(
+        GateId { kind: GateKind::Custom("iToffoli".into()), qubits: vec![0, 1, 2] },
+        itoffoli(seed),
+    );
+    lib.insert(
+        GateId { kind: GateKind::Custom("Toffoli".into()), qubits: vec![0, 1, 2] },
+        toffoli_ml(seed),
+    );
+    lib.insert(
+        GateId { kind: GateKind::Custom("CCZ".into()), qubits: vec![0, 1, 2] },
+        ccz_ml(seed),
+    );
+    for (k, wf) in fluxonium_gate_set(seed).into_iter().enumerate() {
+        lib.insert(
+            GateId { kind: GateKind::Custom(wf.name().to_string()), qubits: vec![k as u16] },
+            wf,
+        );
+    }
+    lib
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn itoffoli_is_long_and_flat() {
+        let wf = itoffoli(1);
+        assert!(wf.duration_ns() > 300.0);
+        assert!(wf.flat_top_plateau(500).is_some());
+    }
+
+    #[test]
+    fn toffoli_is_smooth_and_bounded() {
+        let wf = toffoli_ml(1);
+        assert!(wf.peak_amplitude() < 1.0);
+        // Smooth: adjacent-sample steps are small.
+        let i = wf.i();
+        let max_step = i.windows(2).map(|w| (w[1] - w[0]).abs()).fold(0.0, f64::max);
+        assert!(max_step < 0.02, "max step {max_step}");
+    }
+
+    #[test]
+    fn fluxonium_set_has_four_gates() {
+        let set = fluxonium_gate_set(9);
+        assert_eq!(set.len(), 4);
+        for wf in &set {
+            assert!(wf.duration_ns() < 100.0, "fluxonium gates are fast");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(toffoli_ml(5).i()[100], toffoli_ml(5).i()[100]);
+        assert!(toffoli_ml(5).i()[100] != toffoli_ml(6).i()[100]);
+    }
+
+    #[test]
+    fn table_ix_library_has_seven_entries() {
+        assert_eq!(table_ix_library(3).len(), 7);
+    }
+}

@@ -1,0 +1,55 @@
+//! # compaqt-pulse
+//!
+//! Pulse-generation substrate for the COMPAQT compressed waveform memory
+//! architecture (Maurya & Tannu, MICRO 2022).
+//!
+//! The paper's evaluation reads per-qubit calibrated pulses from IBM
+//! machines through Qiskit Pulse. That ecosystem does not exist in Rust and
+//! the calibration data is not public, so this crate rebuilds the substrate:
+//!
+//! * [`waveform`] — the I/Q envelope type streamed to the DACs.
+//! * [`shapes`] — parametric pulse shapes used on superconducting hardware:
+//!   Gaussian, DRAG, flat-top (GaussianSquare), cosine-tapered, constant
+//!   and band-limited synthetic shapes.
+//! * [`topology`] — heavy-hexagonal (IBM), grid (Google) and linear qubit
+//!   connectivities.
+//! * [`vendor`] — the Table I control-hardware parameter sets.
+//! * [`device`] — seeded synthetic machines: every qubit gets unique
+//!   calibrated gate pulses, every coupled pair a unique cross-resonance
+//!   pulse, every qubit a readout pulse — reproducing the per-device pulse
+//!   diversity of Figure 4.
+//! * [`library`] — the pulse library (waveform memory image) of a device.
+//! * [`memory_model`] — the Section III capacity/bandwidth demand equations.
+//! * [`exotic`] — complex multi-qubit and fluxonium gate pulses (Table IX).
+//!
+//! # Example
+//!
+//! ```
+//! use compaqt_pulse::device::Device;
+//! use compaqt_pulse::vendor::Vendor;
+//!
+//! // A 16-qubit IBM-style machine ("Guadalupe-like"), deterministic seed.
+//! let device = Device::synthesize(Vendor::Ibm, 16, 0xC0FFEE);
+//! let library = device.pulse_library();
+//! // Every qubit has unique calibrated X/SX pulses plus readout, and each
+//! // coupled pair a CR pulse.
+//! assert!(library.len() > 16 * 3);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod device;
+pub mod exotic;
+pub mod fdm;
+pub mod library;
+pub mod memory_model;
+pub mod shapes;
+pub mod topology;
+pub mod vendor;
+pub mod waveform;
+
+pub use device::Device;
+pub use library::{GateId, PulseLibrary};
+pub use vendor::{Vendor, VendorParams};
+pub use waveform::Waveform;

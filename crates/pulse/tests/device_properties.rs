@@ -1,0 +1,108 @@
+//! Property tests of the device and pulse substrate.
+
+use compaqt_pulse::device::Device;
+use compaqt_pulse::memory_model;
+use compaqt_pulse::shapes::{Drag, Gaussian, GaussianSquare, PulseShape};
+use compaqt_pulse::topology::Topology;
+use compaqt_pulse::vendor::Vendor;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn devices_are_reproducible(n in 1usize..32, seed in proptest::num::u64::ANY) {
+        let a = Device::synthesize(Vendor::Ibm, n, seed);
+        let b = Device::synthesize(Vendor::Ibm, n, seed);
+        for q in 0..n {
+            prop_assert_eq!(a.qubit(q).x_amp, b.qubit(q).x_amp);
+        }
+        prop_assert_eq!(a.pairs().len(), b.pairs().len());
+    }
+
+    #[test]
+    fn all_pulses_stay_in_dac_range(n in 1usize..12, seed in proptest::num::u64::ANY) {
+        let device = Device::synthesize(Vendor::Ibm, n, seed);
+        for (gate, wf) in device.pulse_library().iter() {
+            prop_assert!(wf.peak_amplitude() < 1.0, "{gate} clips");
+            prop_assert!(wf.len() > 0);
+        }
+    }
+
+    #[test]
+    fn library_capacity_matches_model_within_20_percent(
+        n in 2usize..24,
+        seed in proptest::num::u64::ANY,
+    ) {
+        let device = Device::synthesize(Vendor::Ibm, n, seed);
+        let lib = device.pulse_library();
+        let actual = lib.total_storage_bytes(32) as f64;
+        let modelled = memory_model::total_capacity_bytes(device.params(), n);
+        let rel = (actual - modelled).abs() / modelled;
+        prop_assert!(rel < 0.2, "actual {actual} vs model {modelled}");
+    }
+
+    #[test]
+    fn gaussian_peak_equals_amp(amp in 0.05f64..0.95, sigma in 8.0f64..64.0) {
+        let (i, _) = Gaussian::new(161, amp, sigma).envelope();
+        let peak = i.iter().cloned().fold(0.0, f64::max);
+        prop_assert!((peak - amp).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drag_q_energy_scales_with_beta(beta in 0.05f64..0.5) {
+        let (_, q1) = Drag::new(160, 0.5, 40.0, beta).envelope();
+        let (_, q2) = Drag::new(160, 0.5, 40.0, 2.0 * beta).envelope();
+        let e1: f64 = q1.iter().map(|v| v * v).sum();
+        let e2: f64 = q2.iter().map(|v| v * v).sum();
+        prop_assert!((e2 / e1 - 4.0).abs() < 1e-6, "ratio {}", e2 / e1);
+    }
+
+    #[test]
+    fn flat_top_width_is_respected(width_frac in 0.5f64..0.9) {
+        let n = 400;
+        let width = (n as f64 * width_frac) as usize;
+        let gs = GaussianSquare::new(n, 0.4, 10.0, width);
+        let wf = gs.to_waveform("f", 4.54);
+        let (_, plateau_len) = wf.flat_top_plateau(16).unwrap();
+        // Plateau detection must find at least the configured width.
+        prop_assert!(plateau_len >= width, "found {plateau_len} of {width}");
+    }
+
+    #[test]
+    fn topology_degrees_are_bounded(n in 1usize..150) {
+        for (topo, max_deg) in [
+            (Topology::Line, 2),
+            (Topology::HeavyHex, 3),
+            (Topology::Grid, 4),
+        ] {
+            let degrees = topo.degrees(n);
+            prop_assert!(degrees.iter().all(|&d| d <= max_deg), "{topo:?} n={n}");
+        }
+    }
+
+    #[test]
+    fn capacity_model_grows_with_qubits(n in 2usize..100) {
+        // Near-monotone: adding a qubit always adds 1Q+readout storage,
+        // but the heavy-hex generator can drop a rung when its row width
+        // re-quantizes, so allow one coupler's worth of slack.
+        let p = Vendor::Ibm.params();
+        let c1 = memory_model::total_capacity_bytes(&p, n);
+        let c2 = memory_model::total_capacity_bytes(&p, n + 1);
+        let slack = 2.0 * p.waveform_bytes(p.tau_2q_ns);
+        prop_assert!(c2 > c1 - slack, "n={n}: {c2} vs {c1}");
+        // And over a 10-qubit span growth always wins.
+        let c10 = memory_model::total_capacity_bytes(&p, n + 10);
+        prop_assert!(c10 > c1);
+    }
+
+    #[test]
+    fn drift_is_bounded(seed in proptest::num::u64::ANY, mag in 0.001f64..0.1) {
+        let device = Device::synthesize(Vendor::Ibm, 4, 7);
+        let drifted = device.with_drift(seed, mag);
+        for q in 0..4 {
+            let rel = (drifted.qubit(q).x_amp / device.qubit(q).x_amp - 1.0).abs();
+            prop_assert!(rel <= mag + 1e-12, "drift {rel} exceeds {mag}");
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Circuit fidelity via total variational distance (Section VI, Eq. 3).
+//!
+//! `F(P, Q) = 1 - TVD(P, Q)` between the ideal output distribution and
+//! the noisy one. The paper compares `F` with compressed versus
+//! uncompressed waveforms (normalized fidelity, Figure 15); the noisy
+//! distribution is produced by Monte-Carlo noise trajectories over the
+//! state-vector simulator.
+
+use crate::circuits::{Circuit, Op};
+use crate::errors::NoiseModel;
+use crate::gates;
+use crate::state::{tvd, StateVector};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Applies one operation ideally.
+fn apply_op(sv: &mut StateVector, op: Op) {
+    match op {
+        Op::X(q) => sv.apply_1q(q, &gates::x()),
+        Op::Sx(q) => sv.apply_1q(q, &gates::sx()),
+        Op::H(q) => sv.apply_1q(q, &gates::h()),
+        Op::Rz(q, theta) => sv.apply_1q(q, &gates::rz(theta)),
+        Op::Cx(c_, t) => sv.apply_2q(c_, t, &gates::cx()),
+        Op::Cz(a, b) => sv.apply_2q(a, b, &gates::cz()),
+        Op::Cp(a, b, theta) => sv.apply_2q(a, b, &gates::cp(theta)),
+        Op::Swap(a, b) => sv.apply_2q(a, b, &gates::swap()),
+        Op::Ccx(a, b, t) => sv.apply_3q(a, b, t, &gates::toffoli()),
+        Op::Measure(_) => {}
+    }
+}
+
+/// The ideal (noiseless) output distribution of a circuit.
+pub fn ideal_distribution(circuit: &Circuit) -> Vec<f64> {
+    let mut sv = StateVector::zero(circuit.n_qubits);
+    for &op in &circuit.ops {
+        apply_op(&mut sv, op);
+    }
+    sv.probabilities()
+}
+
+/// Simulates the circuit under a noise model, averaging over Monte-Carlo
+/// noise trajectories, and returns the output distribution including
+/// readout error.
+pub fn noisy_distribution(
+    circuit: &Circuit,
+    noise: &NoiseModel,
+    trajectories: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let dim = 1usize << circuit.n_qubits;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut acc = vec![0.0; dim];
+    for _ in 0..trajectories {
+        let mut sv = StateVector::zero(circuit.n_qubits);
+        for &op in &circuit.ops {
+            apply_op(&mut sv, op);
+            apply_noise(&mut sv, op, noise, &mut rng);
+        }
+        for (a, p) in acc.iter_mut().zip(sv.probabilities()) {
+            *a += p;
+        }
+    }
+    for a in &mut acc {
+        *a /= trajectories as f64;
+    }
+    apply_readout_error(&acc, circuit.n_qubits, noise.readout_error)
+}
+
+/// Applies per-gate stochastic and coherent noise after an operation.
+fn apply_noise(sv: &mut StateVector, op: Op, noise: &NoiseModel, rng: &mut StdRng) {
+    if op.is_virtual() || matches!(op, Op::Measure(_)) {
+        return;
+    }
+    let qubits = op.qubits();
+    let (epg, coherent) = if qubits.len() == 1 {
+        (noise.epg_1q, noise.coherent_1q_angle)
+    } else {
+        (noise.epg_2q, noise.coherent_2q_angle)
+    };
+    let paulis = [gates::x(), gates::y(), gates::z()];
+    for &q in &qubits {
+        if rng.random::<f64>() < epg {
+            sv.apply_1q(q, &paulis[rng.random_range(0..3)]);
+        }
+        if coherent != 0.0 {
+            sv.apply_1q(q, &gates::rx(coherent));
+        }
+    }
+}
+
+/// Convolves a distribution with independent per-qubit readout bit flips.
+pub fn apply_readout_error(dist: &[f64], n_qubits: usize, eps: f64) -> Vec<f64> {
+    if eps == 0.0 {
+        return dist.to_vec();
+    }
+    let mut cur = dist.to_vec();
+    for q in 0..n_qubits {
+        let bit = 1usize << q;
+        let mut next = vec![0.0; cur.len()];
+        for (k, &p) in cur.iter().enumerate() {
+            next[k] += p * (1.0 - eps);
+            next[k ^ bit] += p * eps;
+        }
+        cur = next;
+    }
+    cur
+}
+
+/// Benchmark fidelity `F = 1 - TVD(ideal, noisy)` (Eq. 3).
+pub fn benchmark_fidelity(
+    circuit: &Circuit,
+    noise: &NoiseModel,
+    trajectories: usize,
+    seed: u64,
+) -> f64 {
+    let ideal = ideal_distribution(circuit);
+    let noisy = noisy_distribution(circuit, noise, trajectories, seed);
+    1.0 - tvd(&ideal, &noisy)
+}
+
+/// Normalized fidelity: compressed over baseline (Figure 15's metric).
+///
+/// Both runs use the same seed (common random numbers): the stochastic
+/// Pauli draws are identical, so the ratio isolates the coherent
+/// distortion added by compression — mirroring how the paper runs both
+/// pulse sets back-to-back on the same machine.
+pub fn normalized_fidelity(
+    circuit: &Circuit,
+    baseline: &NoiseModel,
+    compressed: &NoiseModel,
+    trajectories: usize,
+    seed: u64,
+) -> f64 {
+    let f_base = benchmark_fidelity(circuit, baseline, trajectories, seed);
+    let f_comp = benchmark_fidelity(circuit, compressed, trajectories, seed);
+    f_comp / f_base.max(1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuits;
+
+    #[test]
+    fn ideal_bv_recovers_secret() {
+        let secret = 0b1011u64;
+        let c = circuits::bernstein_vazirani(4, secret);
+        let d = ideal_distribution(&c);
+        // Data qubits end in |secret>; the ancilla is in |->, spreading
+        // probability over the ancilla bit only.
+        let data_mass: f64 = d
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| (*k as u64) & 0b1111 == secret)
+            .map(|(_, &p)| p)
+            .sum();
+        assert!((data_mass - 1.0).abs() < 1e-10, "got {data_mass}");
+    }
+
+    #[test]
+    fn noiseless_matches_ideal() {
+        let c = circuits::qft(3);
+        let noisy = noisy_distribution(&c, &NoiseModel::noiseless(), 3, 1);
+        let ideal = ideal_distribution(&c);
+        assert!(tvd(&ideal, &noisy) < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_decreases_with_noise() {
+        let c = circuits::qft(4);
+        let light = benchmark_fidelity(&c, &NoiseModel::ibm_baseline(), 40, 3);
+        let mut heavy_model = NoiseModel::ibm_baseline();
+        heavy_model.epg_2q *= 10.0;
+        heavy_model.readout_error *= 3.0;
+        let heavy = benchmark_fidelity(&c, &heavy_model, 40, 3);
+        assert!(light > heavy, "light {light} vs heavy {heavy}");
+    }
+
+    #[test]
+    fn readout_convolution_conserves_probability() {
+        let d = vec![0.5, 0.25, 0.25, 0.0];
+        let out = apply_readout_error(&d, 2, 0.03);
+        assert!((out.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(out[3] > 0.0, "flips populate empty outcomes");
+    }
+
+    #[test]
+    fn normalized_fidelity_near_one_for_tiny_distortion() {
+        // Figure 15: WS=16 shows no visible degradation.
+        let c = circuits::swap();
+        let base = NoiseModel::ibm_baseline();
+        let comp = NoiseModel::ibm_baseline().with_distortion(3e-5, 3e-5);
+        let nf = normalized_fidelity(&c, &base, &comp, 200, 5);
+        assert!((0.97..=1.03).contains(&nf), "got {nf}");
+    }
+
+    #[test]
+    fn large_distortion_hurts() {
+        let c = circuits::qft(4);
+        let base = NoiseModel::ibm_baseline();
+        let comp = NoiseModel::ibm_baseline().with_distortion(5e-3, 5e-3);
+        let nf = normalized_fidelity(&c, &base, &comp, 150, 7);
+        assert!(nf < 1.0, "got {nf}");
+    }
+}

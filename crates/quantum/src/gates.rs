@@ -1,0 +1,230 @@
+//! Standard gate unitaries.
+
+use crate::linalg::{c, CMatrix, Complex, C_I, C_ONE, C_ZERO};
+
+/// The 2x2 identity.
+pub fn id() -> CMatrix {
+    CMatrix::identity(2)
+}
+
+/// Pauli X.
+pub fn x() -> CMatrix {
+    CMatrix::from_rows(&[&[C_ZERO, C_ONE], &[C_ONE, C_ZERO]])
+}
+
+/// Pauli Y.
+pub fn y() -> CMatrix {
+    CMatrix::from_rows(&[&[C_ZERO, -C_I], &[C_I, C_ZERO]])
+}
+
+/// Pauli Z.
+pub fn z() -> CMatrix {
+    CMatrix::from_rows(&[&[C_ONE, C_ZERO], &[C_ZERO, -C_ONE]])
+}
+
+/// Hadamard.
+pub fn h() -> CMatrix {
+    let s = c(std::f64::consts::FRAC_1_SQRT_2, 0.0);
+    CMatrix::from_rows(&[&[s, s], &[s, -s]])
+}
+
+/// Phase gate S = diag(1, i).
+pub fn s() -> CMatrix {
+    CMatrix::from_rows(&[&[C_ONE, C_ZERO], &[C_ZERO, C_I]])
+}
+
+/// S-dagger.
+pub fn sdg() -> CMatrix {
+    CMatrix::from_rows(&[&[C_ONE, C_ZERO], &[C_ZERO, -C_I]])
+}
+
+/// T gate = diag(1, e^{i pi/4}).
+pub fn t() -> CMatrix {
+    CMatrix::from_rows(&[&[C_ONE, C_ZERO], &[C_ZERO, Complex::from_phase(std::f64::consts::FRAC_PI_4)]])
+}
+
+/// The sqrt-X gate used as the IBM basis gate SX.
+pub fn sx() -> CMatrix {
+    let a = c(0.5, 0.5);
+    let b = c(0.5, -0.5);
+    CMatrix::from_rows(&[&[a, b], &[b, a]])
+}
+
+/// Rotation about X by `theta`.
+pub fn rx(theta: f64) -> CMatrix {
+    let (s_, co) = (theta / 2.0).sin_cos();
+    CMatrix::from_rows(&[&[c(co, 0.0), c(0.0, -s_)], &[c(0.0, -s_), c(co, 0.0)]])
+}
+
+/// Rotation about Y by `theta`.
+pub fn ry(theta: f64) -> CMatrix {
+    let (s_, co) = (theta / 2.0).sin_cos();
+    CMatrix::from_rows(&[&[c(co, 0.0), c(-s_, 0.0)], &[c(s_, 0.0), c(co, 0.0)]])
+}
+
+/// Rotation about Z by `theta` (virtual on hardware — Section II-A).
+pub fn rz(theta: f64) -> CMatrix {
+    CMatrix::from_rows(&[
+        &[Complex::from_phase(-theta / 2.0), C_ZERO],
+        &[C_ZERO, Complex::from_phase(theta / 2.0)],
+    ])
+}
+
+/// General single-qubit U(theta, phi, lambda).
+pub fn u3(theta: f64, phi: f64, lambda: f64) -> CMatrix {
+    let (st, ct) = ((theta / 2.0).sin(), (theta / 2.0).cos());
+    CMatrix::from_rows(&[
+        &[c(ct, 0.0), Complex::from_phase(lambda) * (-st)],
+        &[Complex::from_phase(phi) * st, Complex::from_phase(phi + lambda) * ct],
+    ])
+}
+
+/// CNOT with the control on the *higher* (first) qubit of a 2-qubit
+/// little-endian register |q1 q0>: control = q1.
+pub fn cx() -> CMatrix {
+    let mut m = CMatrix::zeros(4);
+    m[(0, 0)] = C_ONE;
+    m[(1, 1)] = C_ONE;
+    m[(2, 3)] = C_ONE;
+    m[(3, 2)] = C_ONE;
+    m
+}
+
+/// Controlled-Z (symmetric in its qubits).
+pub fn cz() -> CMatrix {
+    let mut m = CMatrix::identity(4);
+    m[(3, 3)] = -C_ONE;
+    m
+}
+
+/// SWAP.
+pub fn swap() -> CMatrix {
+    let mut m = CMatrix::zeros(4);
+    m[(0, 0)] = C_ONE;
+    m[(1, 2)] = C_ONE;
+    m[(2, 1)] = C_ONE;
+    m[(3, 3)] = C_ONE;
+    m
+}
+
+/// iSWAP.
+pub fn iswap() -> CMatrix {
+    let mut m = CMatrix::zeros(4);
+    m[(0, 0)] = C_ONE;
+    m[(1, 2)] = C_I;
+    m[(2, 1)] = C_I;
+    m[(3, 3)] = C_ONE;
+    m
+}
+
+/// Controlled-phase by `theta`.
+pub fn cp(theta: f64) -> CMatrix {
+    let mut m = CMatrix::identity(4);
+    m[(3, 3)] = Complex::from_phase(theta);
+    m
+}
+
+/// Toffoli (CCX) on a 3-qubit register; controls are the two higher
+/// qubits.
+pub fn toffoli() -> CMatrix {
+    let mut m = CMatrix::identity(8);
+    m[(6, 6)] = C_ZERO;
+    m[(7, 7)] = C_ZERO;
+    m[(6, 7)] = C_ONE;
+    m[(7, 6)] = C_ONE;
+    m
+}
+
+/// CCZ.
+pub fn ccz() -> CMatrix {
+    let mut m = CMatrix::identity(8);
+    m[(7, 7)] = -C_ONE;
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::average_gate_fidelity;
+
+    #[test]
+    fn all_gates_are_unitary() {
+        for (name, g) in [
+            ("X", x()),
+            ("Y", y()),
+            ("Z", z()),
+            ("H", h()),
+            ("S", s()),
+            ("T", t()),
+            ("SX", sx()),
+            ("RX", rx(0.37)),
+            ("RY", ry(-1.2)),
+            ("RZ", rz(2.5)),
+            ("U3", u3(0.3, 1.1, -0.4)),
+            ("CX", cx()),
+            ("CZ", cz()),
+            ("SWAP", swap()),
+            ("iSWAP", iswap()),
+            ("CP", cp(0.9)),
+            ("CCX", toffoli()),
+            ("CCZ", ccz()),
+        ] {
+            assert!(g.is_unitary(1e-12), "{name} is not unitary");
+        }
+    }
+
+    #[test]
+    fn sx_squared_is_x() {
+        assert!((average_gate_fidelity(&sx().matmul(&sx()), &x()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn s_squared_is_z_and_t_squared_is_s() {
+        assert!(s().matmul(&s()).distance(&z()) < 1e-12);
+        assert!(t().matmul(&t()).distance(&s()) < 1e-12);
+    }
+
+    #[test]
+    fn hadamard_from_rz_sx_rz() {
+        // H = e^{i pi/2} RZ(pi/2) SX RZ(pi/2): the standard basis
+        // decomposition used by the transpiler.
+        let composed = rz(std::f64::consts::FRAC_PI_2)
+            .matmul(&sx())
+            .matmul(&rz(std::f64::consts::FRAC_PI_2));
+        assert!((average_gate_fidelity(&composed, &h()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cx_from_h_cz_h() {
+        let h_target = CMatrix::identity(2).kron(&h());
+        let composed = h_target.matmul(&cz()).matmul(&h_target);
+        assert!(composed.distance(&cx()) < 1e-12);
+    }
+
+    #[test]
+    fn swap_is_three_cnots() {
+        // SWAP = CX(a,b) CX(b,a) CX(a,b); with our fixed control layout
+        // the middle CX is conjugated by Hadamards on both qubits.
+        let hh = h().kron(&h());
+        let cx_rev = hh.matmul(&cx()).matmul(&hh);
+        let composed = cx().matmul(&cx_rev).matmul(&cx());
+        assert!(composed.distance(&swap()) < 1e-12);
+    }
+
+    #[test]
+    fn rz_is_diagonal_phase() {
+        let g = rz(1.0);
+        assert_eq!(g[(0, 1)], crate::linalg::C_ZERO);
+        assert!((g[(0, 0)].abs() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn toffoli_flips_only_when_both_controls_set() {
+        let m = toffoli();
+        for basis in 0..6 {
+            assert_eq!(m[(basis, basis)], C_ONE, "basis {basis} unchanged");
+        }
+        assert_eq!(m[(6, 7)], C_ONE);
+        assert_eq!(m[(7, 6)], C_ONE);
+    }
+}

@@ -1,0 +1,58 @@
+//! # compaqt-quantum
+//!
+//! Quantum-dynamics substrate for the COMPAQT reproduction
+//! (Maurya & Tannu, MICRO 2022).
+//!
+//! The paper evaluates gate and circuit fidelity on real IBM machines.
+//! This crate substitutes that hardware with simulation whose error model
+//! is *driven by the actual waveform pipeline*: the only way compression
+//! can degrade fidelity is by distorting a pulse envelope, and the
+//! distortion-induced error is computed by time-evolving a transmon under
+//! the original versus decompressed waveforms.
+//!
+//! * [`linalg`] — complex vectors/matrices, matrix exponential, average
+//!   gate fidelity.
+//! * [`gates`] — standard gate unitaries.
+//! * [`state`] — state-vector simulation and TVD.
+//! * [`transmon`] — pulse-to-unitary evolution (2- and 3-level), leakage,
+//!   distortion infidelity.
+//! * [`errors`] — the stochastic + coherent noise model anchored to IBM
+//!   baselines.
+//! * [`rb`] — randomized benchmarking (Figure 9, Table III).
+//! * [`circuits`] — the Table VI benchmark suite.
+//! * [`transpile`] — lowering to the {RZ, SX, X, CX} hardware basis.
+//! * [`schedule`] — ASAP scheduling and bandwidth profiling (Figure 5c).
+//! * [`surface`] — surface-code patches and syndrome cycles
+//!   (surface-17/25/81).
+//! * [`fidelity`] — TVD benchmark fidelity (Figure 15).
+//!
+//! # Example
+//!
+//! ```
+//! use compaqt_quantum::{circuits, errors::NoiseModel, fidelity};
+//!
+//! let circuit = circuits::qft(4);
+//! let f = fidelity::benchmark_fidelity(&circuit, &NoiseModel::ibm_baseline(), 50, 7);
+//! assert!(f > 0.5 && f <= 1.0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod circuits;
+pub mod errors;
+pub mod fidelity;
+pub mod gates;
+pub mod linalg;
+pub mod rb;
+pub mod schedule;
+pub mod state;
+pub mod surface;
+pub mod timeline;
+pub mod transmon;
+pub mod transpile;
+
+pub use circuits::Circuit;
+pub use errors::NoiseModel;
+pub use linalg::{CMatrix, Complex};
+pub use state::StateVector;

@@ -1,0 +1,289 @@
+//! State-vector simulation.
+//!
+//! Little-endian convention: basis index bit `q` is the state of qubit
+//! `q`. Multi-qubit gate matrices act on sub-indices ordered
+//! most-significant-qubit first, matching [`crate::gates`].
+
+use crate::linalg::{CMatrix, Complex, C_ONE, C_ZERO};
+use rand::RngExt;
+
+/// A pure state of `n` qubits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    n_qubits: usize,
+    amps: Vec<Complex>,
+}
+
+impl StateVector {
+    /// The all-zeros state `|0...0>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qubits` is 0 or large enough to overflow memory
+    /// (> 24 qubits).
+    pub fn zero(n_qubits: usize) -> Self {
+        assert!(n_qubits > 0, "need at least one qubit");
+        assert!(n_qubits <= 24, "state vector too large");
+        let mut amps = vec![C_ZERO; 1 << n_qubits];
+        amps[0] = C_ONE;
+        StateVector { n_qubits, amps }
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Amplitude of basis state `k`.
+    pub fn amplitude(&self, k: usize) -> Complex {
+        self.amps[k]
+    }
+
+    /// Applies a single-qubit unitary to qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not 2x2 or `q` is out of range.
+    pub fn apply_1q(&mut self, q: usize, m: &CMatrix) {
+        assert_eq!(m.dim(), 2, "expected a 2x2 matrix");
+        assert!(q < self.n_qubits, "qubit {q} out of range");
+        let bit = 1usize << q;
+        for base in 0..self.amps.len() {
+            if base & bit != 0 {
+                continue;
+            }
+            let i0 = base;
+            let i1 = base | bit;
+            let a0 = self.amps[i0];
+            let a1 = self.amps[i1];
+            self.amps[i0] = m[(0, 0)] * a0 + m[(0, 1)] * a1;
+            self.amps[i1] = m[(1, 0)] * a0 + m[(1, 1)] * a1;
+        }
+    }
+
+    /// Applies a two-qubit unitary; `hi` is the gate's first (most
+    /// significant) qubit — e.g. the control of [`crate::gates::cx`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not 4x4 or qubits collide/overflow.
+    pub fn apply_2q(&mut self, hi: usize, lo: usize, m: &CMatrix) {
+        assert_eq!(m.dim(), 4, "expected a 4x4 matrix");
+        assert!(hi != lo, "qubits must differ");
+        assert!(hi < self.n_qubits && lo < self.n_qubits, "qubit out of range");
+        let (bh, bl) = (1usize << hi, 1usize << lo);
+        for base in 0..self.amps.len() {
+            if base & bh != 0 || base & bl != 0 {
+                continue;
+            }
+            let idx = [base, base | bl, base | bh, base | bh | bl];
+            let amps: Vec<Complex> = idx.iter().map(|&i| self.amps[i]).collect();
+            for (r, &i) in idx.iter().enumerate() {
+                let mut acc = C_ZERO;
+                for (col, &a) in amps.iter().enumerate() {
+                    acc += m[(r, col)] * a;
+                }
+                self.amps[i] = acc;
+            }
+        }
+    }
+
+    /// Applies a three-qubit unitary; qubit order is most significant
+    /// first, matching [`crate::gates::toffoli`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not 8x8 or qubits collide/overflow.
+    pub fn apply_3q(&mut self, q2: usize, q1: usize, q0: usize, m: &CMatrix) {
+        assert_eq!(m.dim(), 8, "expected an 8x8 matrix");
+        assert!(q2 != q1 && q1 != q0 && q2 != q0, "qubits must differ");
+        let bits = [1usize << q2, 1usize << q1, 1usize << q0];
+        for base in 0..self.amps.len() {
+            if bits.iter().any(|&b| base & b != 0) {
+                continue;
+            }
+            let idx: Vec<usize> = (0..8)
+                .map(|k| {
+                    let mut i = base;
+                    if k & 4 != 0 {
+                        i |= bits[0];
+                    }
+                    if k & 2 != 0 {
+                        i |= bits[1];
+                    }
+                    if k & 1 != 0 {
+                        i |= bits[2];
+                    }
+                    i
+                })
+                .collect();
+            let amps: Vec<Complex> = idx.iter().map(|&i| self.amps[i]).collect();
+            for (r, &i) in idx.iter().enumerate() {
+                let mut acc = C_ZERO;
+                for (col, &a) in amps.iter().enumerate() {
+                    acc += m[(r, col)] * a;
+                }
+                self.amps[i] = acc;
+            }
+        }
+    }
+
+    /// Measurement probabilities over all basis states.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.abs2()).collect()
+    }
+
+    /// Probability of measuring all qubits in |0>.
+    pub fn ground_population(&self) -> f64 {
+        self.amps[0].abs2()
+    }
+
+    /// Samples `shots` measurement outcomes.
+    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R, shots: usize) -> Vec<usize> {
+        let probs = self.probabilities();
+        let mut cdf = Vec::with_capacity(probs.len());
+        let mut acc = 0.0;
+        for p in probs {
+            acc += p;
+            cdf.push(acc);
+        }
+        (0..shots)
+            .map(|_| {
+                let r: f64 = rng.random::<f64>() * acc;
+                cdf.partition_point(|&x| x < r).min(cdf.len() - 1)
+            })
+            .collect()
+    }
+
+    /// Norm of the state (should be 1 up to rounding).
+    pub fn norm(&self) -> f64 {
+        self.amps.iter().map(|a| a.abs2()).sum::<f64>().sqrt()
+    }
+}
+
+/// Empirical distribution over basis states from sampled outcomes.
+pub fn distribution(outcomes: &[usize], dim: usize) -> Vec<f64> {
+    let mut d = vec![0.0; dim];
+    for &o in outcomes {
+        d[o] += 1.0;
+    }
+    let n = outcomes.len().max(1) as f64;
+    for v in &mut d {
+        *v /= n;
+    }
+    d
+}
+
+/// Total variational distance between two distributions (Equation 3 uses
+/// `F = 1 - TVD`).
+///
+/// # Panics
+///
+/// Panics if the distributions differ in length.
+pub fn tvd(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must have equal support");
+    0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn x_flips_qubit() {
+        let mut sv = StateVector::zero(2);
+        sv.apply_1q(1, &gates::x());
+        assert!((sv.amplitude(0b10).abs2() - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn hadamard_gives_uniform() {
+        let mut sv = StateVector::zero(1);
+        sv.apply_1q(0, &gates::h());
+        let p = sv.probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-14);
+        assert!((p[1] - 0.5).abs() < 1e-14);
+    }
+
+    #[test]
+    fn bell_state_via_h_and_cx() {
+        let mut sv = StateVector::zero(2);
+        sv.apply_1q(1, &gates::h());
+        sv.apply_2q(1, 0, &gates::cx());
+        let p = sv.probabilities();
+        assert!((p[0b00] - 0.5).abs() < 1e-14);
+        assert!((p[0b11] - 0.5).abs() < 1e-14);
+        assert!(p[0b01].abs() < 1e-14);
+    }
+
+    #[test]
+    fn cx_control_is_high_qubit() {
+        let mut sv = StateVector::zero(2);
+        // Set only q0 (the target slot): no flip expected.
+        sv.apply_1q(0, &gates::x());
+        sv.apply_2q(1, 0, &gates::cx());
+        assert!((sv.amplitude(0b01).abs2() - 1.0).abs() < 1e-14);
+        // Set control q1: target toggles.
+        let mut sv = StateVector::zero(2);
+        sv.apply_1q(1, &gates::x());
+        sv.apply_2q(1, 0, &gates::cx());
+        assert!((sv.amplitude(0b11).abs2() - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn toffoli_needs_both_controls() {
+        let mut sv = StateVector::zero(3);
+        sv.apply_1q(2, &gates::x());
+        sv.apply_3q(2, 1, 0, &gates::toffoli());
+        assert!((sv.amplitude(0b100).abs2() - 1.0).abs() < 1e-14, "one control: no flip");
+        let mut sv = StateVector::zero(3);
+        sv.apply_1q(2, &gates::x());
+        sv.apply_1q(1, &gates::x());
+        sv.apply_3q(2, 1, 0, &gates::toffoli());
+        assert!((sv.amplitude(0b111).abs2() - 1.0).abs() < 1e-14, "both controls: flip");
+    }
+
+    #[test]
+    fn norm_is_preserved() {
+        let mut sv = StateVector::zero(3);
+        sv.apply_1q(0, &gates::h());
+        sv.apply_2q(2, 0, &gates::cx());
+        sv.apply_1q(1, &gates::t());
+        sv.apply_2q(1, 2, &gates::swap());
+        assert!((sv.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gate_on_nonadjacent_qubits() {
+        let mut sv = StateVector::zero(4);
+        sv.apply_1q(3, &gates::x());
+        sv.apply_2q(3, 0, &gates::cx());
+        assert!((sv.amplitude(0b1001).abs2() - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn sampling_matches_probabilities() {
+        let mut sv = StateVector::zero(1);
+        sv.apply_1q(0, &gates::h());
+        let mut rng = StdRng::seed_from_u64(7);
+        let outcomes = sv.sample(&mut rng, 20_000);
+        let d = distribution(&outcomes, 2);
+        assert!((d[0] - 0.5).abs() < 0.02, "got {}", d[0]);
+    }
+
+    #[test]
+    fn tvd_properties() {
+        assert_eq!(tvd(&[1.0, 0.0], &[1.0, 0.0]), 0.0);
+        assert_eq!(tvd(&[1.0, 0.0], &[0.0, 1.0]), 1.0);
+        assert!((tvd(&[0.5, 0.5], &[0.75, 0.25]) - 0.25).abs() < 1e-14);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn apply_rejects_bad_qubit() {
+        StateVector::zero(2).apply_1q(5, &gates::x());
+    }
+}

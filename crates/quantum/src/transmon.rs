@@ -1,0 +1,291 @@
+//! Pulse-level transmon simulation: waveform -> gate unitary.
+//!
+//! In the frame rotating at the qubit frequency, a resonant drive with
+//! envelope `(I(t), Q(t))` generates
+//! `H(t) = kappa/2 * (I(t) X + Q(t) Y)` for a two-level qubit; `kappa`
+//! converts DAC amplitude to Rabi rate and is fixed by calibration (a π
+//! pulse must integrate to a π rotation). A three-level extension with
+//! anharmonicity `Delta` captures the leakage that DRAG pulses suppress.
+//!
+//! This is how we substitute the paper's hardware experiments: the *only*
+//! way compression can hurt a gate is by distorting its waveform, and the
+//! distortion-induced error is exactly the unitary distance between the
+//! evolutions under the original and decompressed envelopes.
+
+use crate::linalg::{average_gate_fidelity, c, CMatrix, C_ZERO};
+use compaqt_pulse::waveform::Waveform;
+
+/// Calibrates the drive strength `kappa` (radians per sample per unit
+/// amplitude) so the given envelope implements a rotation by `angle`.
+///
+/// # Panics
+///
+/// Panics if the envelope integrates to (numerically) zero.
+pub fn calibrate(waveform: &Waveform, angle: f64) -> f64 {
+    let area: f64 = waveform.i().iter().sum();
+    assert!(area.abs() > 1e-9, "cannot calibrate a zero-area envelope");
+    angle / area
+}
+
+/// Evolves a two-level qubit under the waveform with drive strength
+/// `kappa`, returning the 2x2 gate unitary.
+///
+/// Uses the exact per-sample propagator
+/// `exp(-i (a X + b Y)) = cos r - i sin r (a X + b Y)/r`.
+pub fn evolve_2level(waveform: &Waveform, kappa: f64) -> CMatrix {
+    let mut u = CMatrix::identity(2);
+    for (&i_s, &q_s) in waveform.i().iter().zip(waveform.q()) {
+        let a = 0.5 * kappa * i_s;
+        let b = 0.5 * kappa * q_s;
+        let r = (a * a + b * b).sqrt();
+        let step = if r < 1e-15 {
+            CMatrix::identity(2)
+        } else {
+            let (sin_r, cos_r) = r.sin_cos();
+            let f = sin_r / r;
+            // -i sin(r)/r * (a X + b Y) + cos(r) I
+            CMatrix::from_rows(&[
+                &[c(cos_r, 0.0), c(-b * f, -a * f)],
+                &[c(b * f, -a * f), c(cos_r, 0.0)],
+            ])
+        };
+        u = step.matmul(&u);
+    }
+    u
+}
+
+/// Evolves a three-level transmon (|0>, |1>, |2>) with anharmonicity
+/// `delta` (radians/sample, negative for transmons) under the waveform.
+///
+/// The |1>-|2> transition couples sqrt(2) stronger, which is what makes
+/// leakage a first-order concern and DRAG effective.
+pub fn evolve_3level(waveform: &Waveform, kappa: f64, delta: f64) -> CMatrix {
+    let s2 = 2f64.sqrt();
+    let mut u = CMatrix::identity(3);
+    for (&i_s, &q_s) in waveform.i().iter().zip(waveform.q()) {
+        let a = 0.5 * kappa * i_s;
+        let b = 0.5 * kappa * q_s;
+        // H = a (X01 + s2 X12) + b (Y01 + s2 Y12) + delta |2><2|
+        let h = CMatrix::from_rows(&[
+            &[C_ZERO, c(a, -b), C_ZERO],
+            &[c(a, b), C_ZERO, c(s2 * a, -s2 * b)],
+            &[C_ZERO, c(s2 * a, s2 * b), c(delta, 0.0)],
+        ]);
+        let step = h.scale(c(0.0, -1.0)).expm();
+        u = step.matmul(&u);
+    }
+    u
+}
+
+/// Leakage out of the computational subspace after applying the pulse to
+/// |0>: the |2> population.
+pub fn leakage(waveform: &Waveform, kappa: f64, delta: f64) -> f64 {
+    let u = evolve_3level(waveform, kappa, delta);
+    u[(2, 0)].abs2()
+}
+
+/// The distortion-induced gate infidelity between the original and
+/// decompressed envelopes: `1 - F_avg(U_orig, U_decomp)` with both
+/// unitaries produced by the same calibrated drive.
+///
+/// This is the quantity the paper's MSE proxy tracks ("MSE ... highly
+/// correlated to the gate fidelity", Section IV-C).
+pub fn distortion_infidelity(original: &Waveform, decompressed: &Waveform) -> f64 {
+    let kappa = calibrate(original, std::f64::consts::PI);
+    let u = evolve_2level(original, kappa);
+    let v = evolve_2level(decompressed, kappa);
+    (1.0 - average_gate_fidelity(&u, &v)).max(0.0)
+}
+
+/// Effective cross-resonance Hamiltonian coefficients (relative to the
+/// drive envelope): the desired `ZX` interaction plus the parasitic `IX`
+/// and `ZI` terms a real CR drive produces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrCoefficients {
+    /// ZX rate per unit drive amplitude (the entangling term).
+    pub zx: f64,
+    /// IX rate (unconditional target rotation, echoed away on hardware).
+    pub ix: f64,
+    /// ZI rate (control Stark shift).
+    pub zi: f64,
+}
+
+impl Default for CrCoefficients {
+    fn default() -> Self {
+        // Typical effective-Hamiltonian ratios for IBM CR gates.
+        CrCoefficients { zx: 1.0, ix: 0.45, zi: 0.2 }
+    }
+}
+
+/// Evolves a two-qubit system under the effective cross-resonance
+/// Hamiltonian driven by the envelope:
+/// `H(t) = kappa/2 * A(t) * (zx ZX + ix IX + zi ZI)` with `A` the I
+/// channel (the CR drive phase is absorbed into the frame).
+///
+/// The three Pauli terms pairwise commute (`ZX * IX = ZI`), so the
+/// time-ordered product collapses exactly to a single exponential of the
+/// integrated drive area — no per-sample stepping needed.
+///
+/// Returns the 4x4 unitary on |control, target>.
+pub fn evolve_cr(waveform: &Waveform, kappa: f64, coeffs: &CrCoefficients) -> CMatrix {
+    let zx = crate::gates::z().kron(&crate::gates::x());
+    let ix = CMatrix::identity(2).kron(&crate::gates::x());
+    let zi = crate::gates::z().kron(&CMatrix::identity(2));
+    let area: f64 = waveform.i().iter().sum();
+    let h = zx
+        .scale(c(coeffs.zx, 0.0))
+        .add(&ix.scale(c(coeffs.ix, 0.0)))
+        .add(&zi.scale(c(coeffs.zi, 0.0)))
+        .scale(c(0.5 * kappa * area, 0.0));
+    h.scale(c(0.0, -1.0)).expm()
+}
+
+/// Calibrates the CR drive so the ZX angle integrates to `pi/4` (a
+/// CNOT-equivalent CR90) and returns the drive strength.
+pub fn calibrate_cr(waveform: &Waveform, coeffs: &CrCoefficients) -> f64 {
+    let area: f64 = waveform.i().iter().sum();
+    assert!(area.abs() > 1e-9, "cannot calibrate a zero-area CR envelope");
+    // theta_zx = kappa * zx * area -> want pi/4... with the 1/2 in H and
+    // the 2-angle convention, kappa = pi/2 / (zx * area).
+    std::f64::consts::FRAC_PI_2 / (coeffs.zx * area)
+}
+
+/// Distortion infidelity of a two-qubit CR pulse: evolve the effective
+/// CR Hamiltonian under original and decompressed envelopes.
+pub fn distortion_infidelity_cr(original: &Waveform, decompressed: &Waveform) -> f64 {
+    let coeffs = CrCoefficients::default();
+    let kappa = calibrate_cr(original, &coeffs);
+    let u = evolve_cr(original, kappa, &coeffs);
+    let v = evolve_cr(decompressed, kappa, &coeffs);
+    (1.0 - average_gate_fidelity(&u, &v)).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+    use compaqt_pulse::shapes::{Drag, Gaussian, PulseShape};
+
+    fn pi_pulse() -> Waveform {
+        Gaussian::new(160, 0.5, 40.0).to_waveform("X", 4.54)
+    }
+
+    #[test]
+    fn calibrated_gaussian_implements_x() {
+        let wf = pi_pulse();
+        let kappa = calibrate(&wf, std::f64::consts::PI);
+        let u = evolve_2level(&wf, kappa);
+        // Up to global phase, U == X.
+        let f = average_gate_fidelity(&u, &gates::x());
+        assert!((f - 1.0).abs() < 1e-9, "fidelity {f}");
+    }
+
+    #[test]
+    fn half_amplitude_gives_sx() {
+        let wf = pi_pulse();
+        let kappa = calibrate(&wf, std::f64::consts::PI);
+        let half = Waveform::new(
+            "SX",
+            wf.i().iter().map(|v| v / 2.0).collect(),
+            wf.q().to_vec(),
+            wf.sample_rate_gs(),
+        );
+        let u = evolve_2level(&half, kappa);
+        let f = average_gate_fidelity(&u, &gates::sx());
+        assert!((f - 1.0).abs() < 1e-9, "fidelity {f}");
+    }
+
+    #[test]
+    fn evolution_is_unitary() {
+        let wf = Drag::new(160, 0.4, 40.0, 0.2).to_waveform("X", 4.54);
+        let kappa = calibrate(&wf, std::f64::consts::PI);
+        assert!(evolve_2level(&wf, kappa).is_unitary(1e-10));
+        assert!(evolve_3level(&wf, kappa, -0.3).is_unitary(1e-8));
+    }
+
+    #[test]
+    fn identical_waveforms_have_zero_distortion() {
+        let wf = pi_pulse();
+        assert!(distortion_infidelity(&wf, &wf.clone()) < 1e-14);
+    }
+
+    #[test]
+    fn distortion_grows_with_amplitude_error() {
+        let wf = pi_pulse();
+        let scale = |f: f64| {
+            Waveform::new(
+                "d",
+                wf.i().iter().map(|v| v * f).collect(),
+                wf.q().to_vec(),
+                wf.sample_rate_gs(),
+            )
+        };
+        let small = distortion_infidelity(&wf, &scale(1.001));
+        let large = distortion_infidelity(&wf, &scale(1.01));
+        assert!(large > small);
+        // 1% amplitude error on a pi pulse: theta_err = 0.01*pi,
+        // infidelity ~ (2/3) sin^2(theta_err/2) ~ 1.6e-4.
+        assert!((1e-5..1e-3).contains(&large), "got {large:e}");
+    }
+
+    #[test]
+    fn drag_reduces_leakage() {
+        let plain = Gaussian::new(80, 0.8, 16.0).to_waveform("X", 4.54);
+        let kappa = calibrate(&plain, std::f64::consts::PI);
+        // Realistic anharmonicity: -330 MHz at 4.54 GS/s sampling ->
+        // delta = 2 pi * -0.33 GHz / 4.54 GS/s = -0.457 rad/sample.
+        let delta = -0.457;
+        let l_plain = leakage(&plain, kappa, delta);
+        let dragged = Drag::new(80, 0.8, 16.0, 0.4).to_waveform("Xd", 4.54);
+        let l_drag = leakage(&dragged, kappa, delta);
+        assert!(
+            l_drag < l_plain,
+            "DRAG should reduce leakage: {l_drag:e} vs {l_plain:e}"
+        );
+    }
+
+    #[test]
+    fn cr_evolution_is_unitary_and_entangling() {
+        use compaqt_pulse::shapes::GaussianSquare;
+        let wf = GaussianSquare::new(1362, 0.3, 40.0, 1020).to_waveform("CR", 4.54);
+        let coeffs = CrCoefficients::default();
+        let kappa = calibrate_cr(&wf, &coeffs);
+        let u = evolve_cr(&wf, kappa, &coeffs);
+        assert!(u.is_unitary(1e-8));
+        // A ZX(pi/4)-class gate is locally equivalent to CNOT: it must
+        // not be a tensor product. Check entangling power via the
+        // magic-basis invariant proxy: |Tr(U U^T...)| — simpler: apply to
+        // |+0> and verify the reduced state is mixed (entanglement).
+        let mut sv = crate::state::StateVector::zero(2);
+        sv.apply_1q(1, &crate::gates::h());
+        sv.apply_2q(1, 0, &u);
+        // Probability distribution should not factorize: P(00)P(11) !=
+        // P(01)P(10) for an entangled state measured in this basis.
+        let p = sv.probabilities();
+        let det = p[0] * p[3] - p[1] * p[2];
+        assert!(det.abs() > 1e-3, "CR gate left the state separable: {p:?}");
+    }
+
+    #[test]
+    fn cr_distortion_is_zero_for_identical_and_small_when_compressed() {
+        use compaqt_core::compress::{Compressor, Variant};
+        use compaqt_pulse::shapes::GaussianSquare;
+        let wf = GaussianSquare::new(1362, 0.3, 40.0, 1020).to_waveform("CR", 4.54);
+        assert!(distortion_infidelity_cr(&wf, &wf.clone()) < 1e-12);
+        let z = Compressor::new(Variant::IntDctW { ws: 16 }).compress(&wf).unwrap();
+        let back = z.decompress().unwrap();
+        let infid = distortion_infidelity_cr(&wf, &back);
+        assert!(infid < 1e-3, "got {infid:e}");
+    }
+
+    #[test]
+    fn compressed_pulse_distortion_is_tiny() {
+        use compaqt_core::compress::{Compressor, Variant};
+        let wf = Drag::new(160, 0.5, 40.0, 0.2).to_waveform("X", 4.54);
+        let z = Compressor::new(Variant::IntDctW { ws: 16 }).compress(&wf).unwrap();
+        let back = z.decompress().unwrap();
+        let infid = distortion_infidelity(&wf, &back);
+        // Less than 0.1% fidelity degradation (abstract's headline claim).
+        assert!(infid < 1e-3, "got {infid:e}");
+    }
+}

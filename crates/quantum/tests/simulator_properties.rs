@@ -1,0 +1,145 @@
+//! Property tests of the quantum simulator substrate.
+
+use compaqt_quantum::circuits::{self, Circuit, Op};
+use compaqt_quantum::fidelity::{apply_readout_error, ideal_distribution};
+use compaqt_quantum::gates;
+use compaqt_quantum::linalg::{average_gate_fidelity, c, CMatrix};
+use compaqt_quantum::state::{tvd, StateVector};
+use compaqt_quantum::transpile::transpile;
+use proptest::prelude::*;
+
+fn random_unitary_strategy() -> impl Strategy<Value = CMatrix> {
+    // Random products of H/S/T are dense in SU(2) enough for testing.
+    proptest::collection::vec(0u8..3, 1..12).prop_map(|seq| {
+        let mut u = CMatrix::identity(2);
+        for g in seq {
+            let m = match g {
+                0 => gates::h(),
+                1 => gates::s(),
+                _ => gates::t(),
+            };
+            u = m.matmul(&u);
+        }
+        u
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_gate_words_are_unitary(u in random_unitary_strategy()) {
+        prop_assert!(u.is_unitary(1e-10));
+    }
+
+    #[test]
+    fn fidelity_is_symmetric_and_bounded(
+        u in random_unitary_strategy(),
+        v in random_unitary_strategy(),
+    ) {
+        let f_uv = average_gate_fidelity(&u, &v);
+        let f_vu = average_gate_fidelity(&v, &u);
+        prop_assert!((f_uv - f_vu).abs() < 1e-12);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&f_uv));
+    }
+
+    #[test]
+    fn state_norm_is_preserved_by_any_circuit(ops in proptest::collection::vec(0u8..5, 1..40)) {
+        let mut sv = StateVector::zero(3);
+        for (k, g) in ops.iter().enumerate() {
+            match g {
+                0 => sv.apply_1q(k % 3, &gates::h()),
+                1 => sv.apply_1q(k % 3, &gates::t()),
+                2 => sv.apply_2q(k % 3, (k + 1) % 3, &gates::cx()),
+                3 => sv.apply_1q(k % 3, &gates::sx()),
+                _ => sv.apply_2q((k + 1) % 3, k % 3, &gates::cz()),
+            }
+        }
+        prop_assert!((sv.norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn readout_error_preserves_total_probability(
+        raw in proptest::collection::vec(0.0f64..1.0, 8),
+        eps in 0.0f64..0.2,
+    ) {
+        let total: f64 = raw.iter().sum();
+        prop_assume!(total > 1e-9);
+        let dist: Vec<f64> = raw.iter().map(|v| v / total).collect();
+        let out = apply_readout_error(&dist, 3, eps);
+        prop_assert!((out.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(out.iter().all(|&p| p >= -1e-12));
+    }
+
+    #[test]
+    fn tvd_is_a_metric(
+        a_raw in proptest::collection::vec(0.01f64..1.0, 4),
+        b_raw in proptest::collection::vec(0.01f64..1.0, 4),
+    ) {
+        let norm = |v: &[f64]| {
+            let s: f64 = v.iter().sum();
+            v.iter().map(|x| x / s).collect::<Vec<f64>>()
+        };
+        let a = norm(&a_raw);
+        let b = norm(&b_raw);
+        prop_assert!(tvd(&a, &a) < 1e-12);
+        prop_assert!((tvd(&a, &b) - tvd(&b, &a)).abs() < 1e-12);
+        prop_assert!(tvd(&a, &b) <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn transpilation_preserves_distributions(layers in 1usize..3, seed in 0u64..50) {
+        let circuit = circuits::qaoa(4, layers, seed);
+        let t = transpile(&circuit);
+        let da = ideal_distribution(&circuit);
+        let db = ideal_distribution(&t);
+        prop_assert!(tvd(&da, &db) < 1e-9, "tvd {}", tvd(&da, &db));
+    }
+
+    #[test]
+    fn bv_always_finds_its_secret(secret in 0u64..32) {
+        let c_ = circuits::bernstein_vazirani(5, secret);
+        let d = ideal_distribution(&c_);
+        let mass: f64 = d
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| (*k as u64) & 0b11111 == secret)
+            .map(|(_, &p)| p)
+            .sum();
+        prop_assert!((mass - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn qft_echo_returns_to_input(n in 2usize..6) {
+        let c_ = circuits::qft(n);
+        let d = ideal_distribution(&c_);
+        // The echoed QFT leaves a basis state: one outcome holds all mass.
+        let peak = d.iter().cloned().fold(0.0, f64::max);
+        prop_assert!((peak - 1.0).abs() < 1e-9, "peak {peak}");
+    }
+
+    #[test]
+    fn rz_commutes_with_measurement_distribution(theta in -3.0f64..3.0) {
+        // Virtual Z before measurement must not change probabilities.
+        let mut with = Circuit::new("w", 2);
+        with.push(Op::H(0));
+        with.push(Op::Cx(0, 1));
+        with.push(Op::Rz(0, theta));
+        with.measure_all();
+        let mut without = Circuit::new("wo", 2);
+        without.push(Op::H(0));
+        without.push(Op::Cx(0, 1));
+        without.measure_all();
+        let a = ideal_distribution(&with);
+        let b = ideal_distribution(&without);
+        prop_assert!(tvd(&a, &b) < 1e-12);
+    }
+
+    #[test]
+    fn expm_of_scaled_pauli_is_rotation(theta in -6.0f64..6.0) {
+        let gen = gates::x().scale(c(0.0, -theta / 2.0));
+        let u = gen.expm();
+        let expect = gates::rx(theta);
+        prop_assert!(u.distance(&expect) < 1e-9);
+    }
+}

@@ -1,0 +1,83 @@
+//! Cryogenic power budgeting: fit as many qubits as possible under a
+//! dilution refrigerator's 4 K cooling budget (Section VII-D).
+//!
+//! ```sh
+//! cargo run --release --example cryo_power_budget -- 500
+//! ```
+//! (argument: cooling budget in mW; default 500 mW)
+
+use compaqt::core::adaptive::AdaptiveCompressor;
+use compaqt::core::compress::{Compressor, Variant};
+use compaqt::core::stats::compress_library;
+use compaqt::hw::power::{CryoDesign, CryoPowerModel};
+use compaqt::pulse::device::Device;
+use compaqt::pulse::library::GateKind;
+use compaqt::pulse::vendor::Vendor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let budget_mw: f64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(500.0);
+    let model = CryoPowerModel::default();
+    let device = Device::synthesize(Vendor::Ibm, 16, 0x4B);
+    let lib = device.pulse_library();
+
+    // Library statistics feed the power model.
+    let ws = 16usize;
+    let report = compress_library(&lib, &Compressor::new(Variant::IntDctW { ws }))?;
+    let hist = report.samples_per_window_histogram();
+    let total: usize = hist.values().sum();
+    let avg_words = hist.iter().map(|(&w, &n)| w * n).sum::<usize>() as f64 / total as f64;
+    let cap_ratio = report.overall.ratio();
+
+    // How much of the library is flat-top (eligible for adaptive bypass)?
+    let adaptive = AdaptiveCompressor::new(Variant::IntDctW { ws });
+    let mut bypass_weighted = 0.0;
+    let mut samples = 0usize;
+    for (gate, wf) in lib.iter() {
+        samples += wf.len();
+        if matches!(gate.kind, GateKind::Cx | GateKind::Measure) {
+            if let Ok(z) = adaptive.compress(wf) {
+                bypass_weighted += z.bypass_fraction() * wf.len() as f64;
+            }
+        }
+    }
+    let fleet_bypass = bypass_weighted / samples as f64;
+
+    println!("-- per-qubit controller power (mW) --");
+    let designs = [
+        ("uncompressed", CryoDesign::Uncompressed),
+        (
+            "COMPAQT WS=16",
+            CryoDesign::Compressed { ws, avg_words_per_window: avg_words, capacity_ratio: cap_ratio },
+        ),
+        (
+            "  + adaptive",
+            CryoDesign::Adaptive {
+                ws,
+                avg_words_per_window: avg_words,
+                capacity_ratio: cap_ratio,
+                bypass_fraction: fleet_bypass,
+            },
+        ),
+    ];
+    println!(
+        "{:<14} {:>6} {:>8} {:>6} {:>7} | qubits under {budget_mw} mW",
+        "design", "DAC", "memory", "IDCT", "total"
+    );
+    for (name, design) in designs {
+        let b = model.breakdown(&design);
+        println!(
+            "{:<14} {:>6.2} {:>8.2} {:>6.2} {:>7.2} | {}",
+            name,
+            b.dac_mw,
+            b.memory_mw,
+            b.idct_mw,
+            b.total_mw(),
+            (budget_mw / b.total_mw()) as usize
+        );
+    }
+    println!(
+        "\nlibrary stats: R={cap_ratio:.2}, {avg_words:.2} words/window, fleet bypass {:.0}%",
+        100.0 * fleet_bypass
+    );
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Fidelity sweep: how hard can we compress before gates degrade?
+//!
+//! Sweeps the coefficient threshold, measuring compression ratio,
+//! waveform MSE and the distortion-induced gate infidelity from transmon
+//! evolution — the trade-off navigated by Algorithm 1.
+//!
+//! ```sh
+//! cargo run --release --example fidelity_sweep
+//! ```
+
+use compaqt::core::compress::{Compressor, Variant};
+use compaqt::pulse::device::Device;
+use compaqt::pulse::vendor::Vendor;
+use compaqt::quantum::errors::NoiseModel;
+use compaqt::quantum::rb::{run_rb, RbConfig, RbQubits};
+use compaqt::quantum::transmon;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let device = Device::synthesize(Vendor::Ibm, 2, 0xF1DE);
+    let pulse = device.pi_pulse(0);
+    println!("sweeping threshold on {pulse}");
+    println!(
+        "{:>9} {:>7} {:>10} {:>12} {:>10}",
+        "threshold", "ratio", "mse", "infidelity", "2Q RB p"
+    );
+    let lib = device.pulse_library();
+    for threshold in [0.002, 0.005, 0.01, 0.025, 0.05, 0.1, 0.2] {
+        let compressor = Compressor::new(Variant::IntDctW { ws: 16 }).with_threshold(threshold);
+        let z = compressor.compress(&pulse)?;
+        let restored = z.decompress()?;
+        let mse = pulse.mse(&restored);
+        let infid = transmon::distortion_infidelity(&pulse, &restored);
+
+        // Full-loop check: run 2Q RB with this compression level.
+        let noise = NoiseModel::from_compression(NoiseModel::ibm_baseline(), &lib, &compressor)?;
+        let rb = run_rb(
+            RbQubits::Two,
+            &noise,
+            &RbConfig { lengths: vec![1, 10, 30, 60], sequences_per_length: 10, seed: 0x5F },
+        );
+        println!(
+            "{threshold:>9} {:>7.2} {:>10.2e} {:>12.2e} {:>10.4}",
+            z.ratio().ratio(),
+            mse,
+            infid,
+            rb.p
+        );
+    }
+    println!("\nMSE tracks gate infidelity across the sweep — the correlation that lets");
+    println!("Algorithm 1 tune thresholds at compile time without touching hardware.");
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Quickstart: compress a calibrated gate pulse, stream it through the
+//! modelled hardware decompression engine, and inspect the gains.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use compaqt::core::compress::{Compressor, Variant};
+use compaqt::core::engine::DecompressionEngine;
+use compaqt::pulse::device::Device;
+use compaqt::pulse::vendor::Vendor;
+use compaqt::quantum::transmon;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Synthesize a 5-qubit IBM-class machine with unique per-qubit
+    //    calibrations (the paper reads these from real backends).
+    let device = Device::synthesize(Vendor::Ibm, 5, 0xC0FFEE);
+    println!("device: {} ({} qubits)", device.name(), device.n_qubits());
+
+    // 2. Take qubit 2's pi pulse — a DRAG envelope streamed to the DAC at
+    //    4.54 GS/s whenever an X gate fires.
+    let pulse = device.pi_pulse(2);
+    println!(
+        "pulse : {pulse} ({} bytes uncompressed)",
+        pulse.storage_bytes(device.params().sample_bits)
+    );
+
+    // 3. Compress at compile time with the windowed integer DCT (the
+    //    COMPAQT design point: WS=16, shift-add-only hardware).
+    let compressor = Compressor::new(Variant::IntDctW { ws: 16 });
+    let compressed = compressor.compress(&pulse)?;
+    println!("codec : {}", compressed.variant.label());
+    println!("ratio : {}", compressed.ratio());
+    println!("worst-case window: {} stored words", compressed.worst_case_window_words());
+
+    // 4. Decompress through the bit-exact engine model and measure both
+    //    the signal distortion and the bandwidth expansion.
+    let engine = DecompressionEngine::for_variant(compressed.variant)?;
+    let (restored, stats) = engine.decompress(&compressed)?;
+    println!("mse   : {:.3e}", pulse.mse(&restored));
+    println!(
+        "memory words read {} -> DAC samples {} ({:.2}x bandwidth expansion)",
+        stats.memory_words_read,
+        stats.output_samples,
+        stats.bandwidth_expansion()
+    );
+
+    // 5. The quantity that actually matters: does the decompressed pulse
+    //    still implement the same gate? Evolve a transmon under both.
+    let infidelity = transmon::distortion_infidelity(&pulse, &restored);
+    println!("distortion-induced gate infidelity: {infidelity:.3e}");
+    assert!(infidelity < 1e-3, "compression must not cost gate fidelity");
+
+    // 6. Fidelity-aware compression (Algorithm 1): ask for a target error
+    //    and let the compiler pick the threshold.
+    let (tuned, threshold) = compressor.compress_with_target(&pulse, 1e-6)?;
+    println!(
+        "fidelity-aware: threshold {threshold:.4} meets MSE<=1e-6 at ratio {}",
+        tuned.ratio()
+    );
+    Ok(())
+}

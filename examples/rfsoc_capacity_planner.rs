@@ -1,0 +1,80 @@
+//! RFSoC capacity planner: how many qubits can one board drive, with and
+//! without COMPAQT?
+//!
+//! Walks the full Section III -> Section V story on a synthesized machine:
+//! memory demand, the bandwidth wall, and the compressed-memory fix.
+//!
+//! ```sh
+//! cargo run --release --example rfsoc_capacity_planner -- 100
+//! ```
+
+use compaqt::core::compress::{Compressor, Variant};
+use compaqt::core::memory::BankedMemory;
+use compaqt::core::stats::compress_library;
+use compaqt::hw::rfsoc::RfsocModel;
+use compaqt::pulse::memory_model;
+use compaqt::pulse::device::Device;
+use compaqt::pulse::vendor::Vendor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(100);
+    let params = Vendor::Ibm.params();
+
+    // Demand side: what does an n-qubit machine ask of waveform memory?
+    let capacity = memory_model::total_capacity_bytes(&params, n);
+    let bandwidth = memory_model::total_bandwidth_gb(&params, n);
+    println!("-- demand for {n} qubits (IBM-class) --");
+    println!("waveform capacity : {:.2} MB", capacity / 1e6);
+    println!("concurrent-drive bandwidth: {bandwidth:.0} GB/s");
+    println!(
+        "RFSoC reference   : {:.2} MB capacity, {:.0} GB/s internal bandwidth",
+        memory_model::RFSOC_CAPACITY_BYTES / 1e6,
+        memory_model::RFSOC_MAX_BANDWIDTH_GB
+    );
+
+    // Supply side: the uncompressed bandwidth wall.
+    let rfsoc = RfsocModel::default();
+    println!("\n-- one RFSoC board (QICK-class, DAC/fabric ratio 16) --");
+    println!("capacity-only limit : {} qubits", rfsoc.qubits_by_capacity(&params));
+    println!("bandwidth limit     : {} qubits", rfsoc.qubits_by_bandwidth());
+    println!("banked uncompressed : {} qubits", rfsoc.qubits_uncompressed());
+
+    // COMPAQT: compress a real library, size the uniform-width memory
+    // from the measured worst case, and recount.
+    let probe = Device::synthesize(Vendor::Ibm, 16.min(n), 0xACE);
+    let lib = probe.pulse_library();
+    for ws in [8usize, 16] {
+        // Uniform-width memory: cap every window at 3 stored words
+        // (Section V-A / Figure 11) so the bank count is fixed.
+        let compressor = Compressor::new(Variant::IntDctW { ws }).with_max_window_words(3);
+        let report = compress_library(&lib, &compressor)?;
+        let worst = report
+            .waveforms
+            .iter()
+            .map(|w| w.worst_case_window_words)
+            .max()
+            .unwrap_or(3);
+        let qubits = rfsoc.qubits_supported(worst, ws);
+        println!(
+            "COMPAQT WS={ws:<2}: overall R {:.2}, mean MSE {:.1e}, worst window {worst} words -> {qubits} qubits ({:.2}x)",
+            report.overall.ratio(),
+            report.mean_mse(),
+            rfsoc.gain(worst, ws),
+        );
+    }
+
+    // Show the banked layout for one waveform.
+    let z = Compressor::new(Variant::IntDctW { ws: 16 }).compress(
+        lib.iter().next().map(|(_, wf)| wf).expect("library is non-empty"),
+    )?;
+    let mut mem = BankedMemory::new();
+    let (hi, _) = mem.store(&z);
+    println!(
+        "\nexample layout: '{}' stripes {} windows across {} banks ({} BRAMs backing)",
+        z.name,
+        hi.windows,
+        hi.banks,
+        mem.brams_used()
+    );
+    Ok(())
+}

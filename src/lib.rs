@@ -1,0 +1,57 @@
+//! # COMPAQT — Compressed Waveform Memory Architecture for Scalable Qubit Control
+//!
+//! A full-system Rust reproduction of Maurya & Tannu, MICRO 2022
+//! (arXiv:2212.03897).
+//!
+//! Superconducting qubits are driven by microwave pulses whose envelopes
+//! (waveforms) are streamed from on-chip memory to DACs at multiple
+//! gigasamples per second. The required memory bandwidth scales linearly
+//! with the qubit count and becomes *the* scalability bottleneck of
+//! RFSoC-based controllers, and a major power sink in cryogenic ASIC
+//! controllers. COMPAQT's observation: control waveforms are deliberately
+//! smooth (tight spectral footprint), hence highly compressible. Compress
+//! them at compile time with a windowed integer DCT + run-length coding,
+//! store the compressed stream, and decompress in hardware right before the
+//! DAC — trading cheap logic for scarce memory bandwidth.
+//!
+//! This facade crate re-exports the five subsystem crates:
+//!
+//! * [`dsp`] — transforms, run-length coding, fixed point ([`compaqt_dsp`]).
+//! * [`pulse`] — waveform shapes, synthetic device calibrations, pulse
+//!   libraries, memory-demand models ([`compaqt_pulse`]).
+//! * [`core`] — the compression compiler, compressed banked waveform
+//!   memory and the hardware decompression-engine model ([`compaqt_core`]).
+//! * [`quantum`] — pulse-to-unitary simulation, randomized benchmarking,
+//!   benchmark circuits and scheduling ([`compaqt_quantum`]).
+//! * [`hw`] — RFSoC and cryogenic-ASIC hardware models ([`compaqt_hw`]).
+//!
+//! # Quickstart
+//!
+//! Compress a single-qubit DRAG pulse and stream it through the modelled
+//! decompression engine:
+//!
+//! ```
+//! use compaqt::pulse::shapes::{Drag, PulseShape};
+//! use compaqt::core::compress::{Compressor, Variant};
+//!
+//! // A typical IBM-style 160-sample X-gate envelope.
+//! let drag = Drag::new(160, 0.6, 40.0, 0.18);
+//! let waveform = drag.to_waveform("X(q0)", 4.54);
+//!
+//! // Compress with the windowed integer DCT, window size 16.
+//! let compressor = Compressor::new(Variant::IntDctW { ws: 16 });
+//! let compressed = compressor.compress(&waveform)?;
+//! assert!(compressed.ratio().ratio() > 4.0, "smooth pulses compress well");
+//!
+//! // Decompress (bit-exact model of the hardware pipeline) and check
+//! // distortion is negligible.
+//! let restored = compressed.decompress()?;
+//! assert!(waveform.mse(&restored) < 5e-5);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use compaqt_core as core;
+pub use compaqt_dsp as dsp;
+pub use compaqt_hw as hw;
+pub use compaqt_pulse as pulse;
+pub use compaqt_quantum as quantum;

@@ -1,0 +1,131 @@
+//! The paper's headline claims, checked end to end.
+//!
+//! These are the numbers the abstract promises: ~5x bandwidth/qubit-count
+//! gain on RFSoCs, >2.5x cryo memory-power reduction (up to ~4x with
+//! adaptive decompression), and <0.1% gate-fidelity degradation.
+
+use compaqt::core::compress::{Compressor, Variant};
+use compaqt::core::stats::compress_library;
+use compaqt::hw::power::{CryoDesign, CryoPowerModel};
+use compaqt::hw::rfsoc::RfsocModel;
+use compaqt::pulse::device::Device;
+use compaqt::pulse::vendor::Vendor;
+use compaqt::quantum::errors::NoiseModel;
+use compaqt::quantum::rb::{run_rb, RbConfig, RbQubits};
+
+#[test]
+fn claim_5x_more_qubits_per_rfsoc() {
+    let rfsoc = RfsocModel::default();
+    // Figure 11 / Section V-C: worst case 3 words per window.
+    let gain = rfsoc.gain(3, 16);
+    assert!(gain > 5.0, "got {gain}");
+}
+
+#[test]
+fn claim_waveforms_compress_5x_or_more_on_average() {
+    let device = Device::named_machine("guadalupe");
+    let lib = device.pulse_library();
+    let report = compress_library(&lib, &Compressor::new(Variant::IntDctW { ws: 16 })).unwrap();
+    let avg = report.ratio_summary().avg;
+    assert!(avg > 5.0, "Table VII average: got {avg}");
+}
+
+#[test]
+fn claim_memory_power_reduction_over_2_5x() {
+    let model = CryoPowerModel::default();
+    let base = model.breakdown(&CryoDesign::Uncompressed);
+    let comp = model.breakdown(&CryoDesign::Compressed {
+        ws: 16,
+        avg_words_per_window: 2.2,
+        capacity_ratio: 6.5,
+    });
+    let reduction = base.memory_mw / comp.memory_mw;
+    assert!(reduction > 2.5, "got {reduction}");
+}
+
+#[test]
+fn claim_adaptive_reaches_4x_total_reduction() {
+    let model = CryoPowerModel::default();
+    let base = model.breakdown(&CryoDesign::Uncompressed);
+    let adaptive = model.breakdown(&CryoDesign::Adaptive {
+        ws: 8,
+        avg_words_per_window: 2.2,
+        capacity_ratio: 6.5,
+        bypass_fraction: 0.78,
+    });
+    let reduction = base.total_mw() / adaptive.total_mw();
+    assert!(reduction > 4.0, "got {reduction}");
+}
+
+#[test]
+fn claim_fidelity_degradation_under_one_tenth_percent() {
+    // Per-gate distortion infidelity for the WS=16 design point stays
+    // below 1e-3 across a whole machine's library.
+    let device = Device::named_machine("lima");
+    let lib = device.pulse_library();
+    let noise = NoiseModel::from_compression(
+        NoiseModel::ibm_baseline(),
+        &lib,
+        &Compressor::new(Variant::IntDctW { ws: 16 }),
+    )
+    .unwrap();
+    // coherent angle theta: infidelity = (2/3) sin^2(theta/2) < 1e-3.
+    let infid = 2.0 / 3.0 * (noise.coherent_1q_angle / 2.0f64).sin().powi(2);
+    assert!(infid < 1e-3, "1Q distortion infidelity {infid:e}");
+}
+
+#[test]
+fn claim_rb_epc_increase_is_small() {
+    // Table III: compressed designs within ~0.003 of baseline p.
+    let config = RbConfig { lengths: vec![1, 10, 30, 60], sequences_per_length: 24, seed: 0xC1A1 };
+    let device = Device::named_machine("guadalupe");
+    let lib = device.pulse_library();
+    let baseline_model = NoiseModel::ibm_baseline();
+    let compressed_model = NoiseModel::from_compression(
+        baseline_model,
+        &lib,
+        &Compressor::new(Variant::IntDctW { ws: 16 }),
+    )
+    .unwrap();
+    let base = run_rb(RbQubits::Two, &baseline_model, &config);
+    let comp = run_rb(RbQubits::Two, &compressed_model, &config);
+    assert!(base.p - comp.p < 0.01, "baseline {} vs compressed {}", base.p, comp.p);
+}
+
+#[test]
+fn claim_bandwidth_wall_is_5x() {
+    // Figure 5d: capacity alone supports >200 qubits; bandwidth cuts it
+    // below 40 — a 5x drop.
+    let rfsoc = RfsocModel::default();
+    let by_cap = rfsoc.qubits_by_capacity(&Vendor::Ibm.params());
+    let by_bw = rfsoc.qubits_by_bandwidth();
+    assert!(by_cap > 200);
+    assert!(by_bw < 40);
+    assert!(by_cap as f64 / by_bw as f64 > 5.0);
+}
+
+#[test]
+fn claim_mse_correlates_with_gate_fidelity() {
+    // Section IV-C: the compile-time proxy behind Algorithm 1. Spearman
+    // check across thresholds: infidelity ordering follows MSE ordering.
+    use compaqt::quantum::transmon;
+    let device = Device::synthesize(Vendor::Ibm, 1, 0xC0);
+    let wf = device.pi_pulse(0);
+    let mut pairs = Vec::new();
+    for thr in [0.002, 0.01, 0.05, 0.2] {
+        let z = Compressor::new(Variant::IntDctW { ws: 16 })
+            .with_threshold(thr)
+            .compress(&wf)
+            .unwrap();
+        let restored = z.decompress().unwrap();
+        pairs.push((wf.mse(&restored), transmon::distortion_infidelity(&wf, &restored)));
+    }
+    for w in pairs.windows(2) {
+        assert!(w[1].0 >= w[0].0, "MSE should grow with threshold");
+        assert!(
+            w[1].1 >= w[0].1 * 0.5,
+            "infidelity should track MSE: {:?}",
+            pairs
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Cross-crate scalability integration: schedules, surface codes and the
+//! RFSoC model working together (Figures 5 and 17).
+
+use compaqt::hw::rfsoc::RfsocModel;
+use compaqt::pulse::memory_model::{self, rfsoc_bandwidth_per_qubit_gb};
+use compaqt::pulse::vendor::Vendor;
+use compaqt::quantum::circuits;
+use compaqt::quantum::schedule::{asap, profile};
+use compaqt::quantum::surface::SurfacePatch;
+use compaqt::quantum::transpile::transpile;
+
+#[test]
+fn qaoa_peak_bandwidth_comes_from_final_measurement() {
+    let params = Vendor::Ibm.params();
+    let circuit = transpile(&circuits::qaoa(40, 3, 40));
+    let sched = asap(&circuit, &params);
+    let prof = profile(&sched, rfsoc_bandwidth_per_qubit_gb());
+    // All 40 qubits measured concurrently: peak = 40 channels.
+    assert_eq!(prof.peak_channels, 40);
+    // Figure 5c shape: average far below peak for NISQ workloads.
+    assert!(prof.average_bandwidth_gb < 0.5 * prof.peak_bandwidth_gb);
+    // Magnitudes in the paper's regime (~900 GB/s peak).
+    assert!((700.0..1100.0).contains(&prof.peak_bandwidth_gb), "got {}", prof.peak_bandwidth_gb);
+}
+
+#[test]
+fn surface_code_bandwidth_is_sustained() {
+    let params = Vendor::Ibm.params();
+    for (patch, lo, hi) in [
+        (SurfacePatch::unrotated(3), 300.0, 700.0),
+        (SurfacePatch::unrotated(5), 1200.0, 2200.0),
+    ] {
+        let sched = asap(&transpile(&patch.syndrome_cycle()), &params);
+        let prof = profile(&sched, rfsoc_bandwidth_per_qubit_gb());
+        assert!(
+            (lo..hi).contains(&prof.peak_bandwidth_gb),
+            "{}: peak {}",
+            patch.name,
+            prof.peak_bandwidth_gb
+        );
+        // QEC keeps average within ~2x of peak (Figure 5c).
+        assert!(prof.average_bandwidth_gb > 0.4 * prof.peak_bandwidth_gb, "{}", patch.name);
+    }
+}
+
+#[test]
+fn compressed_controller_hosts_a_d5_patch() {
+    // An 81-qubit distance-5 patch cannot fit on the uncompressed
+    // controller (36 qubits) but fits easily with WS=16 compression.
+    let rfsoc = RfsocModel::default();
+    assert!(rfsoc.qubits_uncompressed() < 81);
+    assert!(rfsoc.qubits_supported(3, 16) >= 81);
+}
+
+#[test]
+fn demand_crosses_rfsoc_limits_where_the_paper_says() {
+    let params = Vendor::Ibm.params();
+    // Capacity line (7.56 MB) crossed only for hundreds of qubits.
+    let n_cap = (1..1000)
+        .find(|&n| memory_model::total_capacity_bytes(&params, n) > memory_model::RFSOC_CAPACITY_BYTES)
+        .unwrap();
+    assert!(n_cap > 200, "capacity crossed at {n_cap}");
+    // Bandwidth line (866 GB/s) crossed before 40 qubits.
+    let n_bw = (1..1000)
+        .find(|&n| memory_model::rfsoc_total_bandwidth_gb(n) > memory_model::RFSOC_MAX_BANDWIDTH_GB)
+        .unwrap();
+    assert!(n_bw <= 40, "bandwidth crossed at {n_bw}");
+}
+
+#[test]
+fn transpiled_suite_schedules_cleanly() {
+    let params = Vendor::Ibm.params();
+    for circuit in circuits::table_vi_suite() {
+        let t = transpile(&circuit);
+        let sched = asap(&t, &params);
+        assert!(sched.makespan_ns > 0.0, "{}", circuit.name);
+        let prof = profile(&sched, 1.0);
+        assert!(prof.peak_channels <= circuit.n_qubits, "{}", circuit.name);
+        assert!(prof.peak_channels > 0, "{}", circuit.name);
+    }
+}
+
+#[test]
+fn logical_qubit_count_scales_5x_with_compression() {
+    let rfsoc = RfsocModel::default();
+    let base = rfsoc.logical_qubits(16, 16, 17);
+    let comp = rfsoc.logical_qubits(3, 16, 17);
+    assert!(comp >= 5 * base, "base {base} comp {comp}");
+}
