@@ -68,13 +68,7 @@ fn main() {
             format!("{thr}"),
             print::f(report.overall.ratio()),
             format!("{:.1e}", report.mean_mse()),
-            report
-                .waveforms
-                .iter()
-                .map(|w| w.worst_case_window_words)
-                .max()
-                .unwrap()
-                .to_string(),
+            report.waveforms.iter().map(|w| w.worst_case_window_words).max().unwrap().to_string(),
         ]);
     }
     print::table(

@@ -2,12 +2,25 @@
 //! throughput (Figure 20's subject) and — more importantly — the modelled
 //! decompression engine, whose sample rate is the bandwidth-expansion
 //! claim of Figure 2.
+//!
+//! Two decode paths are measured against each other:
+//!
+//! * `decompress_engine/*` — the historical allocating path (fresh `Vec`
+//!   per pipeline stage per window, dense integer IDCT);
+//! * `decompress_into/*` — the plan/buffer-reuse path (caller-owned
+//!   `DecodeScratch` + output buffers, sparse fused IDCT kernel).
+//!
+//! The run writes `BENCH_codec.json` at the repository root with every
+//! measurement plus the headline `decode_speedup_ws16` ratio, which the
+//! PR acceptance gate tracks (target: >= 3x).
 
+use compaqt_core::batch;
 use compaqt_core::compress::{Compressor, Variant};
-use compaqt_core::engine::{DecompressionEngine, EngineStats};
+use compaqt_core::engine::{DecodeScratch, DecompressionEngine, EngineStats};
 use compaqt_dsp::intdct::IntDct;
+use compaqt_pulse::device::Device;
 use compaqt_pulse::shapes::{Drag, GaussianSquare, PulseShape};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{Criterion, Throughput};
 use std::hint::black_box;
 
 fn bench_intdct_kernel(c: &mut Criterion) {
@@ -21,6 +34,18 @@ fn bench_intdct_kernel(c: &mut Criterion) {
         group.throughput(Throughput::Elements(ws as u64));
         group.bench_function(format!("inverse_ws{ws}"), |b| {
             b.iter(|| black_box(t.inverse(black_box(&y))))
+        });
+        // The sparse in-place kernel on a realistic thresholded window
+        // (2 nonzero coefficients), as the engine drives it.
+        let mut sparse = vec![0i32; ws];
+        sparse[0] = y[0];
+        sparse[1] = y[1];
+        let mut out = vec![0.0f64; ws];
+        group.bench_function(format!("inverse_f64_into_sparse_ws{ws}"), |b| {
+            b.iter(|| {
+                t.inverse_f64_into(black_box(&sparse), 2, black_box(&mut out));
+                black_box(out[0])
+            })
         });
     }
     group.finish();
@@ -43,8 +68,9 @@ fn bench_compress(c: &mut Criterion) {
 }
 
 fn bench_decompress(c: &mut Criterion) {
-    let mut group = c.benchmark_group("decompress_engine");
     let cr_pulse = GaussianSquare::new(1362, 0.3, 40.0, 1020).to_waveform("CR", 4.54);
+    // Allocating baseline.
+    let mut group = c.benchmark_group("decompress_engine");
     for ws in [8usize, 16] {
         let z = Compressor::new(Variant::IntDctW { ws }).compress(&cr_pulse).unwrap();
         let engine = DecompressionEngine::for_variant(z.variant).unwrap();
@@ -59,7 +85,98 @@ fn bench_decompress(c: &mut Criterion) {
         });
     }
     group.finish();
+    // Plan/buffer-reuse path: same streams, zero steady-state allocation.
+    let mut group = c.benchmark_group("decompress_into");
+    for ws in [8usize, 16] {
+        let z = Compressor::new(Variant::IntDctW { ws }).compress(&cr_pulse).unwrap();
+        let engine = DecompressionEngine::for_variant(z.variant).unwrap();
+        let mut scratch = DecodeScratch::new();
+        let (mut i, mut q) = (Vec::new(), Vec::new());
+        group.throughput(Throughput::Elements(2 * cr_pulse.len() as u64));
+        group.bench_function(format!("cr_1362_ws{ws}"), |b| {
+            b.iter(|| {
+                let stats =
+                    engine.decompress_into(black_box(&z), &mut scratch, &mut i, &mut q).unwrap();
+                black_box((stats.output_samples, i.last().copied(), q.last().copied()))
+            })
+        });
+    }
+    group.finish();
 }
 
-criterion_group!(benches, bench_intdct_kernel, bench_compress, bench_decompress);
-criterion_main!(benches);
+fn bench_library_compile(c: &mut Criterion) {
+    // Calibration-cycle scale: a 16-qubit machine's full library.
+    let device = Device::named_machine("guadalupe");
+    let lib = device.pulse_library();
+    let samples: u64 = lib.iter().map(|(_, wf)| wf.len() as u64).sum();
+    let compressor = Compressor::new(Variant::IntDctW { ws: 16 });
+    let mut group = c.benchmark_group("library_compile");
+    group.throughput(Throughput::Elements(samples));
+    group.bench_function("guadalupe_seq", |b| {
+        b.iter(|| {
+            black_box(compaqt_core::stats::compress_library(black_box(&lib), &compressor).unwrap())
+        })
+    });
+    group.bench_function("guadalupe_par", |b| {
+        b.iter(|| black_box(batch::compress_library_par(black_box(&lib), &compressor).unwrap()))
+    });
+    let zs: Vec<_> = lib.iter().map(|(_, wf)| compressor.compress(wf).unwrap()).collect();
+    group.bench_function("decode_library_seq", |b| {
+        b.iter(|| black_box(batch::decompress_library(black_box(&zs)).unwrap().1.output_samples))
+    });
+    group.bench_function("decode_library_par", |b| {
+        b.iter(|| {
+            black_box(batch::decompress_library_par(black_box(&zs)).unwrap().1.output_samples)
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_intdct_kernel(&mut criterion);
+    bench_compress(&mut criterion);
+    bench_decompress(&mut criterion);
+    bench_library_compile(&mut criterion);
+    criterion.final_summary();
+
+    // Headline ratio the acceptance gate tracks.
+    let ns = |group: &str, name: &str| {
+        criterion
+            .results()
+            .iter()
+            .find(|r| r.group == group && r.name == name)
+            .map(|r| r.ns_per_iter)
+    };
+    let speedup = |ws: usize| -> Option<f64> {
+        let name = format!("cr_1362_ws{ws}");
+        Some(ns("decompress_engine", &name)? / ns("decompress_into", &name)?)
+    };
+    let ws16 = speedup(16).unwrap_or(f64::NAN);
+    let ws8 = speedup(8).unwrap_or(f64::NAN);
+    println!("\ndecode_speedup_ws16: {ws16:.2}x   decode_speedup_ws8: {ws8:.2}x");
+
+    // Baseline file with every measurement plus the headline ratios.
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"decode_speedup_ws16\": {ws16:.3},\n"));
+    json.push_str(&format!("  \"decode_speedup_ws8\": {ws8:.3},\n"));
+    json.push_str("  \"benchmarks\": [\n");
+    let results = criterion.results();
+    for (k, r) in results.iter().enumerate() {
+        let thrpt = match r.per_second() {
+            Some(v) => format!(", \"elements_per_second\": {v:.1}"),
+            None => String::new(),
+        };
+        json.push_str(&format!(
+            "    {{\"group\": \"{}\", \"name\": \"{}\", \"ns_per_iter\": {:.1}{thrpt}}}{}\n",
+            r.group,
+            r.name,
+            r.ns_per_iter,
+            if k + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_codec.json");
+    std::fs::write(path, json).expect("write BENCH_codec.json");
+    println!("baseline written to BENCH_codec.json");
+}

@@ -43,9 +43,7 @@ fn main() {
     let instructions: Vec<Instruction> = sched
         .ops
         .iter()
-        .filter_map(|sop| {
-            gate_of(sop.op).map(|gate| Instruction { gate, start_ns: sop.start_ns })
-        })
+        .filter_map(|sop| gate_of(sop.op).map(|gate| Instruction { gate, start_ns: sop.start_ns }))
         .collect();
 
     // Uncompressed baseline: every channel needs `clock_ratio` banks, so
@@ -70,7 +68,11 @@ fn main() {
                 report.peak_banks_demanded,
                 if report.sustained() { "sustained" } else { "OVERSUBSCRIBED" }
             ),
-            if uncompressed_peak <= budget { "sustained".into() } else { "OVERSUBSCRIBED".to_string() },
+            if uncompressed_peak <= budget {
+                "sustained".into()
+            } else {
+                "OVERSUBSCRIBED".to_string()
+            },
             print::f(report.bandwidth_expansion()),
         ]);
     }
@@ -80,7 +82,14 @@ fn main() {
             patch.name,
             instructions.len()
         ),
-        &["bank budget", "peak gates", "uncomp. banks", "COMPAQT banks", "uncomp. fits?", "expansion"],
+        &[
+            "bank budget",
+            "peak gates",
+            "uncomp. banks",
+            "COMPAQT banks",
+            "uncomp. fits?",
+            "expansion",
+        ],
         &rows,
     );
     println!("  COMPAQT streams the same cycle in ~5.3x fewer banks (6 vs 32 per gate);");

@@ -10,10 +10,10 @@ use compaqt_pulse::memory_model::{
     self, demand_sweep, rfsoc_bandwidth_per_qubit_gb, RFSOC_CAPACITY_BYTES, RFSOC_MAX_BANDWIDTH_GB,
 };
 use compaqt_pulse::vendor::Vendor;
+use compaqt_quantum::circuits;
 use compaqt_quantum::schedule::{asap, profile};
 use compaqt_quantum::surface::SurfacePatch;
 use compaqt_quantum::transpile::transpile;
-use compaqt_quantum::circuits;
 
 fn main() {
     // (a) + (b): capacity and bandwidth demand curves.

@@ -21,10 +21,7 @@ fn main() {
         &rows,
     );
     for k in [4, 8, 16, 32] {
-        println!(
-            "  energy in first {k:>2} coefficients: {:.6}",
-            energy_compaction(&coeffs, k)
-        );
+        println!("  energy in first {k:>2} coefficients: {:.6}", energy_compaction(&coeffs, k));
     }
     let threshold = 0.025;
     let tail_start = coeffs.iter().position(|c| c.abs() < threshold).unwrap_or(coeffs.len());

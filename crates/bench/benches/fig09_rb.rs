@@ -30,5 +30,7 @@ fn main() {
     );
     println!("  baseline    : fidelity p = {:.3}, EPC = {:.3e}", base.p, base.epc);
     println!("  compressed  : fidelity p = {:.3}, EPC = {:.3e}", comp.p, comp.epc);
-    println!("  paper       : baseline p = 0.978 / EPC 1.650e-2; compressed p = 0.975 / EPC 1.842e-2.");
+    println!(
+        "  paper       : baseline p = 0.978 / EPC 1.650e-2; compressed p = 0.975 / EPC 1.842e-2."
+    );
 }

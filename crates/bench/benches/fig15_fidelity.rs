@@ -38,5 +38,7 @@ fn main() {
         &rows,
     );
     println!("  paper: WS=16 shows no degradation (norm ~1.00 +- experiment noise);");
-    println!("  WS=8 loses up to a few percent on some benchmarks from window-boundary distortion.");
+    println!(
+        "  WS=8 loses up to a few percent on some benchmarks from window-boundary distortion."
+    );
 }

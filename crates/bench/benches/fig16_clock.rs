@@ -8,10 +8,22 @@ fn main() {
     let model = TimingModel::default();
     let designs = [
         ("Baseline", None),
-        ("DCT-W WS=8 (pipelined)", Some(EngineDesign { variant: Variant::DctW { ws: 8 }, pipelined: true })),
-        ("int-DCT-W WS=8", Some(EngineDesign { variant: Variant::IntDctW { ws: 8 }, pipelined: false })),
-        ("int-DCT-W WS=16", Some(EngineDesign { variant: Variant::IntDctW { ws: 16 }, pipelined: false })),
-        ("int-DCT-W WS=32", Some(EngineDesign { variant: Variant::IntDctW { ws: 32 }, pipelined: false })),
+        (
+            "DCT-W WS=8 (pipelined)",
+            Some(EngineDesign { variant: Variant::DctW { ws: 8 }, pipelined: true }),
+        ),
+        (
+            "int-DCT-W WS=8",
+            Some(EngineDesign { variant: Variant::IntDctW { ws: 8 }, pipelined: false }),
+        ),
+        (
+            "int-DCT-W WS=16",
+            Some(EngineDesign { variant: Variant::IntDctW { ws: 16 }, pipelined: false }),
+        ),
+        (
+            "int-DCT-W WS=32",
+            Some(EngineDesign { variant: Variant::IntDctW { ws: 32 }, pipelined: false }),
+        ),
     ];
     let mut rows = Vec::new();
     for (name, design) in designs {

@@ -7,12 +7,7 @@ fn main() {
     let m = RfsocModel::default();
     let base = m.qubits_uncompressed();
     let rows = vec![
-        vec![
-            "Uncompressed".to_string(),
-            base.to_string(),
-            "1.00".to_string(),
-            "1".to_string(),
-        ],
+        vec!["Uncompressed".to_string(), base.to_string(), "1.00".to_string(), "1".to_string()],
         vec![
             "int-DCT-W WS=8".to_string(),
             m.qubits_supported(3, 8).to_string(),

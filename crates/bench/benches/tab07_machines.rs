@@ -6,9 +6,7 @@ use compaqt_bench::print;
 fn main() {
     let rows: Vec<Vec<String>> = tab07()
         .into_iter()
-        .map(|(machine, min, max, avg)| {
-            vec![machine, print::f(min), print::f(max), print::f(avg)]
-        })
+        .map(|(machine, min, max, avg)| vec![machine, print::f(min), print::f(max), print::f(avg)])
         .collect();
     print::table(
         "Table VII: compression ratios, int-DCT-W WS=16",

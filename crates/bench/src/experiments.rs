@@ -39,12 +39,8 @@ pub fn fig07a() -> Vec<(String, Vec<(String, f64)>)> {
         (&GateKind::Sx, 8),
         (&GateKind::Measure, 0),
     ];
-    let variants = vec![
-        Variant::Delta,
-        Variant::DctN,
-        Variant::DctW { ws: 16 },
-        Variant::IntDctW { ws: 16 },
-    ];
+    let variants =
+        vec![Variant::Delta, Variant::DctN, Variant::DctW { ws: 16 }, Variant::IntDctW { ws: 16 }];
     let mut out = Vec::new();
     for (kind, qubit) in picks {
         let id = compaqt_pulse::library::GateId::single(kind.clone(), qubit);
@@ -213,9 +209,13 @@ pub fn tab09() -> Vec<(String, f64)> {
     out
 }
 
-/// Compresses a large machine's library across worker threads with
-/// crossbeam (the calibration-cycle recompression path for 100+ qubit
-/// machines). Returns `(waveforms, seconds, overall ratio)`.
+/// Compresses a large machine's library across an explicit number of
+/// scoped worker threads (the calibration-cycle recompression path for
+/// 100+ qubit machines). Returns `(waveforms, seconds, overall ratio)`.
+///
+/// For the thread-count-agnostic production path use
+/// [`compaqt_core::batch::compress_library_par`]; this runner pins the
+/// worker count so Figure 20 can report per-thread scaling.
 pub fn parallel_compress_stats(machine: &str, ws: usize, threads: usize) -> (usize, f64, f64) {
     let device = Device::named_machine(machine);
     let lib = device.pulse_library();
@@ -223,11 +223,11 @@ pub fn parallel_compress_stats(machine: &str, ws: usize, threads: usize) -> (usi
     let compressor = Compressor::new(Variant::IntDctW { ws });
     let start = Instant::now();
     let chunk = waveforms.len().div_ceil(threads.max(1));
-    let sizes: Vec<(usize, usize)> = crossbeam::thread::scope(|scope| {
+    let sizes: Vec<(usize, usize)> = std::thread::scope(|scope| {
         let handles: Vec<_> = waveforms
             .chunks(chunk)
             .map(|slice| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut old = 0usize;
                     let mut new = 0usize;
                     for wf in slice {
@@ -241,11 +241,9 @@ pub fn parallel_compress_stats(machine: &str, ws: usize, threads: usize) -> (usi
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("worker")).collect()
-    })
-    .expect("scope");
+    });
     let secs = start.elapsed().as_secs_f64();
-    let (old, new): (usize, usize) =
-        sizes.iter().fold((0, 0), |(a, b), &(o, n)| (a + o, b + n));
+    let (old, new): (usize, usize) = sizes.iter().fold((0, 0), |(a, b), &(o, n)| (a + o, b + n));
     (waveforms.len(), secs, old as f64 / new.max(1) as f64)
 }
 
@@ -260,12 +258,8 @@ pub fn library_power_stats(report: &LibraryReport, _ws: usize) -> (f64, f64) {
 }
 
 fn mean_words_per_window(z: &compaqt_core::compress::CompressedWaveform) -> f64 {
-    let counts: Vec<usize> = z
-        .i
-        .window_word_counts()
-        .into_iter()
-        .chain(z.q.window_word_counts())
-        .collect();
+    let counts: Vec<usize> =
+        z.i.window_word_counts().into_iter().chain(z.q.window_word_counts()).collect();
     counts.iter().sum::<usize>() as f64 / counts.len().max(1) as f64
 }
 
@@ -301,7 +295,7 @@ mod tests {
     fn library_power_stats_are_sane() {
         let report = machine_report("lima", Variant::IntDctW { ws: 16 });
         let (words, cap) = library_power_stats(&report, 16);
-        assert!(words >= 1.0 && words < 6.0, "words {words}");
+        assert!((1.0..6.0).contains(&words), "words {words}");
         assert!(cap > 3.0, "cap {cap}");
     }
 }

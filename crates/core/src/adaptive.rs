@@ -119,6 +119,59 @@ impl AdaptiveCompressed {
         Ok((wf, stats))
     }
 
+    /// Decompresses into caller-provided buffers through a shared engine
+    /// and scratch — the zero-allocation twin of
+    /// [`AdaptiveCompressed::decompress`], bit-exact with it. Windowed
+    /// segments chain through
+    /// [`DecompressionEngine::decode_channel_into`]'s append semantics;
+    /// plateau runs are expanded straight into the output buffers with
+    /// the IDCT (and the scratch) idle, exactly like the hardware bypass.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed streams or an engine whose variant
+    /// does not match.
+    pub fn decompress_with(
+        &self,
+        engine: &DecompressionEngine,
+        scratch: &mut crate::engine::DecodeScratch,
+        i_out: &mut Vec<f64>,
+        q_out: &mut Vec<f64>,
+    ) -> Result<EngineStats, CompressError> {
+        if engine.variant() != self.variant {
+            return Err(CompressError::EngineMismatch {
+                expected: self.variant,
+                got: engine.variant(),
+            });
+        }
+        let mut stats = EngineStats::default();
+        i_out.clear();
+        q_out.clear();
+        for seg in &self.segments {
+            match seg {
+                Segment::Windows(z) => {
+                    let mut s = EngineStats::default();
+                    engine.decode_channel_into(&z.i, z.n_samples, scratch, i_out, &mut s)?;
+                    engine.decode_channel_into(&z.q, z.n_samples, scratch, q_out, &mut s)?;
+                    stats.merge(&s);
+                }
+                Segment::Constant { i_value, q_value, len } => {
+                    let cws = (len - 1).div_ceil(compaqt_dsp::rle::MAX_RUN as usize).max(1);
+                    stats.memory_words_read += 2 * (1 + cws);
+                    stats.rle_codewords += 2 * cws;
+                    stats.bypassed_samples += 2 * len;
+                    stats.output_samples += 2 * len;
+                    stats.cycles += *len as u64;
+                    i_out.extend(std::iter::repeat_n(i_value.to_f64(), *len));
+                    q_out.extend(std::iter::repeat_n(q_value.to_f64(), *len));
+                }
+            }
+        }
+        i_out.truncate(self.n_samples);
+        q_out.truncate(self.n_samples);
+        Ok(stats)
+    }
+
     /// The plateau as raw coded words (what actually sits in memory for
     /// the constant segment).
     pub fn plateau_words(&self) -> Vec<CodedWord> {
@@ -207,7 +260,8 @@ impl AdaptiveCompressor {
             len: plateau_end - head_end,
         });
         if plateau_end < wf.len() {
-            segments.push(Segment::Windows(self.inner.compress(&sub("tail", plateau_end..wf.len()))?));
+            segments
+                .push(Segment::Windows(self.inner.compress(&sub("tail", plateau_end..wf.len()))?));
         }
         Ok(AdaptiveCompressed {
             name: wf.name().to_string(),
@@ -264,6 +318,31 @@ mod tests {
         let wf = compaqt_pulse::shapes::Gaussian::new(160, 0.5, 40.0).to_waveform("G", 4.54);
         let err = AdaptiveCompressor::new(Variant::IntDctW { ws: 16 }).compress(&wf).unwrap_err();
         assert_eq!(err, CompressError::NoPlateau);
+    }
+
+    #[test]
+    fn decompress_with_matches_allocating_path_bit_exactly() {
+        let wf = flat_top();
+        let z = AdaptiveCompressor::new(Variant::IntDctW { ws: 16 }).compress(&wf).unwrap();
+        let (alloc, alloc_stats) = z.decompress().unwrap();
+        let engine = DecompressionEngine::for_variant(z.variant).unwrap();
+        let mut scratch = crate::engine::DecodeScratch::new();
+        let (mut i, mut q) = (Vec::new(), Vec::new());
+        let stats = z.decompress_with(&engine, &mut scratch, &mut i, &mut q).unwrap();
+        assert_eq!(alloc.i(), &i[..]);
+        assert_eq!(alloc.q(), &q[..]);
+        assert_eq!(alloc_stats, stats);
+    }
+
+    #[test]
+    fn decompress_with_rejects_mismatched_engine() {
+        let wf = flat_top();
+        let z = AdaptiveCompressor::new(Variant::IntDctW { ws: 8 }).compress(&wf).unwrap();
+        let wrong = DecompressionEngine::for_variant(Variant::DctW { ws: 8 }).unwrap();
+        let mut scratch = crate::engine::DecodeScratch::new();
+        let (mut i, mut q) = (Vec::new(), Vec::new());
+        let err = z.decompress_with(&wrong, &mut scratch, &mut i, &mut q).unwrap_err();
+        assert!(matches!(err, CompressError::EngineMismatch { .. }), "got {err}");
     }
 
     #[test]

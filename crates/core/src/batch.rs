@@ -1,0 +1,256 @@
+//! Parallel batch compilation and decode of whole pulse libraries.
+//!
+//! A calibration cycle ends with every waveform of a 100+ qubit machine
+//! being recompressed and packed into the controller memory image
+//! (Figure 6). The per-waveform codec is embarrassingly parallel — each
+//! waveform (and within it, each I/Q channel) compresses and decodes
+//! independently — so this module fans the library out across a rayon
+//! thread pool:
+//!
+//! * [`compress_waveforms`] / [`compress_library_par`] — the compile
+//!   side; `compress_library_par` is the drop-in parallel twin of
+//!   [`crate::stats::compress_library`], producing an identical
+//!   [`LibraryReport`] (same order, same numbers — the codec is
+//!   deterministic, so parallelism cannot change results).
+//! * [`decompress_library`] / [`decompress_library_par`] — the decode
+//!   side, built on the zero-allocation engine path: workers share one
+//!   `&self` engine per variant and carry a private [`DecodeScratch`]
+//!   plus reusable output buffers (`map_init`), so each worker allocates
+//!   only the final sample vectors it returns. The parallel variant fans
+//!   out per waveform x per channel.
+//!
+//! The memory-image builder
+//! ([`crate::bitstream::compress_image_par`]) sits on top of
+//! [`compress_library_par`].
+
+use crate::compress::{CompressedWaveform, Compressor};
+use crate::engine::{DecodeScratch, DecompressionEngine, EngineStats};
+use crate::stats::{LibraryReport, WaveformReport};
+use crate::CompressError;
+use compaqt_pulse::library::PulseLibrary;
+use compaqt_pulse::waveform::Waveform;
+use rayon::prelude::*;
+
+/// Compresses a batch of waveforms in parallel, preserving order.
+///
+/// # Errors
+///
+/// Returns the first compression error (none occur for supported window
+/// sizes).
+pub fn compress_waveforms(
+    waveforms: &[Waveform],
+    compressor: &Compressor,
+) -> Result<Vec<CompressedWaveform>, CompressError> {
+    waveforms.par_iter().map(|wf| compressor.compress(wf)).collect()
+}
+
+/// Parallel twin of [`crate::stats::compress_library`]: compresses every
+/// waveform of a library across worker threads and aggregates the same
+/// [`LibraryReport`] (library order, identical numbers).
+///
+/// Each worker verifies its own streams through the zero-allocation
+/// decode path with a thread-private scratch, so the reconstruction-MSE
+/// accounting adds no per-window allocations.
+///
+/// # Errors
+///
+/// Propagates the first compression or decode error.
+pub fn compress_library_par(
+    library: &PulseLibrary,
+    compressor: &Compressor,
+) -> Result<LibraryReport, CompressError> {
+    let engine = DecompressionEngine::for_variant(compressor.variant())?;
+    let entries: Vec<_> = library.iter().collect();
+    let engine = &engine;
+    let reports: Result<Vec<WaveformReport>, CompressError> = entries
+        .par_iter()
+        .map_init(
+            || (DecodeScratch::new(), Vec::new(), Vec::new()),
+            |(scratch, i_buf, q_buf), &(gate, wf)| {
+                let compressed = compressor.compress(wf)?;
+                engine.decompress_into(&compressed, scratch, i_buf, q_buf)?;
+                let mse = (compaqt_dsp::metrics::mse(wf.i(), i_buf)
+                    + compaqt_dsp::metrics::mse(wf.q(), q_buf))
+                    / 2.0;
+                Ok(WaveformReport {
+                    gate: gate.clone(),
+                    ratio: compressed.ratio().ratio(),
+                    mse,
+                    worst_case_window_words: compressed.worst_case_window_words(),
+                    compressed,
+                })
+            },
+        )
+        .collect();
+    let waveforms = reports?;
+    let overall = waveforms
+        .iter()
+        .map(|w| w.compressed.ratio())
+        .reduce(|acc, r| acc.combine(&r))
+        .expect("library must be non-empty");
+    Ok(LibraryReport { waveforms, overall })
+}
+
+/// Sequentially decodes a batch of compressed waveforms through one
+/// reused scratch (the steady-state zero-allocation loop: after the
+/// first waveform, only the returned sample vectors are allocated).
+/// Returns the waveforms plus aggregate engine stats.
+///
+/// # Errors
+///
+/// Returns the first malformed-stream error.
+pub fn decompress_library(
+    compressed: &[CompressedWaveform],
+) -> Result<(Vec<Waveform>, EngineStats), CompressError> {
+    let engines = engines_for(compressed)?;
+    let mut scratch = DecodeScratch::new();
+    let (mut i_buf, mut q_buf) = (Vec::new(), Vec::new());
+    let mut stats = EngineStats::default();
+    let mut out = Vec::with_capacity(compressed.len());
+    for z in compressed {
+        let engine = engine_of(&engines, z);
+        let s = engine.decompress_into(z, &mut scratch, &mut i_buf, &mut q_buf)?;
+        stats.merge(&s);
+        out.push(Waveform::new(z.name.clone(), i_buf.clone(), q_buf.clone(), z.sample_rate_gs));
+    }
+    Ok((out, stats))
+}
+
+/// Parallel decode of a compressed batch with per-waveform x per-channel
+/// fan-out: every (waveform, channel) pair is an independent work item,
+/// so a two-channel library saturates twice as many workers as waveforms.
+/// Engines are shared `&self` across threads; scratch is per worker.
+/// Bit-exact with [`decompress_library`].
+///
+/// # Errors
+///
+/// Returns the first malformed-stream error.
+pub fn decompress_library_par(
+    compressed: &[CompressedWaveform],
+) -> Result<(Vec<Waveform>, EngineStats), CompressError> {
+    let engines = engines_for(compressed)?;
+    let engines = &engines;
+    // Work item k decodes channel k % 2 of waveform k / 2.
+    let items: Vec<usize> = (0..2 * compressed.len()).collect();
+    let channels: Result<Vec<(Vec<f64>, EngineStats)>, CompressError> = items
+        .par_iter()
+        .map_init(DecodeScratch::new, |scratch, &k| {
+            let z = &compressed[k / 2];
+            let channel = if k % 2 == 0 { &z.i } else { &z.q };
+            let engine = engine_of(engines, z);
+            let mut out = Vec::new();
+            let mut stats = EngineStats::default();
+            engine.decode_channel_into(channel, z.n_samples, scratch, &mut out, &mut stats)?;
+            Ok((out, stats))
+        })
+        .collect();
+    let mut channels = channels?;
+    let mut stats = EngineStats::default();
+    let mut out = Vec::with_capacity(compressed.len());
+    for (z, pair) in compressed.iter().zip(channels.chunks_exact_mut(2)) {
+        stats.merge(&pair[0].1);
+        stats.merge(&pair[1].1);
+        let i = std::mem::take(&mut pair[0].0);
+        let q = std::mem::take(&mut pair[1].0);
+        out.push(Waveform::new(z.name.clone(), i, q, z.sample_rate_gs));
+    }
+    Ok((out, stats))
+}
+
+/// Builds one shared engine per distinct variant in the batch.
+fn engines_for(
+    compressed: &[CompressedWaveform],
+) -> Result<Vec<(crate::compress::Variant, DecompressionEngine)>, CompressError> {
+    let mut engines: Vec<(crate::compress::Variant, DecompressionEngine)> = Vec::new();
+    for z in compressed {
+        if !engines.iter().any(|(v, _)| *v == z.variant) {
+            engines.push((z.variant, DecompressionEngine::for_variant(z.variant)?));
+        }
+    }
+    Ok(engines)
+}
+
+fn engine_of<'e>(
+    engines: &'e [(crate::compress::Variant, DecompressionEngine)],
+    z: &CompressedWaveform,
+) -> &'e DecompressionEngine {
+    &engines.iter().find(|(v, _)| *v == z.variant).expect("engine prebuilt per variant").1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::Variant;
+    use crate::stats::compress_library;
+    use compaqt_pulse::device::Device;
+    use compaqt_pulse::vendor::Vendor;
+
+    fn library() -> std::sync::Arc<PulseLibrary> {
+        Device::synthesize(Vendor::Ibm, 4, 0xBA7C4).pulse_library()
+    }
+
+    #[test]
+    fn parallel_report_matches_sequential_exactly() {
+        let lib = library();
+        let c = Compressor::new(Variant::IntDctW { ws: 16 });
+        let seq = compress_library(&lib, &c).unwrap();
+        let par = compress_library_par(&lib, &c).unwrap();
+        assert_eq!(seq.waveforms.len(), par.waveforms.len());
+        assert_eq!(seq.overall.ratio(), par.overall.ratio());
+        for (a, b) in seq.waveforms.iter().zip(&par.waveforms) {
+            assert_eq!(a.gate, b.gate, "library order must be preserved");
+            assert_eq!(a.compressed, b.compressed);
+            assert_eq!(a.mse, b.mse, "{}: mse must be bit-identical", a.gate);
+        }
+    }
+
+    #[test]
+    fn parallel_decode_matches_sequential_exactly() {
+        let lib = library();
+        let c = Compressor::new(Variant::IntDctW { ws: 16 });
+        let zs: Vec<CompressedWaveform> =
+            lib.iter().map(|(_, wf)| c.compress(wf).unwrap()).collect();
+        let (seq, seq_stats) = decompress_library(&zs).unwrap();
+        let (par, par_stats) = decompress_library_par(&zs).unwrap();
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.i(), b.i());
+            assert_eq!(a.q(), b.q());
+        }
+        assert_eq!(seq_stats, par_stats);
+    }
+
+    #[test]
+    fn mixed_variant_batches_decode() {
+        let lib = library();
+        let mut zs = Vec::new();
+        for (k, (_, wf)) in lib.iter().enumerate() {
+            let variant = if k % 2 == 0 { Variant::IntDctW { ws: 16 } } else { Variant::DctN };
+            zs.push(Compressor::new(variant).compress(wf).unwrap());
+        }
+        let (out, stats) = decompress_library_par(&zs).unwrap();
+        assert_eq!(out.len(), zs.len());
+        assert!(stats.output_samples > 0);
+        for (z, wf) in zs.iter().zip(&out) {
+            assert_eq!(wf.len(), z.n_samples);
+        }
+    }
+
+    #[test]
+    fn compress_waveforms_preserves_order() {
+        let lib = library();
+        let wfs: Vec<Waveform> = lib.iter().map(|(_, wf)| wf.clone()).collect();
+        let c = Compressor::new(Variant::IntDctW { ws: 8 });
+        let batch = compress_waveforms(&wfs, &c).unwrap();
+        for (wf, z) in wfs.iter().zip(&batch) {
+            assert_eq!(&c.compress(wf).unwrap(), z);
+        }
+    }
+
+    #[test]
+    fn unsupported_variant_errors_cleanly() {
+        let lib = library();
+        let c = Compressor::new(Variant::IntDctW { ws: 12 });
+        assert!(compress_library_par(&lib, &c).is_err());
+    }
+}

@@ -152,10 +152,17 @@ fn take_channel(buf: &mut Bytes) -> Result<ChannelData, ImageError> {
 
 /// Serializes a compressed library into a controller memory image.
 pub fn write_image(entries: &[(GateId, CompressedWaveform)]) -> Bytes {
+    write_image_records(entries.len(), entries.iter().map(|(g, z)| (g, z)))
+}
+
+fn write_image_records<'a>(
+    count: usize,
+    entries: impl Iterator<Item = (&'a GateId, &'a CompressedWaveform)>,
+) -> Bytes {
     let mut buf = BytesMut::with_capacity(4096);
     buf.put_u32_le(MAGIC);
     buf.put_u16_le(VERSION);
-    buf.put_u16_le(entries.len() as u16);
+    buf.put_u16_le(count as u16);
     for (gate, z) in entries {
         let name = format!("{gate}");
         buf.put_u16_le(name.len() as u16);
@@ -169,6 +176,26 @@ pub fn write_image(entries: &[(GateId, CompressedWaveform)]) -> Bytes {
         put_channel(&mut buf, &z.q);
     }
     buf.freeze()
+}
+
+/// One-shot calibration-cycle pipeline: compresses a whole pulse library
+/// in parallel ([`crate::batch::compress_library_par`]) and serializes
+/// the streams into a controller memory image. This is the path a host
+/// runs at the end of every calibration cycle for 100+ qubit machines.
+///
+/// # Errors
+///
+/// Propagates compression errors (none occur for supported window
+/// sizes).
+pub fn compress_image_par(
+    library: &compaqt_pulse::library::PulseLibrary,
+    compressor: &crate::compress::Compressor,
+) -> Result<Bytes, crate::CompressError> {
+    let report = crate::batch::compress_library_par(library, compressor)?;
+    Ok(write_image_records(
+        report.waveforms.len(),
+        report.waveforms.iter().map(|w| (&w.gate, &w.compressed)),
+    ))
 }
 
 /// A parsed record: the gate's display name and its compressed waveform.
@@ -277,6 +304,16 @@ mod tests {
     }
 
     #[test]
+    fn parallel_image_pipeline_matches_sequential() {
+        let device = Device::synthesize(Vendor::Ibm, 3, 0xB17);
+        let lib = device.pulse_library();
+        let c = Compressor::new(Variant::IntDctW { ws: 16 });
+        let sequential = write_image(&sample_entries());
+        let parallel = compress_image_par(&lib, &c).unwrap();
+        assert_eq!(sequential.as_ref(), parallel.as_ref(), "images must be byte-identical");
+    }
+
+    #[test]
     fn bad_magic_is_rejected() {
         let mut buf = BytesMut::new();
         buf.put_u32_le(0xDEAD_BEEF);
@@ -316,10 +353,6 @@ mod tests {
         let image = write_image(&entries);
         let uncompressed: usize =
             entries.iter().map(|(_, z)| z.n_samples * crate::compress::SAMPLE_BYTES).sum();
-        assert!(
-            image.len() < uncompressed / 3,
-            "image {} vs raw {uncompressed}",
-            image.len()
-        );
+        assert!(image.len() < uncompressed / 3, "image {} vs raw {uncompressed}", image.len());
     }
 }

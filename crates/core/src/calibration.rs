@@ -17,6 +17,9 @@ use compaqt_pulse::library::GateId;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
+/// A fully compressed pulse library: one coded stream per gate.
+pub type CompressedLibrary = Vec<(GateId, CompressedWaveform)>;
+
 /// Result of recompressing one calibration cycle's library.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CycleReport {
@@ -69,7 +72,7 @@ impl CalibrationLoop {
     pub fn run(
         &self,
         cycles: usize,
-    ) -> Result<(Vec<CycleReport>, Vec<(GateId, CompressedWaveform)>), CompressError> {
+    ) -> Result<(Vec<CycleReport>, CompressedLibrary), CompressError> {
         let mut reports = Vec::with_capacity(cycles);
         let mut final_library = Vec::new();
         let mut device = self.device.clone();

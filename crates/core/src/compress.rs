@@ -126,9 +126,7 @@ impl ChannelData {
     /// Storage footprint in bits.
     pub fn size_bits(&self) -> usize {
         match self {
-            ChannelData::Windows(windows) => {
-                windows.iter().map(|w| w.len() * 16).sum()
-            }
+            ChannelData::Windows(windows) => windows.iter().map(|w| w.len() * 16).sum(),
             ChannelData::Delta { bits, deltas, .. } => 16 + 8 + deltas.len() * *bits as usize,
             ChannelData::Raw(samples) => samples.len() * 16,
         }
@@ -198,8 +196,8 @@ impl CompressedWaveform {
     /// Returns an error if a run-length stream is malformed (cannot happen
     /// for streams produced by [`Compressor::compress`]).
     pub fn decompress(&self) -> Result<Waveform, CompressError> {
-        let (wf, _) = crate::engine::DecompressionEngine::for_variant(self.variant)?
-            .decompress(self)?;
+        let (wf, _) =
+            crate::engine::DecompressionEngine::for_variant(self.variant)?.decompress(self)?;
         Ok(wf)
     }
 }
@@ -351,10 +349,8 @@ fn float_full(samples: &[f64], threshold: f64) -> CoeffWindows {
     let scale = f64::from(1u32 << float_coeff_scale_bits(samples.len()));
     let mut coeffs = compaqt_dsp::fastdct::fast_dct2(samples);
     compaqt_dsp::threshold::apply_threshold(&mut coeffs, threshold);
-    let window = coeffs
-        .iter()
-        .map(|&c| ((c * scale).round() as i32).clamp(MIN_COEFF, MAX_COEFF))
-        .collect();
+    let window =
+        coeffs.iter().map(|&c| ((c * scale).round() as i32).clamp(MIN_COEFF, MAX_COEFF)).collect();
     CoeffWindows { windows: vec![window] }
 }
 
@@ -404,10 +400,8 @@ fn equalize(
     cap: Option<usize>,
 ) -> (ChannelData, ChannelData) {
     let encode = |coeffs: &[i32], keep: usize| -> Vec<CodedWord> {
-        let mut words: Vec<CodedWord> = coeffs[..keep]
-            .iter()
-            .map(|&c| CodedWord::Coeff(CodedWord::clamp_coeff(c)))
-            .collect();
+        let mut words: Vec<CodedWord> =
+            coeffs[..keep].iter().map(|&c| CodedWord::Coeff(CodedWord::clamp_coeff(c))).collect();
         let zeros = ws - keep;
         if zeros > 0 {
             let mut remaining = zeros;
@@ -569,7 +563,8 @@ mod tests {
         // to 8 samples at a time.
         let wf = cr_pulse();
         let r8 = Compressor::new(Variant::IntDctW { ws: 8 }).compress(&wf).unwrap().ratio().ratio();
-        let r16 = Compressor::new(Variant::IntDctW { ws: 16 }).compress(&wf).unwrap().ratio().ratio();
+        let r16 =
+            Compressor::new(Variant::IntDctW { ws: 16 }).compress(&wf).unwrap().ratio().ratio();
         assert!(r16 > r8, "WS16 {r16} vs WS8 {r8}");
         assert!(r8 <= 8.0 + 0.1, "WS=8 ratio is bounded near 8x by the window");
     }

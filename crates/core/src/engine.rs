@@ -8,11 +8,38 @@
 //! This model is bit-exact with the software compressor's expectations and
 //! additionally accounts memory reads, engine invocations and cycles — the
 //! numbers the bandwidth-expansion and power analyses are built on.
+//!
+//! # The two decode paths and their contract
+//!
+//! A hardware engine has no allocator: its RLE buffer and sample buffer
+//! are fixed SRAMs. The software model mirrors that with two APIs:
+//!
+//! * **Allocating** — [`DecompressionEngine::decompress`] /
+//!   [`DecompressionEngine::decode_channel`] return fresh `Vec`s. Simple,
+//!   `&self`, but pays one `Vec` per pipeline stage per window; this is
+//!   the historical API and the baseline the `codec_throughput` bench
+//!   measures against.
+//! * **Buffer-reuse** — [`DecompressionEngine::decompress_into`] /
+//!   [`DecompressionEngine::decode_channel_into`] thread every stage
+//!   through a caller-owned [`DecodeScratch`] plus caller output `Vec`s.
+//!   After the first decode warms the buffers, steady-state decoding of a
+//!   whole pulse library performs **zero heap allocations per window**
+//!   (the `alloc_regression` integration test enforces this), and the
+//!   integer IDCT runs a sparse fused kernel
+//!   ([`compaqt_dsp::intdct::IntDct::inverse_f64_into`]).
+//!
+//! Both paths are bit-exact with each other — the round-trip property
+//! tests assert `==` on every sample, so figures computed through either
+//! path agree. The engine itself stays `&self` and `Sync`: all mutable
+//! state lives in the scratch, which is what lets
+//! [`crate::batch`] fan one engine out across decoder threads with one
+//! scratch per worker.
 
 use crate::compress::{ChannelData, CompressedWaveform, Variant};
 use crate::CompressError;
 use compaqt_dsp::dct::Dct;
 use compaqt_dsp::intdct::IntDct;
+use compaqt_dsp::plan::DctPlan;
 use compaqt_dsp::rle::{CodedWord, RleDecoder};
 use compaqt_pulse::waveform::Waveform;
 use serde::{Deserialize, Serialize};
@@ -59,6 +86,46 @@ impl EngineStats {
         self.bypassed_samples += other.bypassed_samples;
         self.output_samples += other.output_samples;
         self.cycles += other.cycles;
+    }
+}
+
+/// Caller-owned working memory for the zero-allocation decode path.
+///
+/// Models the fixed buffers of the hardware pipeline (Figure 10): the
+/// RLE buffer feeding the IDCT and the dequantized-coefficient staging.
+/// One scratch serves any window size and any variant — buffers grow to
+/// the largest window seen and are reused thereafter. For `DCT-N` the
+/// scratch also caches the inverse [`DctPlan`], rebuilt only when the
+/// waveform length changes (a pulse library replays a handful of
+/// lengths, so steady state stays allocation-free).
+///
+/// Scratches are cheap to create and intended to be per-thread: the
+/// engine is shared (`&self`), the scratch is not.
+#[derive(Debug, Clone, Default)]
+pub struct DecodeScratch {
+    /// RLE-expanded integer coefficients for the current window.
+    coeffs: Vec<i32>,
+    /// Dequantized float coefficients (float and `DCT-N` variants).
+    fcoeffs: Vec<f64>,
+    /// Windowed IDCT output staging (overlap-add decoding).
+    time: Vec<f64>,
+    /// Cached `DCT-N` inverse plan, keyed by its transform length.
+    plan: Option<DctPlan>,
+}
+
+impl DecodeScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        DecodeScratch::default()
+    }
+
+    /// Splits out the (coeff, float-coeff, time) staging buffers at one
+    /// window size — the stages of a lapped-transform decode.
+    pub(crate) fn lapped_buffers(&mut self, ws: usize) -> (&mut [i32], &mut [f64], &mut [f64]) {
+        self.coeffs.resize(ws, 0);
+        self.fcoeffs.resize(ws, 0.0);
+        self.time.resize(ws, 0.0);
+        (&mut self.coeffs[..], &mut self.fcoeffs[..], &mut self.time[..])
     }
 }
 
@@ -182,6 +249,135 @@ impl DecompressionEngine {
         }
     }
 
+    /// Decompresses into caller-provided buffers, returning the operation
+    /// counts. `i_out`/`q_out` are cleared and refilled; with a reused
+    /// scratch and output buffers, steady-state decoding allocates
+    /// nothing. Bit-exact with [`DecompressionEngine::decompress`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a stream is malformed.
+    pub fn decompress_into(
+        &self,
+        z: &CompressedWaveform,
+        scratch: &mut DecodeScratch,
+        i_out: &mut Vec<f64>,
+        q_out: &mut Vec<f64>,
+    ) -> Result<EngineStats, CompressError> {
+        let mut stats = EngineStats::default();
+        i_out.clear();
+        q_out.clear();
+        self.decode_channel_into(&z.i, z.n_samples, scratch, i_out, &mut stats)?;
+        self.decode_channel_into(&z.q, z.n_samples, scratch, q_out, &mut stats)?;
+        Ok(stats)
+    }
+
+    /// Decodes one channel, *appending* `n_samples` DAC samples to `out`
+    /// and accumulating stats — the zero-allocation twin of
+    /// [`DecompressionEngine::decode_channel`].
+    ///
+    /// Appending (rather than overwriting) lets segment decoders like the
+    /// adaptive IDCT-bypass path chain calls into one output buffer. All
+    /// intermediate stages run through `scratch`; after warm-up the only
+    /// heap activity is `out`'s own amortized growth, which a caller
+    /// reusing its buffers never pays again.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a run-length stream is malformed or the
+    /// channel's shape does not match the engine.
+    pub fn decode_channel_into(
+        &self,
+        channel: &ChannelData,
+        n_samples: usize,
+        scratch: &mut DecodeScratch,
+        out: &mut Vec<f64>,
+        stats: &mut EngineStats,
+    ) -> Result<(), CompressError> {
+        match channel {
+            ChannelData::Raw(samples) => {
+                stats.memory_words_read += samples.len();
+                stats.output_samples += samples.len();
+                stats.cycles += samples.len() as u64;
+                out.extend(samples.iter().map(|&s| f64::from(s) / 32768.0));
+                Ok(())
+            }
+            ChannelData::Delta { base, bits, deltas } => {
+                let words = channel.size_bits().div_ceil(16);
+                let _ = bits;
+                stats.memory_words_read += words;
+                stats.output_samples += deltas.len() + 1;
+                stats.cycles += (deltas.len() + 1) as u64;
+                let mut acc = i32::from(*base);
+                out.reserve(deltas.len() + 1);
+                out.push(f64::from(acc) / 32768.0);
+                for &d in deltas {
+                    acc += i32::from(d);
+                    out.push(f64::from(acc as i16) / 32768.0);
+                }
+                Ok(())
+            }
+            ChannelData::Windows(windows) => {
+                let decoder = RleDecoder::new();
+                let window = self.effective_window(windows.len(), n_samples);
+                let base = out.len();
+                out.resize(base + windows.len() * window, 0.0);
+                let mut pos = base;
+                for words in windows {
+                    stats.memory_words_read += words.len();
+                    stats.rle_codewords +=
+                        words.iter().filter(|w| matches!(w, CodedWord::Rle(_))).count();
+                    let dst = &mut out[pos..pos + window];
+                    if let InverseStage::Integer(t) = &self.stage {
+                        fused_int_window(t, words, dst)?;
+                    } else {
+                        scratch.coeffs.resize(window, 0);
+                        decoder.decode_window_into(words, &mut scratch.coeffs)?;
+                        self.inverse_into(scratch, window, dst);
+                    }
+                    stats.idct_windows += 1;
+                    stats.cycles += words.len() as u64 + 1;
+                    pos += window;
+                }
+                stats.output_samples += n_samples.min(pos - base);
+                out.truncate(base + n_samples.min(pos - base));
+                Ok(())
+            }
+        }
+    }
+
+    /// Inverse-transforms `scratch.coeffs` into `dst` without allocating.
+    fn inverse_into(&self, scratch: &mut DecodeScratch, window: usize, dst: &mut [f64]) {
+        match &self.stage {
+            InverseStage::Integer(_) => {
+                // decode_channel_into routes every integer window through
+                // fused_int_window; keeping a second integer kernel here
+                // would invite silent divergence between the two.
+                unreachable!("integer windows are decoded by fused_int_window")
+            }
+            InverseStage::Float { dct, scale } => {
+                scratch.fcoeffs.resize(window, 0.0);
+                for (f, &c) in scratch.fcoeffs.iter_mut().zip(&scratch.coeffs) {
+                    *f = f64::from(c) / scale;
+                }
+                dct.inverse_into(&scratch.fcoeffs, dst);
+            }
+            InverseStage::None => {
+                // DCT-N: full-length inverse through the cached plan.
+                let scale = f64::from(1u32 << crate::compress::float_coeff_scale_bits(window));
+                scratch.fcoeffs.resize(window, 0.0);
+                for (f, &c) in scratch.fcoeffs.iter_mut().zip(&scratch.coeffs) {
+                    *f = f64::from(c) / scale;
+                }
+                if scratch.plan.as_ref().is_none_or(|p| p.len() != window) {
+                    scratch.plan = Some(DctPlan::new(window));
+                }
+                let plan = scratch.plan.as_mut().expect("plan just ensured");
+                plan.inverse_into(&scratch.fcoeffs, dst);
+            }
+        }
+    }
+
     /// Window length for this stream: fixed for windowed variants, the
     /// padded waveform length for `DCT-N`.
     fn effective_window(&self, n_windows: usize, n_samples: usize) -> usize {
@@ -216,6 +412,73 @@ impl DecompressionEngine {
     }
 }
 
+/// Fused RLE-decode + integer IDCT for one window: coefficient words
+/// accumulate their basis row directly (zero-run codewords advance the
+/// position without touching the accumulators — the RLE buffer stage of
+/// Figure 10 collapses away). This is the inner loop of the
+/// zero-allocation int-DCT-W decode path.
+///
+/// Accumulators are `i32` on the stack: the worst case
+/// `sum_k |T[k][i]| * |coeff| * 2^INT_STORE_SHIFT` is
+/// `2880 * 32768 * 4 < 2^29`, so the arithmetic cannot overflow and the
+/// result is bit-identical to the i64 reference kernel
+/// ([`IntDct::inverse_f64_into`]); the round-trip property suite asserts
+/// the equality on every variant.
+///
+/// Windows carrying repeat-previous codewords (possible in hand-built
+/// streams, never emitted by the windowed compressor) fall back to the
+/// materializing decoder to preserve exact RLE semantics.
+fn fused_int_window(t: &IntDct, words: &[CodedWord], dst: &mut [f64]) -> Result<(), CompressError> {
+    use compaqt_dsp::rle::{RleCodeword, RleError};
+    let window = dst.len();
+    if words.iter().any(|w| matches!(w, CodedWord::Rle(RleCodeword { repeat_previous: true, .. })))
+    {
+        // Rare general case: materialize the coefficient window.
+        let mut coeffs = vec![0i32; window];
+        RleDecoder::new().decode_window_into(words, &mut coeffs)?;
+        t.inverse_f64_into(&coeffs, crate::compress::INT_STORE_SHIFT, dst);
+        return Ok(());
+    }
+    let mut acc = [0i32; 32];
+    let acc = &mut acc[..window];
+    let mut pos = 0usize;
+    for &w in words {
+        match w {
+            CodedWord::Coeff(v) => {
+                if pos >= window {
+                    return Err(RleError::Overflow { produced: pos + 1, window }.into());
+                }
+                if v != 0 {
+                    let v = i32::from(v);
+                    for (a, &row) in acc.iter_mut().zip(t.row(pos)) {
+                        *a += row * v;
+                    }
+                }
+                pos += 1;
+            }
+            CodedWord::Rle(RleCodeword { run, .. }) => {
+                // Zero run: nothing reaches the accumulators.
+                let run = usize::from(run);
+                if run > window - pos {
+                    return Err(RleError::Overflow { produced: pos + run, window }.into());
+                }
+                pos += run;
+            }
+        }
+    }
+    if pos != window {
+        return Err(RleError::Underflow { produced: pos, window }.into());
+    }
+    let shift = t.inverse_shift();
+    let rnd = 1i32 << (shift - 1);
+    for (o, &a) in dst.iter_mut().zip(acc.iter()) {
+        let v = ((a << crate::compress::INT_STORE_SHIFT) + rnd) >> shift;
+        let raw = v.clamp(i32::from(i16::MIN), i32::from(i16::MAX)) as i16;
+        *o = f64::from(raw) / 32768.0;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,11 +506,7 @@ mod tests {
         let z = Compressor::new(Variant::IntDctW { ws: 16 }).compress(&wf).unwrap();
         let engine = DecompressionEngine::for_variant(z.variant).unwrap();
         let (_, stats) = engine.decompress(&z).unwrap();
-        assert!(
-            stats.bandwidth_expansion() > 4.0,
-            "expansion {}",
-            stats.bandwidth_expansion()
-        );
+        assert!(stats.bandwidth_expansion() > 4.0, "expansion {}", stats.bandwidth_expansion());
     }
 
     #[test]
@@ -301,6 +560,55 @@ mod tests {
         let engine = DecompressionEngine::for_variant(Variant::IntDctW { ws: 16 }).unwrap();
         let mut stats = EngineStats::default();
         let err = engine.decode_channel(&bogus, 16, &mut stats).unwrap_err();
+        assert!(matches!(err, crate::CompressError::Rle(_)));
+    }
+
+    #[test]
+    fn into_path_is_bit_exact_with_allocating_path() {
+        let wf = x_pulse();
+        for variant in
+            [Variant::Delta, Variant::DctN, Variant::DctW { ws: 8 }, Variant::IntDctW { ws: 16 }]
+        {
+            let z = Compressor::new(variant).compress(&wf).unwrap();
+            let engine = DecompressionEngine::for_variant(variant).unwrap();
+            let (alloc, alloc_stats) = engine.decompress(&z).unwrap();
+            let mut scratch = DecodeScratch::new();
+            let (mut i, mut q) = (Vec::new(), Vec::new());
+            let stats = engine.decompress_into(&z, &mut scratch, &mut i, &mut q).unwrap();
+            assert_eq!(alloc.i(), &i[..], "{variant:?} I channel");
+            assert_eq!(alloc.q(), &q[..], "{variant:?} Q channel");
+            assert_eq!(alloc_stats, stats, "{variant:?} stats");
+        }
+    }
+
+    #[test]
+    fn scratch_and_buffers_are_reusable_across_waveforms() {
+        let engine = DecompressionEngine::for_variant(Variant::IntDctW { ws: 16 }).unwrap();
+        let mut scratch = DecodeScratch::new();
+        let (mut i, mut q) = (Vec::new(), Vec::new());
+        for n in [136usize, 1362, 454] {
+            let wf = GaussianSquare::new(n, 0.3, 30.0, n / 2).to_waveform("w", 4.54);
+            let z = Compressor::new(Variant::IntDctW { ws: 16 }).compress(&wf).unwrap();
+            engine.decompress_into(&z, &mut scratch, &mut i, &mut q).unwrap();
+            assert_eq!(i.len(), n);
+            let (expect, _) = engine.decompress(&z).unwrap();
+            assert_eq!(expect.i(), &i[..]);
+        }
+    }
+
+    #[test]
+    fn into_path_rejects_malformed_streams() {
+        use compaqt_dsp::rle::{CodedWord, RleCodeword};
+        let bogus = crate::compress::ChannelData::Windows(vec![vec![
+            CodedWord::Coeff(5),
+            CodedWord::Rle(RleCodeword { run: 100, repeat_previous: false }),
+        ]]);
+        let engine = DecompressionEngine::for_variant(Variant::IntDctW { ws: 16 }).unwrap();
+        let mut scratch = DecodeScratch::new();
+        let mut out = Vec::new();
+        let mut stats = EngineStats::default();
+        let err =
+            engine.decode_channel_into(&bogus, 16, &mut scratch, &mut out, &mut stats).unwrap_err();
         assert!(matches!(err, crate::CompressError::Rle(_)));
     }
 

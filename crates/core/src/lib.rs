@@ -41,6 +41,7 @@
 #![deny(missing_debug_implementations)]
 
 pub mod adaptive;
+pub mod batch;
 pub mod bitstream;
 pub mod calibration;
 pub mod compress;
@@ -51,7 +52,7 @@ pub mod sequencer;
 pub mod stats;
 
 pub use compress::{CompressedWaveform, Compressor, Variant};
-pub use engine::{DecompressionEngine, EngineStats};
+pub use engine::{DecodeScratch, DecompressionEngine, EngineStats};
 
 use std::fmt;
 
@@ -68,6 +69,14 @@ pub enum CompressError {
     },
     /// A run-length stream was malformed.
     Rle(compaqt_dsp::rle::RleError),
+    /// A shared engine was handed a stream compressed with a different
+    /// variant (segmented decodes require an exact match).
+    EngineMismatch {
+        /// The stream's variant.
+        expected: Variant,
+        /// The engine's variant.
+        got: Variant,
+    },
     /// The waveform has no flat-top plateau long enough for adaptive
     /// compression.
     NoPlateau,
@@ -83,6 +92,14 @@ impl fmt::Display for CompressError {
                 write!(f, "fidelity-aware compression could not reach target MSE {target_mse:e}")
             }
             CompressError::Rle(e) => write!(f, "run-length stream error: {e}"),
+            CompressError::EngineMismatch { expected, got } => {
+                write!(
+                    f,
+                    "engine decodes {} but the stream was compressed with {}",
+                    got.label(),
+                    expected.label()
+                )
+            }
             CompressError::NoPlateau => {
                 write!(f, "waveform has no flat-top plateau for adaptive compression")
             }

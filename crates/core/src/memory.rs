@@ -61,10 +61,7 @@ impl BankedMemory {
     /// Number of physical BRAMs this memory maps onto (each bank uses at
     /// least one BRAM; deep banks use several).
     pub fn brams_used(&self) -> usize {
-        self.banks
-            .iter()
-            .map(|b| (b.len() * 16).div_ceil(BRAM_BITS).max(1))
-            .sum()
+        self.banks.iter().map(|b| (b.len() * 16).div_ceil(BRAM_BITS).max(1)).sum()
     }
 
     /// Stores one compressed channel at uniform (worst-case) window width.
@@ -116,7 +113,9 @@ impl BankedMemory {
     pub fn read_window(&self, handle: ChannelHandle, window: usize) -> Vec<CodedWord> {
         assert!(window < handle.windows, "window index out of range");
         (0..handle.banks)
-            .map(|k| CodedWord::unpack(self.banks[handle.first_bank + k][handle.first_row + window]))
+            .map(|k| {
+                CodedWord::unpack(self.banks[handle.first_bank + k][handle.first_row + window])
+            })
             .collect()
     }
 
@@ -184,12 +183,7 @@ mod tests {
         let z = compressed();
         let mut mem = BankedMemory::new();
         let (hi, _) = mem.store(&z);
-        let worst = z
-            .i
-            .window_word_counts()
-            .into_iter()
-            .max()
-            .unwrap();
+        let worst = z.i.window_word_counts().into_iter().max().unwrap();
         assert_eq!(hi.banks, worst);
     }
 

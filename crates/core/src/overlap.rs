@@ -162,6 +162,8 @@ impl OverlapCompressor {
 
     /// Decodes one channel via IDCT + windowed overlap-add.
     ///
+    /// Allocating wrapper over [`OverlapCompressor::decode_channel_into`].
+    ///
     /// # Errors
     ///
     /// Returns an error for malformed run-length streams.
@@ -170,16 +172,41 @@ impl OverlapCompressor {
         channel: &ChannelData,
         n_samples: usize,
     ) -> Result<Vec<f64>, CompressError> {
+        let mut scratch = crate::engine::DecodeScratch::new();
+        let mut out = Vec::new();
+        self.decode_channel_into(channel, n_samples, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Zero-allocation overlap-add decode into caller buffers: `out` is
+    /// cleared, zero-filled to `n_samples` and accumulated in place, with
+    /// per-frame staging running through `scratch`. Bit-exact with
+    /// [`OverlapCompressor::decode_channel`] (which now wraps this).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed run-length streams.
+    pub fn decode_channel_into(
+        &self,
+        channel: &ChannelData,
+        n_samples: usize,
+        scratch: &mut crate::engine::DecodeScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), CompressError> {
         let windows = match channel {
             ChannelData::Windows(w) => w,
             _ => return Err(CompressError::UnsupportedWindow(0)),
         };
         let decoder = RleDecoder::new();
-        let mut out = vec![0.0; n_samples];
+        out.clear();
+        out.resize(n_samples, 0.0);
         for (frame, words) in windows.iter().enumerate() {
-            let coeffs = decoder.decode_window(words, self.ws)?;
-            let f: Vec<f64> = coeffs.iter().map(|&c| f64::from(c) / self.scale).collect();
-            let time = self.dct.inverse(&f);
+            let (coeffs, fcoeffs, time) = scratch.lapped_buffers(self.ws);
+            decoder.decode_window_into(words, coeffs)?;
+            for (f, &c) in fcoeffs.iter_mut().zip(coeffs.iter()) {
+                *f = f64::from(c) / self.scale;
+            }
+            self.dct.inverse_into(fcoeffs, time);
             let start = frame as isize * self.hop as isize - self.hop as isize;
             for (k, &v) in time.iter().enumerate() {
                 let idx = start + k as isize;
@@ -188,7 +215,7 @@ impl OverlapCompressor {
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 }
 
@@ -247,10 +274,7 @@ mod tests {
         let lapped_back = lapped.compress(&wf).unwrap().decompress().unwrap();
         let b_plain = boundary_mse(&wf, &plain_back, 8, 1);
         let b_lapped = boundary_mse(&wf, &lapped_back, 8, 1);
-        assert!(
-            b_lapped < b_plain,
-            "lapped boundary MSE {b_lapped:e} vs plain {b_plain:e}"
-        );
+        assert!(b_lapped < b_plain, "lapped boundary MSE {b_lapped:e} vs plain {b_plain:e}");
     }
 
     #[test]
@@ -264,6 +288,22 @@ mod tests {
     #[test]
     fn rejects_unsupported_window() {
         assert!(OverlapCompressor::new(10).is_err());
+    }
+
+    #[test]
+    fn into_path_is_bit_exact_with_allocating_path() {
+        let wf = pulse();
+        let c = OverlapCompressor::new(8).unwrap();
+        let z = c.compress(&wf).unwrap();
+        let alloc = c.decode_channel(&z.i, z.n_samples).unwrap();
+        let mut scratch = crate::engine::DecodeScratch::new();
+        let mut out = Vec::new();
+        c.decode_channel_into(&z.i, z.n_samples, &mut scratch, &mut out).unwrap();
+        assert_eq!(alloc, out);
+        // Scratch and buffer survive reuse on the other channel.
+        let alloc_q = c.decode_channel(&z.q, z.n_samples).unwrap();
+        c.decode_channel_into(&z.q, z.n_samples, &mut scratch, &mut out).unwrap();
+        assert_eq!(alloc_q, out);
     }
 
     #[test]

@@ -130,10 +130,7 @@ impl Controller {
         library: &PulseLibrary,
         compressor: &Compressor,
     ) -> Result<Self, CompressError> {
-        let ws = compressor
-            .variant()
-            .window_size()
-            .ok_or(CompressError::UnsupportedWindow(0))?;
+        let ws = compressor.variant().window_size().ok_or(CompressError::UnsupportedWindow(0))?;
         let engine = DecompressionEngine::for_variant(compressor.variant())?;
         let mut memory = BankedMemory::new();
         let mut table = HashMap::new();
@@ -200,10 +197,8 @@ impl Controller {
         let mut events: Vec<(f64, i64, i64)> = Vec::new();
         let mut report = RunReport { instructions: instructions.len(), ..RunReport::default() };
         for instr in instructions {
-            let res = self
-                .table
-                .get(&instr.gate)
-                .ok_or_else(|| CompressError::UnsupportedWindow(usize::MAX))?;
+            let res =
+                self.table.get(&instr.gate).ok_or(CompressError::UnsupportedWindow(usize::MAX))?;
             events.push((instr.start_ns, res.banks_needed as i64, 1));
             events.push((instr.start_ns + res.duration_ns, -(res.banks_needed as i64), -1));
             report.makespan_ns = report.makespan_ns.max(instr.start_ns + res.duration_ns);
@@ -238,10 +233,7 @@ impl Controller {
 /// or any `(gate, start)` list) into sequencer instructions against a
 /// device's gate naming.
 pub fn instructions_from_pairs(pairs: impl IntoIterator<Item = (GateId, f64)>) -> Vec<Instruction> {
-    pairs
-        .into_iter()
-        .map(|(gate, start_ns)| Instruction { gate, start_ns })
-        .collect()
+    pairs.into_iter().map(|(gate, start_ns)| Instruction { gate, start_ns }).collect()
 }
 
 #[cfg(test)]
@@ -341,10 +333,8 @@ mod tests {
 
     #[test]
     fn instructions_from_pairs_preserves_order_and_times() {
-        let pairs = vec![
-            (GateId::single(GateKind::X, 0), 0.0),
-            (GateId::single(GateKind::Sx, 1), 30.0),
-        ];
+        let pairs =
+            vec![(GateId::single(GateKind::X, 0), 0.0), (GateId::single(GateKind::Sx, 1), 30.0)];
         let instrs = instructions_from_pairs(pairs);
         assert_eq!(instrs.len(), 2);
         assert_eq!(instrs[0].start_ns, 0.0);

@@ -40,8 +40,7 @@ pub struct LibraryReport {
 impl LibraryReport {
     /// Min/avg/max summary of per-waveform ratios (Table VII rows).
     pub fn ratio_summary(&self) -> Summary {
-        Summary::of(self.waveforms.iter().map(|w| w.ratio))
-            .expect("library reports are non-empty")
+        Summary::of(self.waveforms.iter().map(|w| w.ratio)).expect("library reports are non-empty")
     }
 
     /// Mean reconstruction MSE over all waveforms (Figure 7c).
@@ -71,12 +70,8 @@ impl LibraryReport {
     /// Mean ratio over waveforms of one gate kind (the per-gate bars of
     /// Figure 14).
     pub fn mean_ratio_of_kind(&self, kind: &GateKind) -> Option<f64> {
-        let values: Vec<f64> = self
-            .waveforms
-            .iter()
-            .filter(|w| &w.gate.kind == kind)
-            .map(|w| w.ratio)
-            .collect();
+        let values: Vec<f64> =
+            self.waveforms.iter().filter(|w| &w.gate.kind == kind).map(|w| w.ratio).collect();
         if values.is_empty() {
             None
         } else {

@@ -74,11 +74,7 @@ impl Csd {
 
     /// Re-evaluates the decomposition (used by tests and verification).
     pub fn reconstruct(&self) -> u32 {
-        let sum: i64 = self
-            .terms
-            .iter()
-            .map(|t| i64::from(t.sign) * (1i64 << t.shift))
-            .sum();
+        let sum: i64 = self.terms.iter().map(|t| i64::from(t.sign) * (1i64 << t.shift)).sum();
         sum as u32
     }
 
@@ -182,12 +178,7 @@ pub fn engine_resources(n: usize, share_constants: bool) -> EngineResources {
     res
 }
 
-fn resources_rec(
-    t: &crate::intdct::IntDct,
-    n: usize,
-    share: bool,
-    res: &mut EngineResources,
-) {
+fn resources_rec(t: &crate::intdct::IntDct, n: usize, share: bool, res: &mut EngineResources) {
     if n == 2 {
         // 2-point butterfly: two adders, no constants beyond +/-64 (wiring).
         res.adders += 2;

@@ -76,13 +76,24 @@ impl Dct {
     ///
     /// Panics if `x.len()` differs from the transform length.
     pub fn forward(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.n, "input length must match transform length");
         let mut y = vec![0.0; self.n];
-        for k in 0..self.n {
-            let row = &self.basis[k * self.n..(k + 1) * self.n];
-            y[k] = row.iter().zip(x).map(|(b, v)| b * v).sum();
-        }
+        self.forward_into(x, &mut y);
         y
+    }
+
+    /// [`Dct::forward`] into a caller-provided buffer, allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` or `out.len()` differs from the transform
+    /// length.
+    pub fn forward_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "input length must match transform length");
+        assert_eq!(out.len(), self.n, "output length must match transform length");
+        for (k, o) in out.iter_mut().enumerate() {
+            let row = &self.basis[k * self.n..(k + 1) * self.n];
+            *o = row.iter().zip(x).map(|(b, v)| b * v).sum();
+        }
     }
 
     /// Inverse transform (orthonormal DCT-III), the exact inverse of
@@ -92,18 +103,33 @@ impl Dct {
     ///
     /// Panics if `y.len()` differs from the transform length.
     pub fn inverse(&self, y: &[f64]) -> Vec<f64> {
-        assert_eq!(y.len(), self.n, "input length must match transform length");
         let mut x = vec![0.0; self.n];
-        for k in 0..self.n {
-            let row = &self.basis[k * self.n..(k + 1) * self.n];
-            let c = y[k];
+        self.inverse_into(y, &mut x);
+        x
+    }
+
+    /// [`Dct::inverse`] into a caller-provided buffer, allocation-free.
+    ///
+    /// Zero coefficients are skipped (thresholded codec windows are
+    /// sparse), identically to [`Dct::inverse`], so both paths produce
+    /// bit-identical output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len()` or `out.len()` differs from the transform
+    /// length.
+    pub fn inverse_into(&self, y: &[f64], out: &mut [f64]) {
+        assert_eq!(y.len(), self.n, "input length must match transform length");
+        assert_eq!(out.len(), self.n, "output length must match transform length");
+        out.fill(0.0);
+        for (k, &c) in y.iter().enumerate() {
             if c != 0.0 {
-                for (xi, b) in x.iter_mut().zip(row) {
+                let row = &self.basis[k * self.n..(k + 1) * self.n];
+                for (xi, b) in out.iter_mut().zip(row) {
                     *xi += c * b;
                 }
             }
         }
-        x
     }
 }
 
@@ -193,9 +219,8 @@ mod tests {
         let dct = Dct::new(12);
         for k1 in 0..12 {
             for k2 in 0..12 {
-                let dot: f64 = (0..12)
-                    .map(|i| dct.basis[k1 * 12 + i] * dct.basis[k2 * 12 + i])
-                    .sum();
+                let dot: f64 =
+                    (0..12).map(|i| dct.basis[k1 * 12 + i] * dct.basis[k2 * 12 + i]).sum();
                 let expect = if k1 == k2 { 1.0 } else { 0.0 };
                 assert!((dot - expect).abs() < 1e-12, "rows {k1},{k2}");
             }

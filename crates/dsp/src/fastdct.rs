@@ -1,8 +1,8 @@
-//! Fast recursive DCT-II/III (O(N log N)) for long waveforms.
+//! Fast DCT-II/III (O(N log N)) for long waveforms.
 //!
 //! `DCT-N` transforms whole waveforms — IBM cross-resonance pulses exceed
 //! 1300 samples, where the direct O(N^2) matrix transform is wasteful.
-//! This is the classic even/odd split: for even N,
+//! The factorization is the classic even/odd split: for even N,
 //!
 //! ```text
 //! even coefficients:  DCT-II of  e[n] = x[n] + x[N-1-n]   (length N/2)
@@ -12,8 +12,17 @@
 //!
 //! Odd lengths fall back to the direct transform, so any N is accepted.
 //! Outputs use the same orthonormal convention as [`crate::dct`].
+//!
+//! The kernel itself lives in [`crate::plan::DctPlan`] as an *iterative,
+//! in-place* pass structure over a single scratch buffer (the historical
+//! recursive implementation allocated two fresh `Vec`s per split level).
+//! The free functions here are the allocating convenience wrappers: they
+//! build a throwaway plan per call. Hot loops (the decompression engine,
+//! batch compilers) should hold a [`crate::plan::DctPlan`] and call its
+//! `forward_into`/`inverse_into` instead.
 
 use crate::dct::Dct;
+use crate::plan::DctPlan;
 
 /// Fast orthonormal DCT-II; exact inverse is [`fast_dct3`].
 ///
@@ -28,133 +37,17 @@ use crate::dct::Dct;
 /// }
 /// ```
 pub fn fast_dct2(x: &[f64]) -> Vec<f64> {
-    let n = x.len();
-    // Unnormalized recursive kernel, then orthonormal scaling.
-    let mut y = dct2_unnorm(x);
-    let s0 = (1.0 / n as f64).sqrt();
-    let s = (2.0 / n as f64).sqrt();
-    for (k, v) in y.iter_mut().enumerate() {
-        *v *= if k == 0 { s0 } else { s };
-    }
-    y
+    DctPlan::new(x.len()).forward(x)
 }
 
 /// Fast orthonormal DCT-III (inverse of [`fast_dct2`]).
 pub fn fast_dct3(y: &[f64]) -> Vec<f64> {
-    let n = y.len();
-    // Undo orthonormal scaling, run the transposed recursion.
-    let s0 = (1.0 / n as f64).sqrt();
-    let s = (2.0 / n as f64).sqrt();
-    let scaled: Vec<f64> = y
-        .iter()
-        .enumerate()
-        .map(|(k, &v)| v * if k == 0 { s0 } else { s })
-        .collect();
-    dct3_unnorm(&scaled)
-}
-
-/// Unnormalized DCT-II: `y[k] = sum_n x[n] cos(pi (2n+1) k / 2N)`.
-fn dct2_unnorm(x: &[f64]) -> Vec<f64> {
-    let n = x.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    if n == 1 {
-        return vec![x[0]];
-    }
-    if n % 2 == 1 || n < 8 {
-        // Direct evaluation for odd or tiny lengths.
-        let mut y = vec![0.0; n];
-        for (k, yk) in y.iter_mut().enumerate() {
-            *yk = (0..n)
-                .map(|i| {
-                    x[i] * (std::f64::consts::PI * (2 * i + 1) as f64 * k as f64
-                        / (2 * n) as f64)
-                        .cos()
-                })
-                .sum();
-        }
-        return y;
-    }
-    let h = n / 2;
-    let mut even = vec![0.0; h];
-    let mut odd = vec![0.0; h];
-    for i in 0..h {
-        let a = x[i];
-        let b = x[n - 1 - i];
-        even[i] = a + b;
-        let c = 2.0 * (std::f64::consts::PI * (2 * i + 1) as f64 / (2 * n) as f64).cos();
-        odd[i] = (a - b) * c;
-    }
-    let ye = dct2_unnorm(&even);
-    let yo = dct2_unnorm(&odd);
-    let mut y = vec![0.0; n];
-    for k in 0..h {
-        y[2 * k] = ye[k];
-    }
-    // y[2k+1] = yo[k] - y[2k-1], with y[-1] defined so y[1] = yo[0]/2... the
-    // standard recurrence: y[1] = yo[0]/2? Derivation: O[k] = y[2k+1] + y[2k-1]
-    // with y[-1] = y[1], i.e. O[0] = 2 y[1].
-    y[1] = yo[0] / 2.0;
-    for k in 1..h {
-        y[2 * k + 1] = yo[k] - y[2 * k - 1];
-    }
-    y
-}
-
-/// Unnormalized DCT-III, the exact transpose of [`dct2_unnorm`].
-fn dct3_unnorm(y: &[f64]) -> Vec<f64> {
-    let n = y.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    if n == 1 {
-        return vec![y[0]];
-    }
-    if n % 2 == 1 || n < 8 {
-        let mut x = vec![0.0; n];
-        for (i, xi) in x.iter_mut().enumerate() {
-            *xi = (0..n)
-                .map(|k| {
-                    y[k] * (std::f64::consts::PI * (2 * i + 1) as f64 * k as f64
-                        / (2 * n) as f64)
-                        .cos()
-                })
-                .sum();
-        }
-        return x;
-    }
-    // Exact transpose of the forward factorization (DCT-III matrix is the
-    // transpose of DCT-II): transpose the interleave/recurrence stage,
-    // recurse, then transpose the input butterfly.
-    let h = n / 2;
-    let ye: Vec<f64> = (0..h).map(|k| y[2 * k]).collect();
-    // Forward recurrence was y[2k+1] = yo[k] - y[2k-1] (with y[1] =
-    // yo[0]/2); its transpose is the backward alternating suffix sum
-    // s[j] = u[j] - s[j+1] over u[k] = y[2k+1], halving the j = 0 term.
-    let mut yo = vec![0.0; h];
-    let mut suffix = 0.0;
-    for j in (0..h).rev() {
-        suffix = y[2 * j + 1] - suffix;
-        yo[j] = suffix;
-    }
-    yo[0] /= 2.0;
-    let xe = dct3_unnorm(&ye);
-    let xo = dct3_unnorm(&yo);
-    let mut x = vec![0.0; n];
-    for i in 0..h {
-        // The forward butterfly's odd rows carry 2cos(pi(2i+1)/2N).
-        let c = 2.0 * (std::f64::consts::PI * (2 * i + 1) as f64 / (2 * n) as f64).cos();
-        let o = xo[i] * c;
-        x[i] = xe[i] + o;
-        x[n - 1 - i] = xe[i] - o;
-    }
-    x
+    DctPlan::new(y.len()).inverse(y)
 }
 
 /// Convenience: pick the faster implementation by length (direct matrix
-/// for short windows where the precomputed basis wins, recursive for
-/// long waveforms).
+/// for short windows where the precomputed basis wins, split-radix plan
+/// for long waveforms).
 pub fn adaptive_dct2(x: &[f64]) -> Vec<f64> {
     if x.len() <= 64 {
         Dct::new(x.len()).forward(x)

@@ -25,7 +25,9 @@ use std::ops::{Add, Neg, Sub};
 /// assert_eq!(Q15::from_f64(2.0), Q15::MAX); // saturates
 /// assert_eq!(Q15::from_f64(-2.0), Q15::MIN);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Q15(i16);
 
 /// Number of fractional bits in [`Q15`].

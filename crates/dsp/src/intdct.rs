@@ -27,8 +27,8 @@ use std::fmt;
 /// entries are hand-tuned away from pure rounding for near-orthogonality,
 /// e.g. `g[8] = 83`, not 84).
 const HEVC_MAGNITUDE: [i32; 33] = [
-    64, 90, 90, 90, 89, 88, 87, 85, 83, 82, 80, 78, 75, 73, 70, 67, 64, 61, 57, 54, 50, 46, 43,
-    38, 36, 31, 25, 22, 18, 13, 9, 4, 0,
+    64, 90, 90, 90, 89, 88, 87, 85, 83, 82, 80, 78, 75, 73, 70, 67, 64, 61, 57, 54, 50, 46, 43, 38,
+    36, 31, 25, 22, 18, 13, 9, 4, 0,
 ];
 
 /// Evaluates the signed HEVC basis value for angle index `m` (mod 128),
@@ -155,6 +155,17 @@ impl IntDct {
         self.matrix[k * self.n + i]
     }
 
+    /// Basis matrix row `T[k]` (the shift-add network constants one
+    /// coefficient drives). Lets fused decoder kernels accumulate rows
+    /// straight off the coded stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn row(&self, k: usize) -> &[i32] {
+        &self.matrix[k * self.n..(k + 1) * self.n]
+    }
+
     /// The distinct positive constants of the matrix — the multiplier
     /// constants a hardware engine must realize with shift-add networks.
     pub fn distinct_constants(&self) -> Vec<i32> {
@@ -174,21 +185,29 @@ impl IntDct {
     ///
     /// Panics if `x.len() != self.len()`.
     pub fn forward(&self, x: &[Q15]) -> Vec<i32> {
+        let mut y = vec![0i32; self.n];
+        self.forward_into(x, &mut y);
+        y
+    }
+
+    /// [`IntDct::forward`] into a caller-provided buffer — the
+    /// zero-allocation entry point used by plan-based codec loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` or `out.len()` differs from the transform size.
+    pub fn forward_into(&self, x: &[Q15], out: &mut [i32]) {
         assert_eq!(x.len(), self.n, "window length must match transform size");
+        assert_eq!(out.len(), self.n, "output length must match transform size");
         let shift = self.forward_shift();
         let rnd = 1i64 << (shift - 1);
-        let mut y = vec![0i32; self.n];
-        for k in 0..self.n {
+        for (k, o) in out.iter_mut().enumerate() {
             let row = &self.matrix[k * self.n..(k + 1) * self.n];
-            let acc: i64 = row
-                .iter()
-                .zip(x)
-                .map(|(&t, &s)| i64::from(t) * i64::from(s.raw()))
-                .sum();
+            let acc: i64 =
+                row.iter().zip(x).map(|(&t, &s)| i64::from(t) * i64::from(s.raw())).sum();
             let v = (acc + rnd) >> shift;
-            y[k] = v.clamp(i64::from(i16::MIN), i64::from(i16::MAX)) as i32;
+            *o = v.clamp(i64::from(i16::MIN), i64::from(i16::MAX)) as i32;
         }
-        y
     }
 
     /// Inverse integer DCT: transposed matrix multiply plus a right shift.
@@ -201,19 +220,73 @@ impl IntDct {
     ///
     /// Panics if `y.len() != self.len()`.
     pub fn inverse(&self, y: &[i32]) -> Vec<Q15> {
-        assert_eq!(y.len(), self.n, "coefficient count must match transform size");
+        let mut x = vec![Q15::ZERO; self.n];
+        self.inverse_into(y, &mut x);
+        x
+    }
+
+    /// [`IntDct::inverse`] into a caller-provided buffer, allocation-free.
+    ///
+    /// The accumulation loops are column-major and skip zero coefficients
+    /// — after thresholding, a typical codec window carries 2-3 nonzero
+    /// coefficients out of 16, so this does ~5x less multiply-add work
+    /// than the dense transform while producing bit-identical results
+    /// (skipped terms contribute exactly zero to the integer
+    /// accumulators; accumulator state lives on the stack).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len()` or `out.len()` differs from the transform size.
+    pub fn inverse_into(&self, y: &[i32], out: &mut [Q15]) {
+        let mut acc = [0i64; 32];
+        self.accumulate_inverse(y, out.len(), &mut acc);
         let shift = self.inverse_shift();
         let rnd = 1i64 << (shift - 1);
-        let mut x = vec![Q15::ZERO; self.n];
-        for i in 0..self.n {
-            let mut acc = 0i64;
-            for k in 0..self.n {
-                acc += i64::from(self.matrix[k * self.n + i]) * i64::from(y[k]);
-            }
-            let v = (acc + rnd) >> shift;
-            x[i] = Q15::from_raw(v.clamp(i64::from(i16::MIN), i64::from(i16::MAX)) as i16);
+        for (o, &a) in out.iter_mut().zip(acc.iter()) {
+            let v = (a + rnd) >> shift;
+            *o = Q15::from_raw(v.clamp(i64::from(i16::MIN), i64::from(i16::MAX)) as i16);
         }
-        x
+    }
+
+    /// Fused dequantize + inverse + Q1.15-to-`f64`, allocation-free: the
+    /// stored coefficients are shifted left by `pre_shift` (undoing a
+    /// storage quantization such as the codec's 2-bit headroom shift)
+    /// inside the accumulator, and the reconstructed samples land
+    /// directly in a caller `f64` buffer. Bit-exact with
+    /// `inverse(&coeffs.map(|c| c << pre_shift)).to_f64()` — the shift
+    /// distributes over the exact i64 accumulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len()` or `out.len()` differs from the transform size.
+    pub fn inverse_f64_into(&self, y: &[i32], pre_shift: u32, out: &mut [f64]) {
+        let mut acc = [0i64; 32];
+        self.accumulate_inverse(y, out.len(), &mut acc);
+        let shift = self.inverse_shift();
+        let rnd = 1i64 << (shift - 1);
+        for (o, &a) in out.iter_mut().zip(acc.iter()) {
+            let v = ((a << pre_shift) + rnd) >> shift;
+            let raw = v.clamp(i64::from(i16::MIN), i64::from(i16::MAX)) as i16;
+            *o = f64::from(raw) / 32768.0;
+        }
+    }
+
+    /// Shared sparse transposed-matrix accumulation for the inverse
+    /// kernels (`acc[i] = sum_k T[k][i] * y[k]` over nonzero `y[k]`).
+    fn accumulate_inverse(&self, y: &[i32], out_len: usize, acc: &mut [i64; 32]) {
+        assert_eq!(y.len(), self.n, "coefficient count must match transform size");
+        assert_eq!(out_len, self.n, "output length must match transform size");
+        let acc = &mut acc[..self.n];
+        for (k, &c) in y.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let c = i64::from(c);
+            let row = &self.matrix[k * self.n..(k + 1) * self.n];
+            for (a, &t) in acc.iter_mut().zip(row) {
+                *a += i64::from(t) * c;
+            }
+        }
     }
 
     /// Forward transform of real-valued samples (convenience for analysis
@@ -247,15 +320,10 @@ mod tests {
     #[test]
     fn matrix_matches_hevc_4pt() {
         let t = IntDct::new(4).unwrap();
-        let expect = [
-            [64, 64, 64, 64],
-            [83, 36, -36, -83],
-            [64, -64, -64, 64],
-            [36, -83, 83, -36],
-        ];
-        for k in 0..4 {
-            for i in 0..4 {
-                assert_eq!(t.coefficient(k, i), expect[k][i], "T4[{k}][{i}]");
+        let expect = [[64, 64, 64, 64], [83, 36, -36, -83], [64, -64, -64, 64], [36, -83, 83, -36]];
+        for (k, row) in expect.iter().enumerate() {
+            for (i, &e) in row.iter().enumerate() {
+                assert_eq!(t.coefficient(k, i), e, "T4[{k}][{i}]");
             }
         }
     }
@@ -273,9 +341,9 @@ mod tests {
             [36, -83, 83, -36, -36, 83, -83, 36],
             [18, -50, 75, -89, 89, -75, 50, -18],
         ];
-        for k in 0..8 {
-            for i in 0..8 {
-                assert_eq!(t.coefficient(k, i), expect[k][i], "T8[{k}][{i}]");
+        for (k, row) in expect.iter().enumerate() {
+            for (i, &e) in row.iter().enumerate() {
+                assert_eq!(t.coefficient(k, i), e, "T8[{k}][{i}]");
             }
         }
     }
@@ -314,10 +382,7 @@ mod tests {
                         assert!(rel < 0.01, "n={n} row {k1} norm off by {rel}");
                     } else {
                         // Cross-terms are tiny relative to the diagonal.
-                        assert!(
-                            (dot as f64).abs() / s2 < 0.01,
-                            "n={n} rows {k1},{k2} dot {dot}"
-                        );
+                        assert!((dot as f64).abs() / s2 < 0.01, "n={n} rows {k1},{k2} dot {dot}");
                     }
                 }
             }
@@ -393,7 +458,7 @@ mod tests {
     #[test]
     fn scale_matches_paper_formula() {
         // S = 2^((6 + log2 N) / ... ) printed as 2^(6 + log2(N)/2).
-        assert!((IntDct::new(8).unwrap().scale() - 181.019_335_983_756_22).abs() < 1e-9);
+        assert!((IntDct::new(8).unwrap().scale() - 181.019_335_983_756_2).abs() < 1e-9);
         assert!((IntDct::new(16).unwrap().scale() - 256.0).abs() < 1e-12);
     }
 }

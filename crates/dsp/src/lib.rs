@@ -22,6 +22,31 @@
 //! * [`threshold`] — magnitude thresholding of transform coefficients.
 //! * [`metrics`] — MSE / PSNR / compression-ratio measurements.
 //! * [`window`] — splitting waveforms into fixed-size transform windows.
+//! * [`plan`] — reusable transform plans ([`plan::DctPlan`],
+//!   [`plan::IntDctPlan`]) with caller-provided output buffers.
+//!
+//! # Plans and buffer reuse
+//!
+//! Every transform and the run-length decoder exist in two forms with one
+//! contract:
+//!
+//! * **Allocating** (`forward`, `inverse`, `decode_window`, ...) —
+//!   returns a fresh `Vec` per call. Convenient for analysis code and
+//!   tests; this is the historical API and its numerics are frozen.
+//! * **Buffer-reuse** (`forward_into(&input, &mut out)`,
+//!   `inverse_into`, `decode_window_into`, ...) — writes into a
+//!   caller-provided buffer whose length must equal the transform/window
+//!   length (checked; length mismatches panic for transforms and return
+//!   `RleError` for untrusted codec streams). Steady-state loops that
+//!   reuse their buffers perform **zero heap allocations per window**.
+//!
+//! Both forms are *bit-exact* with each other: the allocating wrappers
+//! are thin shims over the `_into` kernels, so a stream decoded through
+//! either path produces identical samples. Internal scratch (the fast
+//! DCT's split/interleave workspace) lives inside [`plan::DctPlan`],
+//! which is why its methods take `&mut self`; the table-driven
+//! [`Dct`]/[`IntDct`] kernels need no scratch and stay `&self`, making
+//! them shareable across decoder threads.
 //!
 //! # Example
 //!
@@ -50,6 +75,7 @@ pub mod fixed;
 pub mod intdct;
 pub mod loeffler;
 pub mod metrics;
+pub mod plan;
 pub mod rle;
 pub mod threshold;
 pub mod window;
@@ -57,4 +83,5 @@ pub mod window;
 pub use dct::{dct2, dct3, Dct};
 pub use fixed::Q15;
 pub use intdct::IntDct;
+pub use plan::{DctPlan, IntDctPlan};
 pub use rle::{RleCodeword, RleDecoder, RleEncoder};

@@ -185,9 +185,9 @@ mod tests {
             let mut x = [0.0; 8];
             x[pos] = 1.0;
             let x_hat = loeffler_idct8(&loeffler_dct8(&x));
-            for k in 0..8 {
+            for (k, &v) in x_hat.iter().enumerate() {
                 let expect = if k == pos { 1.0 } else { 0.0 };
-                assert!((x_hat[k] - expect).abs() < 1e-12, "impulse at {pos}, sample {k}");
+                assert!((v - expect).abs() < 1e-12, "impulse at {pos}, sample {k}");
             }
         }
     }

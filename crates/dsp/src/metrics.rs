@@ -143,7 +143,11 @@ impl Summary {
 
 impl fmt::Display for Summary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "min {:.2} / avg {:.2} / max {:.2} (n={})", self.min, self.avg, self.max, self.count)
+        write!(
+            f,
+            "min {:.2} / avg {:.2} / max {:.2} (n={})",
+            self.min, self.avg, self.max, self.count
+        )
     }
 }
 

@@ -1,0 +1,397 @@
+//! Reusable transform plans with caller-provided output buffers.
+//!
+//! The codec hot loop transforms millions of windows per pulse-library
+//! compile, and the modelled hardware engine inverse-transforms every
+//! window streamed to a DAC. The original kernels allocated fresh `Vec`s
+//! at every call (and, for the recursive fast DCT, at every even/odd
+//! split level). A *plan* hoists all of that out of the loop, FFTW-style:
+//!
+//! * [`DctPlan`] — arbitrary-length fast DCT-II/III. Construction
+//!   precomputes the per-level butterfly twiddles `2cos(pi(2i+1)/2L)` and
+//!   the base-case cosine basis once; `forward_into`/`inverse_into` then
+//!   run an iterative, in-place kernel over one internal scratch buffer —
+//!   zero heap allocations per transform.
+//! * [`IntDctPlan`] — the windowed HEVC integer transform. The matrix is
+//!   already precomputed by [`IntDct`]; the plan adds the `_into` entry
+//!   points (including the sparse, dequantizing inverse the decompression
+//!   engine uses) under the same naming scheme.
+//!
+//! The original allocating APIs ([`crate::fastdct::fast_dct2`],
+//! [`IntDct::forward`], ...) remain as thin wrappers, so existing callers
+//! and tests keep working bit-exactly.
+//!
+//! # Example
+//!
+//! ```
+//! use compaqt_dsp::plan::DctPlan;
+//!
+//! let x: Vec<f64> = (0..1362).map(|i| (i as f64 * 0.01).sin()).collect();
+//! let mut plan = DctPlan::new(x.len());
+//! let mut coeffs = vec![0.0; x.len()];
+//! let mut back = vec![0.0; x.len()];
+//! plan.forward_into(&x, &mut coeffs);
+//! plan.inverse_into(&coeffs, &mut back);
+//! for (a, b) in x.iter().zip(&back) {
+//!     assert!((a - b).abs() < 1e-9);
+//! }
+//! ```
+
+use crate::fixed::Q15;
+use crate::intdct::{IntDct, UnsupportedSizeError};
+use std::f64::consts::PI;
+
+/// A reusable fast-DCT plan for one transform length.
+///
+/// Holds the precomputed butterfly twiddles for every even/odd split
+/// level, the dense cosine basis for the odd/short base case, and an
+/// internal scratch buffer, so repeated transforms perform no heap
+/// allocation. Methods take `&mut self` because they use the internal
+/// scratch; clone the plan (or build one per worker) for parallel use.
+#[derive(Debug, Clone)]
+pub struct DctPlan {
+    n: usize,
+    /// `twiddles[d][i] = 2cos(pi(2i+1)/2L)` with `L = n >> d`.
+    twiddles: Vec<Vec<f64>>,
+    /// Base-case transform length (`n >> levels`; odd or `< 8`).
+    base_len: usize,
+    /// Row-major unnormalized cosine basis
+    /// `base[k*m + i] = cos(pi(2i+1)k/2m)` for the base length `m`.
+    base_basis: Vec<f64>,
+    scratch: Vec<f64>,
+}
+
+impl DctPlan {
+    /// Plans an `n`-point orthonormal DCT-II/DCT-III pair.
+    ///
+    /// Any `n` is accepted: even lengths are halved recursively while the
+    /// half is still `>= 4` (matching the recursive kernel this replaces),
+    /// the remainder is handled by a precomputed dense basis.
+    pub fn new(n: usize) -> Self {
+        let mut twiddles = Vec::new();
+        let mut len = n;
+        while len.is_multiple_of(2) && len >= 8 {
+            let tw: Vec<f64> = (0..len / 2)
+                .map(|i| 2.0 * (PI * (2 * i + 1) as f64 / (2 * len) as f64).cos())
+                .collect();
+            twiddles.push(tw);
+            len /= 2;
+        }
+        let base_len = len;
+        let mut base_basis = vec![0.0; base_len * base_len];
+        for k in 0..base_len {
+            for i in 0..base_len {
+                base_basis[k * base_len + i] =
+                    (PI * (2 * i + 1) as f64 * k as f64 / (2 * base_len) as f64).cos();
+            }
+        }
+        DctPlan { n, twiddles, base_len, base_basis, scratch: vec![0.0; n] }
+    }
+
+    /// The planned transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether this is the degenerate zero-length plan.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Forward orthonormal DCT-II of `x` into `out`, allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` or `out.len()` differs from the plan length.
+    pub fn forward_into(&mut self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "input length must match plan length");
+        assert_eq!(out.len(), self.n, "output length must match plan length");
+        if self.n == 0 {
+            return;
+        }
+        out.copy_from_slice(x);
+        self.forward_unnorm_inplace(out);
+        let s0 = (1.0 / self.n as f64).sqrt();
+        let s = (2.0 / self.n as f64).sqrt();
+        for (k, v) in out.iter_mut().enumerate() {
+            *v *= if k == 0 { s0 } else { s };
+        }
+    }
+
+    /// Inverse transform (orthonormal DCT-III) of `y` into `out`,
+    /// allocation-free. Exact inverse of [`DctPlan::forward_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len()` or `out.len()` differs from the plan length.
+    pub fn inverse_into(&mut self, y: &[f64], out: &mut [f64]) {
+        assert_eq!(y.len(), self.n, "input length must match plan length");
+        assert_eq!(out.len(), self.n, "output length must match plan length");
+        if self.n == 0 {
+            return;
+        }
+        let s0 = (1.0 / self.n as f64).sqrt();
+        let s = (2.0 / self.n as f64).sqrt();
+        for (k, v) in out.iter_mut().enumerate() {
+            *v = y[k] * if k == 0 { s0 } else { s };
+        }
+        self.inverse_unnorm_inplace(out);
+    }
+
+    /// Allocating convenience wrapper over [`DctPlan::forward_into`].
+    pub fn forward(&mut self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.n];
+        self.forward_into(x, &mut out);
+        out
+    }
+
+    /// Allocating convenience wrapper over [`DctPlan::inverse_into`].
+    pub fn inverse(&mut self, y: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.n];
+        self.inverse_into(y, &mut out);
+        out
+    }
+
+    /// Iterative unnormalized DCT-II over `buf`, replacing the recursive
+    /// even/odd split. Level `d` holds `2^d` contiguous segments of
+    /// length `n >> d`; the butterfly runs in place, segment odd halves
+    /// are reversed into natural order, base cases use the precomputed
+    /// dense basis, and the interleave recurrence unwinds bottom-up
+    /// through the single scratch buffer.
+    fn forward_unnorm_inplace(&mut self, buf: &mut [f64]) {
+        let n = self.n;
+        // Split passes (top-down).
+        for (d, tw) in self.twiddles.iter().enumerate() {
+            let seg_len = n >> d;
+            let h = seg_len / 2;
+            for seg in buf.chunks_exact_mut(seg_len) {
+                for i in 0..h {
+                    let a = seg[i];
+                    let b = seg[seg_len - 1 - i];
+                    seg[i] = a + b;
+                    seg[seg_len - 1 - i] = (a - b) * tw[i];
+                }
+                // The in-place butterfly leaves the odd half reversed.
+                seg[h..].reverse();
+            }
+        }
+        // Base transforms.
+        let m = self.base_len;
+        if m > 1 {
+            let basis = &self.base_basis;
+            let tmp = &mut self.scratch[..m];
+            for seg in buf.chunks_exact_mut(m) {
+                for (k, t) in tmp.iter_mut().enumerate() {
+                    *t = basis[k * m..(k + 1) * m].iter().zip(seg.iter()).map(|(b, v)| b * v).sum();
+                }
+                seg.copy_from_slice(tmp);
+            }
+        }
+        // Interleave/recurrence passes (bottom-up).
+        for d in (0..self.twiddles.len()).rev() {
+            let seg_len = n >> d;
+            let h = seg_len / 2;
+            let tmp = &mut self.scratch[..seg_len];
+            for seg in buf.chunks_exact_mut(seg_len) {
+                for k in 0..h {
+                    tmp[2 * k] = seg[k];
+                }
+                // y[1] = yo[0]/2;  y[2k+1] = yo[k] - y[2k-1].
+                tmp[1] = seg[h] / 2.0;
+                for k in 1..h {
+                    tmp[2 * k + 1] = seg[h + k] - tmp[2 * k - 1];
+                }
+                seg.copy_from_slice(tmp);
+            }
+        }
+    }
+
+    /// Iterative unnormalized DCT-III (exact transpose of
+    /// [`DctPlan::forward_unnorm_inplace`]): de-interleave passes
+    /// top-down, transposed base transform, butterflies bottom-up.
+    fn inverse_unnorm_inplace(&mut self, buf: &mut [f64]) {
+        let n = self.n;
+        // De-interleave passes (top-down): transpose of the recurrence.
+        for d in 0..self.twiddles.len() {
+            let seg_len = n >> d;
+            let h = seg_len / 2;
+            let tmp = &mut self.scratch[..seg_len];
+            for seg in buf.chunks_exact_mut(seg_len) {
+                for k in 0..h {
+                    tmp[k] = seg[2 * k];
+                }
+                // Backward alternating suffix sum, halving the j=0 term.
+                let mut suffix = 0.0;
+                for j in (0..h).rev() {
+                    suffix = seg[2 * j + 1] - suffix;
+                    tmp[h + j] = suffix;
+                }
+                tmp[h] /= 2.0;
+                seg.copy_from_slice(tmp);
+            }
+        }
+        // Transposed base transforms.
+        let m = self.base_len;
+        if m > 1 {
+            let basis = &self.base_basis;
+            let tmp = &mut self.scratch[..m];
+            for seg in buf.chunks_exact_mut(m) {
+                for (i, t) in tmp.iter_mut().enumerate() {
+                    *t = (0..m).map(|k| seg[k] * basis[k * m + i]).sum();
+                }
+                seg.copy_from_slice(tmp);
+            }
+        }
+        // Butterfly passes (bottom-up): transpose of the input butterfly.
+        for d in (0..self.twiddles.len()).rev() {
+            let seg_len = n >> d;
+            let h = seg_len / 2;
+            let tw = &self.twiddles[d];
+            let tmp = &mut self.scratch[..seg_len];
+            for seg in buf.chunks_exact_mut(seg_len) {
+                for i in 0..h {
+                    let o = seg[h + i] * tw[i];
+                    tmp[i] = seg[i] + o;
+                    tmp[seg_len - 1 - i] = seg[i] - o;
+                }
+                seg.copy_from_slice(tmp);
+            }
+        }
+    }
+}
+
+/// A reusable plan for the windowed HEVC integer transform.
+///
+/// [`IntDct`] already precomputes its basis matrix; this wrapper exposes
+/// the buffer-reuse entry points under the plan naming scheme, including
+/// the fused sparse inverse ([`IntDctPlan::inverse_f64_into`]) that the
+/// decompression engine's zero-allocation path is built on. All methods
+/// take `&self`: the integer kernels need no scratch, so one plan can be
+/// shared across threads.
+#[derive(Debug, Clone)]
+pub struct IntDctPlan {
+    transform: IntDct,
+}
+
+impl IntDctPlan {
+    /// Plans an N-point integer transform (N in 4/8/16/32).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnsupportedSizeError`] for other sizes.
+    pub fn new(n: usize) -> Result<Self, UnsupportedSizeError> {
+        Ok(IntDctPlan { transform: IntDct::new(n)? })
+    }
+
+    /// Wraps an existing transform.
+    pub fn from_transform(transform: IntDct) -> Self {
+        IntDctPlan { transform }
+    }
+
+    /// The underlying transform tables.
+    pub fn transform(&self) -> &IntDct {
+        &self.transform
+    }
+
+    /// The planned window size.
+    pub fn len(&self) -> usize {
+        self.transform.len()
+    }
+
+    /// Always `false`; the transform length is at least 4.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Forward transform into a caller buffer; see [`IntDct::forward_into`].
+    pub fn forward_into(&self, x: &[Q15], out: &mut [i32]) {
+        self.transform.forward_into(x, out);
+    }
+
+    /// Inverse transform into a caller buffer; see [`IntDct::inverse_into`].
+    pub fn inverse_into(&self, y: &[i32], out: &mut [Q15]) {
+        self.transform.inverse_into(y, out);
+    }
+
+    /// Dequantizing sparse inverse straight to `f64` DAC samples; see
+    /// [`IntDct::inverse_f64_into`].
+    pub fn inverse_f64_into(&self, y: &[i32], pre_shift: u32, out: &mut [f64]) {
+        self.transform.inverse_f64_into(y, pre_shift, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dct::{dct2, dct3};
+
+    #[test]
+    fn plan_matches_direct_for_many_lengths() {
+        for n in [1usize, 2, 4, 7, 8, 16, 17, 64, 136, 160, 454, 1362] {
+            let x: Vec<f64> = (0..n).map(|i| ((i * i) as f64 * 0.013).sin() * 0.7).collect();
+            let mut plan = DctPlan::new(n);
+            let fast = plan.forward(&x);
+            let direct = dct2(&x);
+            for (k, (a, b)) in fast.iter().zip(&direct).enumerate() {
+                assert!((a - b).abs() < 1e-9, "n={n} k={k}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_inverse_matches_direct_inverse() {
+        for n in [8usize, 32, 136, 1362] {
+            let y: Vec<f64> = (0..n).map(|k| (k as f64 * 0.37).cos() / (1.0 + k as f64)).collect();
+            let mut plan = DctPlan::new(n);
+            let fast = plan.inverse(&y);
+            let direct = dct3(&y);
+            for (a, b) in fast.iter().zip(&direct) {
+                assert!((a - b).abs() < 1e-9, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_is_reusable_without_drift() {
+        let n = 320;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.05).sin()).collect();
+        let mut plan = DctPlan::new(n);
+        let first = plan.forward(&x);
+        let mut out = vec![0.0; n];
+        for _ in 0..10 {
+            plan.forward_into(&x, &mut out);
+            assert_eq!(out, first, "repeated plan use must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn degenerate_lengths_are_handled() {
+        let mut p0 = DctPlan::new(0);
+        p0.forward_into(&[], &mut []);
+        assert!(p0.is_empty());
+        let mut p1 = DctPlan::new(1);
+        let y = p1.forward(&[0.5]);
+        assert!((y[0] - 0.5).abs() < 1e-15);
+        assert_eq!(p1.len(), 1);
+    }
+
+    #[test]
+    fn int_plan_round_trips_like_transform() {
+        for ws in crate::intdct::SUPPORTED_SIZES {
+            let plan = IntDctPlan::new(ws).unwrap();
+            let x: Vec<Q15> = (0..ws)
+                .map(|i| Q15::from_f64(0.6 * (std::f64::consts::PI * i as f64 / ws as f64).sin()))
+                .collect();
+            let mut coeffs = vec![0i32; ws];
+            plan.forward_into(&x, &mut coeffs);
+            assert_eq!(coeffs, plan.transform().forward(&x));
+            let mut back = vec![Q15::ZERO; ws];
+            plan.inverse_into(&coeffs, &mut back);
+            assert_eq!(back, plan.transform().inverse(&coeffs));
+        }
+    }
+
+    #[test]
+    fn int_plan_rejects_unsupported_sizes() {
+        assert!(IntDctPlan::new(12).is_err());
+    }
+}

@@ -83,10 +83,7 @@ impl CodedWord {
             let v = ((word << 1) as i16) >> 1;
             CodedWord::Coeff(v)
         } else {
-            CodedWord::Rle(RleCodeword {
-                run: word & 0x3FFF,
-                repeat_previous: word & 0x4000 != 0,
-            })
+            CodedWord::Rle(RleCodeword { run: word & 0x3FFF, repeat_previous: word & 0x4000 != 0 })
         }
     }
 
@@ -138,10 +135,8 @@ impl RleEncoder {
     pub fn encode_window(&self, coeffs: &[i32]) -> Vec<CodedWord> {
         let tail_zeros = coeffs.iter().rev().take_while(|&&c| c == 0).count();
         let head = coeffs.len() - tail_zeros;
-        let mut out: Vec<CodedWord> = coeffs[..head]
-            .iter()
-            .map(|&c| CodedWord::Coeff(CodedWord::clamp_coeff(c)))
-            .collect();
+        let mut out: Vec<CodedWord> =
+            coeffs[..head].iter().map(|&c| CodedWord::Coeff(CodedWord::clamp_coeff(c))).collect();
         if tail_zeros > 0 {
             let mut remaining = tail_zeros;
             while remaining > 0 {
@@ -185,35 +180,68 @@ impl RleDecoder {
 
     /// Decodes one window worth of words into exactly `window` coefficients.
     ///
+    /// Allocating wrapper over [`RleDecoder::decode_window_into`].
+    ///
     /// # Errors
     ///
     /// Returns [`RleError`] if the words expand to more or fewer samples
     /// than `window`, or if a repeat codeword appears with no preceding
     /// sample.
     pub fn decode_window(&self, words: &[CodedWord], window: usize) -> Result<Vec<i32>, RleError> {
-        let mut out: Vec<i32> = Vec::with_capacity(window);
+        let mut out = vec![0i32; window];
+        self.decode_window_into(words, &mut out)?;
+        Ok(out)
+    }
+
+    /// Decodes one window of words into a caller-provided buffer,
+    /// allocation-free; the buffer length *is* the window length.
+    ///
+    /// This is also the hardened entry point for untrusted streams: run
+    /// lengths are checked against the remaining buffer space *before*
+    /// any sample is written, so a hostile codeword claiming a 16k-sample
+    /// run inside a 16-sample window errors out without expanding (the
+    /// historical `Vec`-growing decoder materialized the whole bogus run
+    /// beyond its reserved capacity before noticing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RleError`] if the words would expand to more or fewer
+    /// samples than `out.len()`, or if a repeat codeword appears with no
+    /// preceding sample. The buffer contents are unspecified on error.
+    pub fn decode_window_into(&self, words: &[CodedWord], out: &mut [i32]) -> Result<(), RleError> {
+        let window = out.len();
+        let mut pos = 0usize;
         for &w in words {
             match w {
-                CodedWord::Coeff(v) => out.push(i32::from(v)),
+                CodedWord::Coeff(v) => {
+                    if pos >= window {
+                        return Err(RleError::Overflow { produced: pos + 1, window });
+                    }
+                    out[pos] = i32::from(v);
+                    pos += 1;
+                }
                 CodedWord::Rle(RleCodeword { run, repeat_previous }) => {
                     let fill = if repeat_previous {
-                        *out.last().ok_or(RleError::RepeatWithoutSample)?
+                        if pos == 0 {
+                            return Err(RleError::RepeatWithoutSample);
+                        }
+                        out[pos - 1]
                     } else {
                         0
                     };
-                    for _ in 0..run {
-                        out.push(fill);
+                    let run = usize::from(run);
+                    if run > window - pos {
+                        return Err(RleError::Overflow { produced: pos + run, window });
                     }
+                    out[pos..pos + run].fill(fill);
+                    pos += run;
                 }
             }
-            if out.len() > window {
-                return Err(RleError::Overflow { produced: out.len(), window });
-            }
         }
-        if out.len() != window {
-            return Err(RleError::Underflow { produced: out.len(), window });
+        if pos != window {
+            return Err(RleError::Underflow { produced: pos, window });
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Decodes an unbounded stream (used by the adaptive bypass path where
@@ -269,7 +297,10 @@ impl fmt::Display for RleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RleError::Overflow { produced, window } => {
-                write!(f, "run-length stream produced {produced} samples for a {window}-sample window")
+                write!(
+                    f,
+                    "run-length stream produced {produced} samples for a {window}-sample window"
+                )
             }
             RleError::Underflow { produced, window } => {
                 write!(f, "run-length stream produced only {produced} of {window} samples")
@@ -390,6 +421,43 @@ mod tests {
         assert!(matches!(dec.decode_window(&words, 8), Err(RleError::Underflow { .. })));
         let words = RleEncoder::new().encode_window(&[0; 16]);
         assert!(matches!(dec.decode_window(&words, 8), Err(RleError::Overflow { .. })));
+    }
+
+    #[test]
+    fn decode_into_matches_allocating_decoder() {
+        let enc = RleEncoder::new();
+        let dec = RleDecoder::new();
+        let cases: [&[i32]; 4] = [
+            &[1, 2, 3, 0, 0, 0, 0, 0],
+            &[0; 8],
+            &[-7, 0, 0, 9, 0, 0, 0, 0],
+            &[1, 2, 3, 4, 5, 6, 7, 8],
+        ];
+        for coeffs in cases {
+            let words = enc.encode_window(coeffs);
+            let alloc = dec.decode_window(&words, coeffs.len()).unwrap();
+            let mut buf = [0i32; 8];
+            dec.decode_window_into(&words, &mut buf).unwrap();
+            assert_eq!(alloc, buf);
+        }
+    }
+
+    #[test]
+    fn hostile_run_is_rejected_without_expansion() {
+        // A corrupted stream claiming a MAX_RUN-length zero run inside a
+        // 16-sample window must error before any fill happens.
+        let dec = RleDecoder::new();
+        let words = [
+            CodedWord::Coeff(3),
+            CodedWord::Rle(RleCodeword { run: MAX_RUN, repeat_previous: false }),
+        ];
+        let mut buf = [7i32; 16];
+        let err = dec.decode_window_into(&words, &mut buf).unwrap_err();
+        assert_eq!(err, RleError::Overflow { produced: 1 + MAX_RUN as usize, window: 16 });
+        // Nothing past the literal was touched.
+        assert_eq!(&buf[1..], &[7i32; 15]);
+        // The allocating wrapper inherits the same early rejection.
+        assert!(matches!(dec.decode_window(&words, 16), Err(RleError::Overflow { .. })));
     }
 
     #[test]

@@ -106,8 +106,7 @@ pub enum CryoDesign {
 impl CryoPowerModel {
     /// Dynamic SRAM energy per 16-bit access for a given capacity.
     pub fn sram_access_pj(&self, capacity_bytes: f64) -> f64 {
-        self.sram_floor_pj
-            + self.sram_array_pj * (capacity_bytes / REFERENCE_CAPACITY_BYTES).sqrt()
+        self.sram_floor_pj + self.sram_array_pj * (capacity_bytes / REFERENCE_CAPACITY_BYTES).sqrt()
     }
 
     /// Memory power for a given capacity and access rate (16-bit words
@@ -150,8 +149,7 @@ impl CryoPowerModel {
                 PowerBreakdown {
                     dac_mw: self.dac_mw,
                     memory_mw: self.memory_power_mw(capacity, access_rate, 1.0),
-                    idct_mw: self
-                        .idct_power_mw(&EngineResources::int_dct_w(ws), window_rate),
+                    idct_mw: self.idct_power_mw(&EngineResources::int_dct_w(ws), window_rate),
                 }
             }
             CryoDesign::Adaptive { ws, avg_words_per_window, capacity_ratio, bypass_fraction } => {
@@ -162,8 +160,7 @@ impl CryoPowerModel {
                 PowerBreakdown {
                     dac_mw: self.dac_mw,
                     memory_mw: self.memory_power_mw(capacity, access_rate, active),
-                    idct_mw: self
-                        .idct_power_mw(&EngineResources::int_dct_w(ws), window_rate),
+                    idct_mw: self.idct_power_mw(&EngineResources::int_dct_w(ws), window_rate),
                 }
             }
         }

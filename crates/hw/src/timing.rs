@@ -167,8 +167,6 @@ mod tests {
     #[test]
     fn larger_windows_are_slower() {
         let m = TimingModel::default();
-        assert!(
-            m.max_frequency_mhz(&int_design(32)) < m.max_frequency_mhz(&int_design(8))
-        );
+        assert!(m.max_frequency_mhz(&int_design(32)) < m.max_frequency_mhz(&int_design(8)));
     }
 }

@@ -263,9 +263,15 @@ impl Device {
             match p.vendor {
                 Vendor::Ibm => {
                     let x = Drag::new(n1, cal.x_amp, cal.sigma_frac * n1 as f64, cal.beta);
-                    lib.insert(GateId::single(GateKind::X, qi), x.to_waveform(&format!("X(q{q})"), p.sampling_rate_gs));
+                    lib.insert(
+                        GateId::single(GateKind::X, qi),
+                        x.to_waveform(&format!("X(q{q})"), p.sampling_rate_gs),
+                    );
                     let sx = Drag::new(n1, cal.sx_amp, cal.sigma_frac * n1 as f64, cal.beta);
-                    lib.insert(GateId::single(GateKind::Sx, qi), sx.to_waveform(&format!("SX(q{q})"), p.sampling_rate_gs));
+                    lib.insert(
+                        GateId::single(GateKind::Sx, qi),
+                        sx.to_waveform(&format!("SX(q{q})"), p.sampling_rate_gs),
+                    );
                 }
                 Vendor::Google => {
                     let px = Drag::new(n1, cal.x_amp, cal.sigma_frac * n1 as f64, cal.beta);
@@ -276,7 +282,8 @@ impl Device {
                 }
             }
             // Readout: flat-top with ~80% plateau.
-            let meas = GaussianSquare::new(nr, cal.readout_amp, 0.35 * (nr / 10) as f64, nr * 8 / 10);
+            let meas =
+                GaussianSquare::new(nr, cal.readout_amp, 0.35 * (nr / 10) as f64, nr * 8 / 10);
             lib.insert(
                 GateId::single(GateKind::Measure, qi),
                 meas.to_waveform(&format!("Meas(q{q})"), p.sampling_rate_gs),
@@ -286,7 +293,8 @@ impl Device {
         for ((c, t), cal) in &self.pairs {
             let width = (cal.width_frac * n2 as f64) as usize;
             let ramp = (n2 - width) / 2;
-            let gs = GaussianSquare::new(n2, cal.cr_amp, cal.sigma_frac * ramp.max(2) as f64, width);
+            let gs =
+                GaussianSquare::new(n2, cal.cr_amp, cal.sigma_frac * ramp.max(2) as f64, width);
             match p.vendor {
                 Vendor::Ibm => {
                     lib.insert(
@@ -300,7 +308,12 @@ impl Device {
                         GateId::pair(GateKind::Fsim, *c as u16, *t as u16),
                         gs.to_waveform(&format!("fsim(q{c},q{t})"), p.sampling_rate_gs),
                     );
-                    let iswap = GaussianSquare::new(n2, cal.cr_amp * 0.9, cal.sigma_frac * ramp.max(2) as f64, width);
+                    let iswap = GaussianSquare::new(
+                        n2,
+                        cal.cr_amp * 0.9,
+                        cal.sigma_frac * ramp.max(2) as f64,
+                        width,
+                    );
                     lib.insert(
                         GateId::pair(GateKind::ISwap, *c as u16, *t as u16),
                         iswap.to_waveform(&format!("iSWAP(q{c},q{t})"), p.sampling_rate_gs),
@@ -365,11 +378,7 @@ mod tests {
         // directed pair, so our count is lower but the same order.
         let d = Device::named_machine("guadalupe");
         let lib = d.pulse_library();
-        assert!(
-            (60..=140).contains(&lib.len()),
-            "got {} waveforms",
-            lib.len()
-        );
+        assert!((60..=140).contains(&lib.len()), "got {} waveforms", lib.len());
     }
 
     #[test]
@@ -378,10 +387,7 @@ mod tests {
         let d = Device::named_machine("guadalupe");
         let lib = d.pulse_library();
         let per_qubit = lib.total_storage_bytes(32) as f64 / 16.0;
-        assert!(
-            (14_000.0..22_000.0).contains(&per_qubit),
-            "got {per_qubit} bytes/qubit"
-        );
+        assert!((14_000.0..22_000.0).contains(&per_qubit), "got {per_qubit} bytes/qubit");
     }
 
     #[test]

@@ -28,9 +28,7 @@ impl MuxGroup {
     pub fn evenly_spaced(lanes: usize, span_mhz: f64) -> Self {
         assert!(lanes > 0, "a mux group needs at least one lane");
         let step = if lanes > 1 { span_mhz / (lanes - 1) as f64 } else { 0.0 };
-        MuxGroup {
-            offsets_mhz: (0..lanes).map(|k| -span_mhz / 2.0 + step * k as f64).collect(),
-        }
+        MuxGroup { offsets_mhz: (0..lanes).map(|k| -span_mhz / 2.0 + step * k as f64).collect() }
     }
 
     /// Number of multiplexed drives.
@@ -71,12 +69,7 @@ impl MuxGroup {
                 q_out[t] += norm * (iv * s + qv * c);
             }
         }
-        Waveform::new(
-            format!("fdm[{}]", self.lanes()),
-            i_out,
-            q_out,
-            rate,
-        )
+        Waveform::new(format!("fdm[{}]", self.lanes()), i_out, q_out, rate)
     }
 
     /// Waveform-memory read bandwidth this group demands while all lanes
@@ -131,10 +124,7 @@ mod tests {
         let muxed = group.multiplex(&[&a, &b]);
         let on_carrier = tone_magnitude(&muxed, 150.0);
         let off_carrier = tone_magnitude(&muxed, 450.0);
-        assert!(
-            on_carrier > 10.0 * off_carrier,
-            "carrier {on_carrier} vs off {off_carrier}"
-        );
+        assert!(on_carrier > 10.0 * off_carrier, "carrier {on_carrier} vs off {off_carrier}");
     }
 
     #[test]

@@ -136,7 +136,10 @@ impl PulseLibrary {
     }
 
     /// All waveforms for gates of the given kind.
-    pub fn of_kind<'a>(&'a self, kind: &'a GateKind) -> impl Iterator<Item = (&'a GateId, &'a Waveform)> {
+    pub fn of_kind<'a>(
+        &'a self,
+        kind: &'a GateKind,
+    ) -> impl Iterator<Item = (&'a GateId, &'a Waveform)> {
         self.iter().filter(move |(id, _)| &id.kind == kind)
     }
 }
@@ -215,9 +218,8 @@ mod tests {
 
     #[test]
     fn from_iterator_collects() {
-        let lib: PulseLibrary = (0..4u16)
-            .map(|q| (GateId::single(GateKind::X, q), wf(8)))
-            .collect();
+        let lib: PulseLibrary =
+            (0..4u16).map(|q| (GateId::single(GateKind::X, q), wf(8))).collect();
         assert_eq!(lib.len(), 4);
     }
 

@@ -49,11 +49,7 @@ pub fn capacity_per_qubit_bytes(p: &VendorParams, degree: f64) -> f64 {
 /// Total waveform-memory capacity for an `n`-qubit machine, in bytes,
 /// using the vendor topology's per-qubit degrees.
 pub fn total_capacity_bytes(p: &VendorParams, n: usize) -> f64 {
-    p.topology
-        .degrees(n)
-        .iter()
-        .map(|&d| capacity_per_qubit_bytes(p, d as f64))
-        .sum()
+    p.topology.degrees(n).iter().map(|&d| capacity_per_qubit_bytes(p, d as f64)).sum()
 }
 
 /// Total memory bandwidth to drive all `n` qubits concurrently, in GB/s.

@@ -34,9 +34,7 @@ fn lifted_gaussian(n: usize, amp: f64, sigma: f64) -> Vec<f64> {
     let center = (n - 1) as f64 / 2.0;
     let g = |t: f64| (-0.5 * ((t - center) / sigma).powi(2)).exp();
     let edge = g(-1.0);
-    (0..n)
-        .map(|k| amp * ((g(k as f64) - edge) / (1.0 - edge)).max(0.0))
-        .collect()
+    (0..n).map(|k| amp * ((g(k as f64) - edge) / (1.0 - edge)).max(0.0)).collect()
 }
 
 /// A plain (lifted) Gaussian envelope.
@@ -152,21 +150,20 @@ impl PulseShape for GaussianSquare {
     fn envelope(&self) -> (Vec<f64>, Vec<f64>) {
         let n = self.samples;
         let ramp = self.ramp_samples();
-        let rise_start = 0;
         let plateau_start = ramp;
         let plateau_end = n - ramp;
         let g = |dist: f64| (-0.5 * (dist / self.sigma).powi(2)).exp();
         let edge = g(ramp as f64 + 1.0);
         let lift = |v: f64| ((v - edge) / (1.0 - edge)).max(0.0);
         let mut i = vec![0.0; n];
-        for k in rise_start..plateau_start {
-            i[k] = self.amp * lift(g((plateau_start - k) as f64));
+        for (k, v) in i.iter_mut().enumerate().take(plateau_start) {
+            *v = self.amp * lift(g((plateau_start - k) as f64));
         }
         for v in i.iter_mut().take(plateau_end).skip(plateau_start) {
             *v = self.amp;
         }
-        for k in plateau_end..n {
-            i[k] = self.amp * lift(g((k + 1 - plateau_end) as f64));
+        for (k, v) in i.iter_mut().enumerate().skip(plateau_end) {
+            *v = self.amp * lift(g((k + 1 - plateau_end) as f64));
         }
         let q = vec![0.0; n];
         (i, q)
@@ -233,7 +230,8 @@ impl PulseShape for CosineTapered {
         let ramp = ((n as f64 * self.taper) / 2.0).round() as usize;
         let mut i = vec![self.amp; n];
         for k in 0..ramp.min(n) {
-            let w = 0.5 * (1.0 - (std::f64::consts::PI * (k as f64 + 1.0) / (ramp as f64 + 1.0)).cos());
+            let w =
+                0.5 * (1.0 - (std::f64::consts::PI * (k as f64 + 1.0) / (ramp as f64 + 1.0)).cos());
             i[k] = self.amp * w;
             i[n - 1 - k] = self.amp * w;
         }
@@ -340,8 +338,8 @@ mod tests {
         let gs = GaussianSquare::new(1362, 0.35, 64.0, 1000);
         let (i, _) = gs.envelope();
         let ramp = gs.ramp_samples();
-        for k in ramp..(1362 - ramp) {
-            assert_eq!(i[k], 0.35, "plateau sample {k}");
+        for (k, &v) in i.iter().enumerate().take(1362 - ramp).skip(ramp) {
+            assert_eq!(v, 0.35, "plateau sample {k}");
         }
         assert!(i[0] < 0.01, "rise starts near zero");
         assert!(i[1361] < 0.01, "fall ends near zero");
@@ -384,11 +382,7 @@ mod tests {
     fn band_limited_peaks_at_most_amp() {
         let bl = BandLimited::new(300, 0.6, vec![1.0, 0.4, -0.2, 0.1], vec![0.3, -0.1]);
         let (i, q) = bl.envelope();
-        let peak = i
-            .iter()
-            .chain(q.iter())
-            .map(|v| v.abs())
-            .fold(0.0, f64::max);
+        let peak = i.iter().chain(q.iter()).map(|v| v.abs()).fold(0.0, f64::max);
         assert!(peak <= 0.6 + 1e-9);
         assert!(i[0].abs() < 0.05, "starts near zero");
     }

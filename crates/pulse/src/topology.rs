@@ -96,7 +96,7 @@ fn heavy_hex_edges(n: usize) -> Vec<(usize, usize)> {
     }
     let cols = ((n as f64).sqrt().ceil() as usize).next_multiple_of(4).clamp(4, 12);
     // Serpentine index of the qubit at (row, col).
-    let idx = |r: usize, c: usize| r * cols + if r % 2 == 0 { c } else { cols - 1 - c };
+    let idx = |r: usize, c: usize| r * cols + if r.is_multiple_of(2) { c } else { cols - 1 - c };
     let mut edges: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
     let rows = n.div_ceil(cols);
     for gap in 0..rows.saturating_sub(1) {
@@ -168,11 +168,7 @@ mod tests {
     fn heavy_hex_has_max_degree_three() {
         for n in [5, 16, 27, 65, 127] {
             let deg = Topology::HeavyHex.degrees(n);
-            assert!(
-                deg.iter().all(|&d| d <= 3),
-                "n={n}: max degree {}",
-                deg.iter().max().unwrap()
-            );
+            assert!(deg.iter().all(|&d| d <= 3), "n={n}: max degree {}", deg.iter().max().unwrap());
         }
     }
 

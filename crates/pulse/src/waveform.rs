@@ -29,12 +29,7 @@ impl Waveform {
     ///
     /// Panics if the channels differ in length, are empty, or the sample
     /// rate is not positive.
-    pub fn new(
-        name: impl Into<String>,
-        i: Vec<f64>,
-        q: Vec<f64>,
-        sample_rate_gs: f64,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, i: Vec<f64>, q: Vec<f64>, sample_rate_gs: f64) -> Self {
         assert_eq!(i.len(), q.len(), "I and Q channels must have equal length");
         assert!(!i.is_empty(), "waveform must contain samples");
         assert!(sample_rate_gs > 0.0, "sample rate must be positive");
@@ -84,11 +79,7 @@ impl Waveform {
 
     /// Peak envelope magnitude `max |I + iQ|`.
     pub fn peak_amplitude(&self) -> f64 {
-        self.i
-            .iter()
-            .zip(&self.q)
-            .map(|(a, b)| (a * a + b * b).sqrt())
-            .fold(0.0, f64::max)
+        self.i.iter().zip(&self.q).map(|(a, b)| (a * a + b * b).sqrt()).fold(0.0, f64::max)
     }
 
     /// Uncompressed storage footprint in bytes for a packed I+Q sample of
@@ -126,12 +117,7 @@ impl Waveform {
     /// # Panics
     ///
     /// Panics if the channels differ in length or are empty.
-    pub fn from_q15(
-        name: impl Into<String>,
-        i: &[Q15],
-        q: &[Q15],
-        sample_rate_gs: f64,
-    ) -> Self {
+    pub fn from_q15(name: impl Into<String>, i: &[Q15], q: &[Q15], sample_rate_gs: f64) -> Self {
         Waveform::new(
             name,
             compaqt_dsp::fixed::dequantize(i),
@@ -153,14 +139,14 @@ impl Waveform {
             if (self.i[idx] - self.i[idx - 1]).abs() <= lsb && self.i[start].abs() > lsb {
                 run += 1;
             } else {
-                if run >= min_len && best.map_or(true, |(_, l)| run > l) {
+                if run >= min_len && best.is_none_or(|(_, l)| run > l) {
                     best = Some((start, run));
                 }
                 start = idx;
                 run = 1;
             }
         }
-        if run >= min_len && best.map_or(true, |(_, l)| run > l) {
+        if run >= min_len && best.is_none_or(|(_, l)| run > l) {
             best = Some((start, run));
         }
         best

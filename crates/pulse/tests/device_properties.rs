@@ -25,7 +25,7 @@ proptest! {
         let device = Device::synthesize(Vendor::Ibm, n, seed);
         for (gate, wf) in device.pulse_library().iter() {
             prop_assert!(wf.peak_amplitude() < 1.0, "{gate} clips");
-            prop_assert!(wf.len() > 0);
+            prop_assert!(!wf.is_empty());
         }
     }
 

@@ -93,7 +93,8 @@ impl NoiseModel {
                 _ => {}
             }
         }
-        let avg = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+        let avg =
+            |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
         Ok(baseline.with_distortion(avg(&one_q), avg(&two_q)))
     }
 }
@@ -137,8 +138,8 @@ mod tests {
         let device = Device::synthesize(Vendor::Ibm, 3, 0xAB);
         let lib = device.pulse_library();
         let compressor = Compressor::new(Variant::IntDctW { ws: 16 });
-        let m = NoiseModel::from_compression(NoiseModel::ibm_baseline(), &lib, &compressor)
-            .unwrap();
+        let m =
+            NoiseModel::from_compression(NoiseModel::ibm_baseline(), &lib, &compressor).unwrap();
         assert!(m.coherent_1q_angle > 0.0, "distortion should be nonzero");
         // "< 0.1% fidelity degradation": angle stays well below 0.1 rad.
         assert!(m.coherent_1q_angle < 0.1, "got {}", m.coherent_1q_angle);

@@ -40,7 +40,10 @@ pub fn sdg() -> CMatrix {
 
 /// T gate = diag(1, e^{i pi/4}).
 pub fn t() -> CMatrix {
-    CMatrix::from_rows(&[&[C_ONE, C_ZERO], &[C_ZERO, Complex::from_phase(std::f64::consts::FRAC_PI_4)]])
+    CMatrix::from_rows(&[
+        &[C_ONE, C_ZERO],
+        &[C_ZERO, Complex::from_phase(std::f64::consts::FRAC_PI_4)],
+    ])
 }
 
 /// The sqrt-X gate used as the IBM basis gate SX.
@@ -188,9 +191,8 @@ mod tests {
     fn hadamard_from_rz_sx_rz() {
         // H = e^{i pi/2} RZ(pi/2) SX RZ(pi/2): the standard basis
         // decomposition used by the transpiler.
-        let composed = rz(std::f64::consts::FRAC_PI_2)
-            .matmul(&sx())
-            .matmul(&rz(std::f64::consts::FRAC_PI_2));
+        let composed =
+            rz(std::f64::consts::FRAC_PI_2).matmul(&sx()).matmul(&rz(std::f64::consts::FRAC_PI_2));
         assert!((average_gate_fidelity(&composed, &h()) - 1.0).abs() < 1e-12);
     }
 

@@ -81,10 +81,7 @@ impl Sub for Complex {
 impl Mul for Complex {
     type Output = Complex;
     fn mul(self, rhs: Complex) -> Complex {
-        c(
-            self.re * rhs.re - self.im * rhs.im,
-            self.re * rhs.im + self.im * rhs.re,
-        )
+        c(self.re * rhs.re - self.im * rhs.im, self.re * rhs.im + self.im * rhs.re)
     }
 }
 
@@ -206,10 +203,7 @@ impl CMatrix {
     /// Panics on dimension mismatch.
     pub fn add(&self, rhs: &CMatrix) -> CMatrix {
         assert_eq!(self.n, rhs.n, "dimension mismatch");
-        CMatrix {
-            n: self.n,
-            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| a + b).collect(),
-        }
+        CMatrix { n: self.n, data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| a + b).collect() }
     }
 
     /// Trace.
@@ -272,12 +266,7 @@ impl CMatrix {
     /// Frobenius distance to another matrix.
     pub fn distance(&self, rhs: &CMatrix) -> f64 {
         assert_eq!(self.n, rhs.n, "dimension mismatch");
-        self.data
-            .iter()
-            .zip(&rhs.data)
-            .map(|(&a, &b)| (a - b).abs2())
-            .sum::<f64>()
-            .sqrt()
+        self.data.iter().zip(&rhs.data).map(|(&a, &b)| (a - b).abs2()).sum::<f64>().sqrt()
     }
 
     /// Checks unitarity within `tol`.
@@ -329,10 +318,7 @@ mod tests {
 
     #[test]
     fn identity_is_multiplicative_unit() {
-        let m = CMatrix::from_rows(&[
-            &[c(1.0, 1.0), c(0.5, 0.0)],
-            &[c(0.0, -1.0), c(2.0, 0.0)],
-        ]);
+        let m = CMatrix::from_rows(&[&[c(1.0, 1.0), c(0.5, 0.0)], &[c(0.0, -1.0), c(2.0, 0.0)]]);
         let i = CMatrix::identity(2);
         assert_eq!(m.matmul(&i), m);
         assert_eq!(i.matmul(&m), m);

@@ -87,14 +87,7 @@ pub fn run_rb(qubits: RbQubits, noise: &NoiseModel, config: &RbConfig) -> RbResu
     let b = 1.0 / dim as f64;
     let (a, p) = fit_decay(&config.lengths, &survival, b);
     let d = dim as f64;
-    RbResult {
-        lengths: config.lengths.clone(),
-        survival,
-        a,
-        p,
-        b,
-        epc: (d - 1.0) / d * (1.0 - p),
-    }
+    RbResult { lengths: config.lengths.clone(), survival, a, p, b, epc: (d - 1.0) / d * (1.0 - p) }
 }
 
 /// One random sequence: m Cliffords + recovery, with noise; returns the
@@ -115,7 +108,8 @@ fn simulate_sequence(n: usize, m: usize, noise: &NoiseModel, rng: &mut StdRng) -
     // Readout error: mix the survival with bit-flipped outcomes.
     let p0 = sv.ground_population();
     let eps = noise.readout_error;
-    p0 * (1.0 - eps).powi(n as i32) + (1.0 - p0) * (1.0 - (1.0 - eps).powi(n as i32)) / ((1 << n) - 1) as f64
+    p0 * (1.0 - eps).powi(n as i32)
+        + (1.0 - p0) * (1.0 - (1.0 - eps).powi(n as i32)) / ((1 << n) - 1) as f64
 }
 
 fn apply_unitary(sv: &mut StateVector, u: &CMatrix) {
@@ -187,8 +181,7 @@ fn apply_clifford_noise(sv: &mut StateVector, n: usize, noise: &NoiseModel, rng:
     // incoherently over the Clifford's gate content; apply the single
     // equivalent rotation.
     let infid = |theta: f64| 2.0 / 3.0 * (theta / 2.0).sin().powi(2);
-    let total_infid =
-        n_1q * infid(noise.coherent_1q_angle) + n_2q * infid(noise.coherent_2q_angle);
+    let total_infid = n_1q * infid(noise.coherent_1q_angle) + n_2q * infid(noise.coherent_2q_angle);
     if total_infid > 0.0 {
         let theta = crate::errors::infidelity_to_angle(total_infid);
         sv.apply_1q(0, &gates::rx(theta));
@@ -222,11 +215,7 @@ mod tests {
     use super::*;
 
     fn quick_config(seed: u64) -> RbConfig {
-        RbConfig {
-            lengths: vec![1, 5, 10, 20, 40, 60],
-            sequences_per_length: 16,
-            seed,
-        }
+        RbConfig { lengths: vec![1, 5, 10, 20, 40, 60], sequences_per_length: 16, seed }
     }
 
     #[test]
@@ -281,7 +270,8 @@ mod tests {
     #[test]
     fn fit_recovers_known_decay() {
         let lengths: Vec<usize> = vec![1, 2, 5, 10, 20, 50];
-        let survival: Vec<f64> = lengths.iter().map(|&m| 0.75 * 0.98f64.powi(m as i32) + 0.25).collect();
+        let survival: Vec<f64> =
+            lengths.iter().map(|&m| 0.75 * 0.98f64.powi(m as i32) + 0.25).collect();
         let (a, p) = fit_decay(&lengths, &survival, 0.25);
         assert!((a - 0.75).abs() < 1e-6);
         assert!((p - 0.98).abs() < 1e-6);

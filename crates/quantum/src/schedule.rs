@@ -107,11 +107,8 @@ pub fn profile(schedule: &Schedule, bw_per_channel_gb: f64) -> BandwidthProfile 
         peak_channels = peak_channels.max(channels);
         peak_gates = peak_gates.max(gates);
     }
-    let average_channels = if schedule.makespan_ns > 0.0 {
-        weighted / schedule.makespan_ns
-    } else {
-        0.0
-    };
+    let average_channels =
+        if schedule.makespan_ns > 0.0 { weighted / schedule.makespan_ns } else { 0.0 };
     BandwidthProfile {
         peak_channels: peak_channels as usize,
         average_channels,

@@ -105,21 +105,11 @@ impl SurfacePatch {
                     }
                     // Ancillas on odd rows measure Z, even rows X (the
                     // two interleaved sublattices).
-                    stabilizers.push(Stabilizer {
-                        ancilla: idx(r, c_),
-                        data,
-                        is_x: r % 2 == 0,
-                    });
+                    stabilizers.push(Stabilizer { ancilla: idx(r, c_), data, is_x: r % 2 == 0 });
                 }
             }
         }
-        SurfacePatch {
-            name: format!("surface-{n}"),
-            distance: d,
-            n_qubits: n,
-            n_data,
-            stabilizers,
-        }
+        SurfacePatch { name: format!("surface-{n}"), distance: d, n_qubits: n, n_data, stabilizers }
     }
 
     /// One syndrome-extraction cycle as a gate circuit: H on X ancillas,

@@ -90,9 +90,7 @@ pub fn render(
     let mut length = 0usize;
     for sop in &schedule.ops {
         let Some(gate) = library_gate(sop.op) else { continue };
-        let wf = library
-            .get(&gate)
-            .ok_or_else(|| TimelineError::MissingWaveform(gate.clone()))?;
+        let wf = library.get(&gate).ok_or_else(|| TimelineError::MissingWaveform(gate.clone()))?;
         let channel = gate.qubits[0] as usize;
         let start_sample = (sop.start_ns * sample_rate_gs).round() as usize;
         let playback = Playback { gate, start_sample, samples: wf.len() };
@@ -158,11 +156,7 @@ impl Timeline {
 
 /// Reconstructs a single composite waveform for one channel (useful for
 /// plotting and for compressing whole-channel streams).
-pub fn channel_waveform(
-    timeline: &Timeline,
-    q: usize,
-    library: &PulseLibrary,
-) -> Waveform {
+pub fn channel_waveform(timeline: &Timeline, q: usize, library: &PulseLibrary) -> Waveform {
     Waveform::from_real(
         format!("channel-q{q}"),
         timeline.channel_samples(q, library),

@@ -238,10 +238,7 @@ mod tests {
         let l_plain = leakage(&plain, kappa, delta);
         let dragged = Drag::new(80, 0.8, 16.0, 0.4).to_waveform("Xd", 4.54);
         let l_drag = leakage(&dragged, kappa, delta);
-        assert!(
-            l_drag < l_plain,
-            "DRAG should reduce leakage: {l_drag:e} vs {l_plain:e}"
-        );
+        assert!(l_drag < l_plain, "DRAG should reduce leakage: {l_drag:e} vs {l_plain:e}");
     }
 
     #[test]

@@ -68,11 +68,7 @@ fn lower(op: Op, out: &mut Circuit) {
 /// RZ angle sum sanity: total virtual-Z rotation introduced (useful in
 /// tests and schedule statistics).
 pub fn total_rz(circuit: &Circuit) -> f64 {
-    circuit
-        .ops
-        .iter()
-        .map(|op| if let Op::Rz(_, theta) = op { theta.abs() } else { 0.0 })
-        .sum()
+    circuit.ops.iter().map(|op| if let Op::Rz(_, theta) = op { theta.abs() } else { 0.0 }).sum()
 }
 
 /// Verifies transpilation preserves circuit semantics by comparing ideal
@@ -95,9 +91,9 @@ mod tests {
     use crate::circuits;
 
     fn only_basis_ops(c: &Circuit) -> bool {
-        c.ops.iter().all(|o| {
-            matches!(o, Op::X(_) | Op::Sx(_) | Op::Rz(..) | Op::Cx(..) | Op::Measure(_))
-        })
+        c.ops
+            .iter()
+            .all(|o| matches!(o, Op::X(_) | Op::Sx(_) | Op::Rz(..) | Op::Cx(..) | Op::Measure(_)))
     }
 
     #[test]

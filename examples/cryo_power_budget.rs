@@ -47,7 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("uncompressed", CryoDesign::Uncompressed),
         (
             "COMPAQT WS=16",
-            CryoDesign::Compressed { ws, avg_words_per_window: avg_words, capacity_ratio: cap_ratio },
+            CryoDesign::Compressed {
+                ws,
+                avg_words_per_window: avg_words,
+                capacity_ratio: cap_ratio,
+            },
         ),
         (
             "  + adaptive",

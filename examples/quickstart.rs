@@ -54,9 +54,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 6. Fidelity-aware compression (Algorithm 1): ask for a target error
     //    and let the compiler pick the threshold.
     let (tuned, threshold) = compressor.compress_with_target(&pulse, 1e-6)?;
-    println!(
-        "fidelity-aware: threshold {threshold:.4} meets MSE<=1e-6 at ratio {}",
-        tuned.ratio()
-    );
+    println!("fidelity-aware: threshold {threshold:.4} meets MSE<=1e-6 at ratio {}", tuned.ratio());
     Ok(())
 }

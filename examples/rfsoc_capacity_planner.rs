@@ -12,8 +12,8 @@ use compaqt::core::compress::{Compressor, Variant};
 use compaqt::core::memory::BankedMemory;
 use compaqt::core::stats::compress_library;
 use compaqt::hw::rfsoc::RfsocModel;
-use compaqt::pulse::memory_model;
 use compaqt::pulse::device::Device;
+use compaqt::pulse::memory_model;
 use compaqt::pulse::vendor::Vendor;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -48,12 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // (Section V-A / Figure 11) so the bank count is fixed.
         let compressor = Compressor::new(Variant::IntDctW { ws }).with_max_window_words(3);
         let report = compress_library(&lib, &compressor)?;
-        let worst = report
-            .waveforms
-            .iter()
-            .map(|w| w.worst_case_window_words)
-            .max()
-            .unwrap_or(3);
+        let worst = report.waveforms.iter().map(|w| w.worst_case_window_words).max().unwrap_or(3);
         let qubits = rfsoc.qubits_supported(worst, ws);
         println!(
             "COMPAQT WS={ws:<2}: overall R {:.2}, mean MSE {:.1e}, worst window {worst} words -> {qubits} qubits ({:.2}x)",
@@ -64,9 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Show the banked layout for one waveform.
-    let z = Compressor::new(Variant::IntDctW { ws: 16 }).compress(
-        lib.iter().next().map(|(_, wf)| wf).expect("library is non-empty"),
-    )?;
+    let z = Compressor::new(Variant::IntDctW { ws: 16 })
+        .compress(lib.iter().next().map(|(_, wf)| wf).expect("library is non-empty"))?;
     let mut mem = BankedMemory::new();
     let (hi, _) = mem.store(&z);
     println!(

@@ -21,11 +21,9 @@ fn main() {
     let bw = rfsoc_bandwidth_per_qubit_gb();
 
     println!("-- syndrome-cycle bandwidth profiles --");
-    for patch in [
-        SurfacePatch::rotated_d3(),
-        SurfacePatch::unrotated(3),
-        SurfacePatch::unrotated(5),
-    ] {
+    for patch in
+        [SurfacePatch::rotated_d3(), SurfacePatch::unrotated(3), SurfacePatch::unrotated(5)]
+    {
         let cycle = transpile(&patch.syndrome_cycle());
         let sched = asap(&cycle, &params);
         let prof = profile(&sched, bw);
@@ -44,11 +42,9 @@ fn main() {
 
     println!("\n-- logical qubits per RFSoC controller --");
     let rfsoc = RfsocModel::default();
-    println!(
-        "{:<14} {:>12} {:>12} {:>12}",
-        "design", "phys qubits", "surface-17", "surface-25"
-    );
-    for (name, words, ws) in [("uncompressed", 16usize, 16usize), ("WS=8", 3, 8), ("WS=16", 3, 16)] {
+    println!("{:<14} {:>12} {:>12} {:>12}", "design", "phys qubits", "surface-17", "surface-25");
+    for (name, words, ws) in [("uncompressed", 16usize, 16usize), ("WS=8", 3, 8), ("WS=16", 3, 16)]
+    {
         println!(
             "{:<14} {:>12} {:>12} {:>12}",
             name,

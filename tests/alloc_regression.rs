@@ -1,0 +1,85 @@
+//! Allocation-count regression test for the steady-state decode loop.
+//!
+//! The tentpole guarantee of the plan/buffer-reuse decode path: once the
+//! scratch and output buffers are warm, decoding an entire pulse library
+//! performs **zero heap allocations** — the engine behaves like the
+//! hardware pipeline it models, which has SRAMs, not a malloc. This
+//! binary installs a counting global allocator and asserts the count is
+//! exactly zero across repeated full-library decodes.
+//!
+//! (Kept to a single `#[test]` so no concurrent test thread can perturb
+//! the counter.)
+
+use compaqt::core::compress::{Compressor, Variant};
+use compaqt::core::engine::{DecodeScratch, DecompressionEngine};
+use compaqt::pulse::device::Device;
+use compaqt::pulse::vendor::Vendor;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Forwards to the system allocator, counting every alloc/realloc.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_library_decode_allocates_nothing() {
+    // A realistic library: every gate of a 5-qubit synthetic machine,
+    // compressed with the paper's design point (int-DCT-W, WS=16).
+    let device = Device::synthesize(Vendor::Ibm, 5, 0xA110C);
+    let lib = device.pulse_library();
+    let compressor = Compressor::new(Variant::IntDctW { ws: 16 });
+    let compressed: Vec<_> = lib.iter().map(|(_, wf)| compressor.compress(wf).unwrap()).collect();
+    assert!(compressed.len() >= 20, "library should be non-trivial");
+
+    let engine = DecompressionEngine::for_variant(Variant::IntDctW { ws: 16 }).unwrap();
+    let mut scratch = DecodeScratch::new();
+    let (mut i, mut q) = (Vec::new(), Vec::new());
+
+    // Warm-up: two full passes size every reusable buffer.
+    let mut warm_samples = 0usize;
+    for _ in 0..2 {
+        for z in &compressed {
+            let stats = engine.decompress_into(z, &mut scratch, &mut i, &mut q).unwrap();
+            warm_samples += stats.output_samples;
+        }
+    }
+    assert!(warm_samples > 0);
+
+    // Steady state: ten more full-library decodes, zero allocations.
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut checksum = 0.0f64;
+    for _ in 0..10 {
+        for z in &compressed {
+            engine.decompress_into(z, &mut scratch, &mut i, &mut q).unwrap();
+            checksum += i[0] + q[z.n_samples - 1];
+        }
+    }
+    let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert!(checksum.is_finite());
+    assert_eq!(
+        delta,
+        0,
+        "steady-state decode of {} waveforms x 10 passes must not allocate, saw {delta}",
+        compressed.len()
+    );
+}

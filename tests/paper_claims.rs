@@ -113,19 +113,13 @@ fn claim_mse_correlates_with_gate_fidelity() {
     let wf = device.pi_pulse(0);
     let mut pairs = Vec::new();
     for thr in [0.002, 0.01, 0.05, 0.2] {
-        let z = Compressor::new(Variant::IntDctW { ws: 16 })
-            .with_threshold(thr)
-            .compress(&wf)
-            .unwrap();
+        let z =
+            Compressor::new(Variant::IntDctW { ws: 16 }).with_threshold(thr).compress(&wf).unwrap();
         let restored = z.decompress().unwrap();
         pairs.push((wf.mse(&restored), transmon::distortion_infidelity(&wf, &restored)));
     }
     for w in pairs.windows(2) {
         assert!(w[1].0 >= w[0].0, "MSE should grow with threshold");
-        assert!(
-            w[1].1 >= w[0].1 * 0.5,
-            "infidelity should track MSE: {:?}",
-            pairs
-        );
+        assert!(w[1].1 >= w[0].1 * 0.5, "infidelity should track MSE: {:?}", pairs);
     }
 }

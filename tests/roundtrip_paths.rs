@@ -1,0 +1,115 @@
+//! Round-trip property tests over *both* decode paths.
+//!
+//! Every compression variant is pushed through the allocating decoder
+//! and the plan/buffer-reuse (`_into`) decoder, and the two
+//! reconstructions must agree **bit-exactly** (f64 `==`, not a
+//! tolerance): the zero-allocation path is a pure refactor of the
+//! arithmetic, so any ULP of drift is a bug. Engine stats must agree
+//! exactly as well.
+
+use compaqt::core::batch;
+use compaqt::core::compress::{Compressor, Variant};
+use compaqt::core::engine::{DecodeScratch, DecompressionEngine};
+use compaqt::pulse::waveform::Waveform;
+use proptest::prelude::*;
+
+/// All variants the codec supports, across every window size.
+fn all_variants() -> Vec<Variant> {
+    let mut v = vec![Variant::Delta, Variant::DctN];
+    for ws in compaqt::dsp::intdct::SUPPORTED_SIZES {
+        v.push(Variant::DctW { ws });
+        v.push(Variant::IntDctW { ws });
+    }
+    v
+}
+
+/// Random low-harmonic mixtures: the smooth band-limited waveform class.
+fn smooth_signal(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1.0f64..1.0, 6).prop_map(move |coeffs| {
+        (0..len)
+            .map(|t| {
+                let x = t as f64 / len as f64;
+                let mut v = 0.0;
+                for (k, c) in coeffs.iter().enumerate() {
+                    v += c * (std::f64::consts::PI * (k + 1) as f64 * x).sin();
+                }
+                0.9 * v / coeffs.len() as f64
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_variant_agrees_across_paths(xs in smooth_signal(160)) {
+        let wf = Waveform::from_real("prop", xs, 4.54);
+        let mut scratch = DecodeScratch::new();
+        let (mut i, mut q) = (Vec::new(), Vec::new());
+        for variant in all_variants() {
+            let z = Compressor::new(variant).compress(&wf).unwrap();
+            let engine = DecompressionEngine::for_variant(variant).unwrap();
+            let (alloc, alloc_stats) = engine.decompress(&z).unwrap();
+            let stats = engine.decompress_into(&z, &mut scratch, &mut i, &mut q).unwrap();
+            prop_assert_eq!(alloc.i(), &i[..], "{:?}: I channel must be bit-exact", variant);
+            prop_assert_eq!(alloc.q(), &q[..], "{:?}: Q channel must be bit-exact", variant);
+            prop_assert_eq!(alloc_stats, stats);
+        }
+    }
+
+    #[test]
+    fn odd_lengths_agree_across_paths(
+        xs in smooth_signal(137),
+        ws_idx in 0usize..4,
+    ) {
+        // Padding paths: waveform length not a multiple of the window.
+        let ws = compaqt::dsp::intdct::SUPPORTED_SIZES[ws_idx];
+        let wf = Waveform::from_real("prop", xs, 4.54);
+        let mut scratch = DecodeScratch::new();
+        let (mut i, mut q) = (Vec::new(), Vec::new());
+        for variant in [Variant::DctW { ws }, Variant::IntDctW { ws }] {
+            let z = Compressor::new(variant).compress(&wf).unwrap();
+            let engine = DecompressionEngine::for_variant(variant).unwrap();
+            let (alloc, _) = engine.decompress(&z).unwrap();
+            engine.decompress_into(&z, &mut scratch, &mut i, &mut q).unwrap();
+            prop_assert_eq!(alloc.i(), &i[..]);
+            prop_assert_eq!(alloc.q(), &q[..]);
+        }
+    }
+
+    #[test]
+    fn batch_decoders_agree_with_single_path(xs in smooth_signal(96)) {
+        let wf = Waveform::from_real("prop", xs, 4.54);
+        let zs: Vec<_> = all_variants()
+            .into_iter()
+            .map(|v| Compressor::new(v).compress(&wf).unwrap())
+            .collect();
+        let (seq, seq_stats) = batch::decompress_library(&zs).unwrap();
+        let (par, par_stats) = batch::decompress_library_par(&zs).unwrap();
+        prop_assert_eq!(seq_stats, par_stats);
+        for ((z, a), b) in zs.iter().zip(&seq).zip(&par) {
+            let engine = DecompressionEngine::for_variant(z.variant).unwrap();
+            let (single, _) = engine.decompress(z).unwrap();
+            prop_assert_eq!(single.i(), a.i());
+            prop_assert_eq!(a.i(), b.i());
+            prop_assert_eq!(a.q(), b.q());
+        }
+    }
+
+    #[test]
+    fn window_cap_streams_agree_across_paths(xs in smooth_signal(200), cap in 2usize..5) {
+        let wf = Waveform::from_real("prop", xs, 4.54);
+        let z = Compressor::new(Variant::IntDctW { ws: 16 })
+            .with_max_window_words(cap)
+            .compress(&wf)
+            .unwrap();
+        let engine = DecompressionEngine::for_variant(z.variant).unwrap();
+        let (alloc, _) = engine.decompress(&z).unwrap();
+        let mut scratch = DecodeScratch::new();
+        let (mut i, mut q) = (Vec::new(), Vec::new());
+        engine.decompress_into(&z, &mut scratch, &mut i, &mut q).unwrap();
+        prop_assert_eq!(alloc.i(), &i[..]);
+        prop_assert_eq!(alloc.q(), &q[..]);
+    }
+}

@@ -26,10 +26,9 @@ fn qaoa_peak_bandwidth_comes_from_final_measurement() {
 #[test]
 fn surface_code_bandwidth_is_sustained() {
     let params = Vendor::Ibm.params();
-    for (patch, lo, hi) in [
-        (SurfacePatch::unrotated(3), 300.0, 700.0),
-        (SurfacePatch::unrotated(5), 1200.0, 2200.0),
-    ] {
+    for (patch, lo, hi) in
+        [(SurfacePatch::unrotated(3), 300.0, 700.0), (SurfacePatch::unrotated(5), 1200.0, 2200.0)]
+    {
         let sched = asap(&transpile(&patch.syndrome_cycle()), &params);
         let prof = profile(&sched, rfsoc_bandwidth_per_qubit_gb());
         assert!(
@@ -57,7 +56,9 @@ fn demand_crosses_rfsoc_limits_where_the_paper_says() {
     let params = Vendor::Ibm.params();
     // Capacity line (7.56 MB) crossed only for hundreds of qubits.
     let n_cap = (1..1000)
-        .find(|&n| memory_model::total_capacity_bytes(&params, n) > memory_model::RFSOC_CAPACITY_BYTES)
+        .find(|&n| {
+            memory_model::total_capacity_bytes(&params, n) > memory_model::RFSOC_CAPACITY_BYTES
+        })
         .unwrap();
     assert!(n_cap > 200, "capacity crossed at {n_cap}");
     // Bandwidth line (866 GB/s) crossed before 40 qubits.

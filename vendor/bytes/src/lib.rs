@@ -1,0 +1,230 @@
+//! Offline stub of the `bytes` crate.
+//!
+//! Implements exactly the subset `compaqt-core::bitstream` uses —
+//! [`Bytes`], [`BytesMut`], and the little-endian [`Buf`]/[`BufMut`]
+//! accessors — over a plain `Vec<u8>` with an `Arc` for cheap slicing.
+//! Semantics match the real crate for this subset: `get_*` panics on
+//! underflow (callers bounds-check with `remaining()` first), `freeze`
+//! converts a mutable buffer into an immutable handle, and `slice`
+//! produces zero-copy views.
+
+use std::sync::Arc;
+
+/// Read access to a contiguous byte cursor (little-endian helpers only).
+pub trait Buf {
+    /// Bytes left between the cursor and the end of the buffer.
+    fn remaining(&self) -> usize;
+    /// Copies out the next `n` bytes and advances.
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes;
+    /// Reads one byte and advances.
+    fn get_u8(&mut self) -> u8;
+    /// Reads a little-endian `u16` and advances.
+    fn get_u16_le(&mut self) -> u16;
+    /// Reads a little-endian `i16` and advances.
+    fn get_i16_le(&mut self) -> i16 {
+        self.get_u16_le() as i16
+    }
+    /// Reads a little-endian `u32` and advances.
+    fn get_u32_le(&mut self) -> u32;
+}
+
+/// Write access to a growable byte buffer (little-endian helpers only).
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16);
+    /// Appends a little-endian `i16`.
+    fn put_i16_le(&mut self, v: i16) {
+        self.put_u16_le(v as u16);
+    }
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// An immutable, cheaply cloneable and sliceable byte buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    /// Cursor (advanced by `get_*`).
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Length of the unread portion.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the unread portion is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Zero-copy sub-view of the unread portion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && self.start + range.end <= self.end);
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    fn bytes(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "buffer underflow");
+        self.start += n;
+    }
+
+    /// The unread bytes as a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.bytes().to_vec()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes { data: Arc::new(v), start: 0, end }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.bytes()
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes {
+        let out = self.slice(0..n);
+        self.advance(n);
+        out
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(!self.is_empty(), "buffer underflow");
+        let v = self.bytes()[0];
+        self.advance(1);
+        v
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        assert!(self.len() >= 2, "buffer underflow");
+        let b = self.bytes();
+        let v = u16::from_le_bytes([b[0], b[1]]);
+        self.advance(2);
+        v
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        assert!(self.len() >= 4, "buffer underflow");
+        let b = self.bytes();
+        let v = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+        self.advance(4);
+        v
+    }
+}
+
+/// A growable byte buffer; freeze it into [`Bytes`] when done writing.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u8(7);
+        b.put_u16_le(0xBEEF);
+        b.put_i16_le(-2);
+        b.put_u32_le(0xDEAD_BEEF);
+        b.put_slice(b"hi");
+        let mut r = b.freeze();
+        assert_eq!(r.remaining(), 1 + 2 + 2 + 4 + 2);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16_le(), 0xBEEF);
+        assert_eq!(r.get_i16_le(), -2);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.copy_to_bytes(2).to_vec(), b"hi");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn slicing_is_relative_to_cursor() {
+        let mut b: Bytes = vec![1, 2, 3, 4, 5].into();
+        b.get_u8();
+        assert_eq!(b.slice(1..3).to_vec(), vec![3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut b: Bytes = vec![1].into();
+        b.get_u32_le();
+    }
+}

@@ -1,0 +1,256 @@
+//! Offline micro-benchmark harness, API-compatible with the subset of
+//! `criterion` this workspace uses (`benchmark_group`, `throughput`,
+//! `bench_function`, `criterion_group!`/`criterion_main!`).
+//!
+//! The hermetic build container has no crates.io access, so the real
+//! criterion cannot be vendored. Measurement model: each benchmark is
+//! warmed up, then timed over adaptive batches (batch size doubles until
+//! a batch runs at least [`Criterion::MIN_BATCH`]); the reported
+//! time/iter is the minimum over measured batches, which is robust
+//! against scheduler noise on small containers. Results are printed in a
+//! `name  time: [..]` format and retained in [`Criterion::results`] so
+//! bench binaries can export machine-readable baselines (see
+//! `compaqt-bench`'s `codec_throughput`, which writes `BENCH_codec.json`).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Units for reporting per-iteration throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark group name.
+    pub group: String,
+    /// Benchmark id within the group.
+    pub name: String,
+    /// Best observed time per iteration, in nanoseconds.
+    pub ns_per_iter: f64,
+    /// Optional per-iteration workload for throughput reporting.
+    pub throughput: Option<Throughput>,
+}
+
+impl BenchResult {
+    /// Throughput in elements (or bytes) per second, if declared.
+    pub fn per_second(&self) -> Option<f64> {
+        self.throughput.map(|t| {
+            let units = match t {
+                Throughput::Elements(n) | Throughput::Bytes(n) => n as f64,
+            };
+            units / (self.ns_per_iter * 1e-9)
+        })
+    }
+}
+
+/// The benchmark driver: collects and reports measurements.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Minimum duration of one timed batch.
+    const MIN_BATCH: Duration = Duration::from_millis(20);
+    /// Target total measurement time per benchmark.
+    const TARGET_TOTAL: Duration = Duration::from_millis(200);
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, group: name.into(), throughput: None }
+    }
+
+    /// Convenience single-benchmark entry point.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+    }
+
+    /// All measurements recorded so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Writes the recorded measurements as a JSON array.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let mut out = String::from("[\n");
+        for (k, r) in self.results.iter().enumerate() {
+            let thr = match r.throughput {
+                Some(Throughput::Elements(n)) => format!(r#", "elements": {n}"#),
+                Some(Throughput::Bytes(n)) => format!(r#", "bytes": {n}"#),
+                None => String::new(),
+            };
+            let per_sec = match r.per_second() {
+                Some(v) => format!(r#", "per_second": {v:.1}"#),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                r#"  {{"group": "{}", "name": "{}", "ns_per_iter": {:.1}{thr}{per_sec}}}"#,
+                r.group, r.name, r.ns_per_iter
+            ));
+            out.push_str(if k + 1 == self.results.len() { "\n" } else { ",\n" });
+        }
+        out.push_str("]\n");
+        std::fs::write(path, out)
+    }
+
+    /// Prints a closing summary line.
+    pub fn final_summary(&self) {
+        println!("\n{} benchmarks measured", self.results.len());
+    }
+
+    fn record(&mut self, result: BenchResult) {
+        let label = if result.group.is_empty() {
+            result.name.clone()
+        } else {
+            format!("{}/{}", result.group, result.name)
+        };
+        let rate = match result.per_second() {
+            Some(v) if matches!(result.throughput, Some(Throughput::Elements(_))) => {
+                format!("  thrpt: {:.1} Melem/s", v / 1e6)
+            }
+            Some(v) => format!("  thrpt: {:.1} MB/s", v / 1e6),
+            None => String::new(),
+        };
+        println!("{label:<40} time: {:>10.1} ns/iter{rate}", result.ns_per_iter);
+        self.results.push(result);
+    }
+}
+
+/// A group of related benchmarks sharing a throughput declaration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration workload of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Measures one benchmark closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher { batch_iters: 1, best_ns_per_iter: f64::INFINITY };
+        f(&mut bencher);
+        self.criterion.record(BenchResult {
+            group: self.group.clone(),
+            name: id.into(),
+            ns_per_iter: bencher.best_ns_per_iter,
+            throughput: self.throughput,
+        });
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timing driver handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    batch_iters: u64,
+    best_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, adaptively growing batch sizes until batches are
+    /// long enough to time reliably.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start_all = Instant::now();
+        // Warm-up: one untimed call (page/cache warm, lazy init).
+        black_box(routine());
+        while start_all.elapsed() < Criterion::TARGET_TOTAL {
+            let t = Instant::now();
+            for _ in 0..self.batch_iters {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed < Criterion::MIN_BATCH {
+                self.batch_iters = self.batch_iters.saturating_mul(2);
+                continue;
+            }
+            let ns = elapsed.as_nanos() as f64 / self.batch_iters as f64;
+            if ns < self.best_ns_per_iter {
+                self.best_ns_per_iter = ns;
+            }
+        }
+        if !self.best_ns_per_iter.is_finite() {
+            // Routine so slow a single batch exceeded the budget.
+            let t = Instant::now();
+            black_box(routine());
+            self.best_ns_per_iter = t.elapsed().as_nanos() as f64;
+        }
+    }
+}
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_reasonable() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(4));
+        group.bench_function("sum", |b| b.iter(|| (0..4u64).map(black_box).sum::<u64>()));
+        group.finish();
+        assert_eq!(c.results().len(), 1);
+        let r = &c.results()[0];
+        assert!(r.ns_per_iter > 0.0 && r.ns_per_iter < 1e7, "{}", r.ns_per_iter);
+        assert!(r.per_second().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn json_export_is_parseable_shape() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1)));
+        let path = std::env::temp_dir().join("criterion_stub_test.json");
+        c.write_json(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.trim_start().starts_with('['));
+        assert!(text.contains("\"noop\""));
+        let _ = std::fs::remove_file(path);
+    }
+}

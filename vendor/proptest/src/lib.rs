@@ -1,0 +1,414 @@
+//! Offline mini property-testing harness, API-compatible with the subset
+//! of `proptest` this workspace uses.
+//!
+//! The hermetic build container has no crates.io access, so the real
+//! proptest cannot be vendored. This crate re-implements the pieces the
+//! test suites rely on:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]` support),
+//! * [`strategy::Strategy`] with `prop_map`, implemented for numeric
+//!   ranges, [`collection::vec`] and the `num::*::ANY` constants,
+//! * [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assume!`].
+//!
+//! Differences from real proptest: cases are generated from a
+//! deterministic per-test seed (derived from the test name) instead of
+//! OS entropy, and failing cases are *not* shrunk — the failing values
+//! are reported as-is. Both trades favour reproducibility in CI.
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+    use std::marker::PhantomData;
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through a function.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { base: self, f }
+        }
+    }
+
+    /// Strategy adapter produced by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.rng.random_range(self.clone())
+        }
+    }
+
+    /// Strategy generating any value of an integer type (the `ANY`
+    /// constants of [`crate::num`]).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    macro_rules! impl_any_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng.random()
+                }
+            }
+        )*};
+    }
+
+    impl_any_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+
+    /// Number of elements a [`vec`] strategy may generate.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max: r.end }
+        }
+    }
+
+    /// Generates `Vec`s whose elements come from `element` and whose
+    /// length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.min + 1 == self.size.max {
+                self.size.min
+            } else {
+                rng.rng.random_range(self.size.min..self.size.max)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod num {
+    //! Per-type `ANY` strategies (`proptest::num::u64::ANY` etc.).
+
+    macro_rules! any_module {
+        ($($m:ident : $t:ty),*) => {$(
+            #[allow(missing_docs)]
+            pub mod $m {
+                use std::marker::PhantomData;
+                /// Uniform over the whole value range of the type.
+                pub const ANY: crate::strategy::Any<$t> =
+                    crate::strategy::Any(PhantomData);
+            }
+        )*};
+    }
+
+    any_module!(u8: u8, u16: u16, u32: u32, u64: u64, usize: usize,
+                i8: i8, i16: i16, i32: i32, i64: i64, isize: isize);
+}
+
+pub mod test_runner {
+    //! The case-execution loop behind [`crate::proptest!`].
+
+    use rand::SeedableRng;
+
+    /// Per-test deterministic random source.
+    #[derive(Debug)]
+    pub struct TestRng {
+        pub(crate) rng: rand::rngs::StdRng,
+    }
+
+    impl TestRng {
+        /// Seeds a generator deterministically from the test name.
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the name: stable across runs and platforms.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng { rng: rand::rngs::StdRng::seed_from_u64(h) }
+        }
+    }
+
+    /// Runner configuration (`#![proptest_config(..)]`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` successful cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assume!` filtered the inputs; try another case.
+        Reject,
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    /// Outcome of one generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Drives `case` until `config.cases` cases pass, panicking on the
+    /// first failure. Rejected cases (via `prop_assume!`) are retried up
+    /// to a 20x attempt budget.
+    pub fn run<F>(config: ProptestConfig, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> TestCaseResult,
+    {
+        let mut rng = TestRng::for_test(name);
+        let mut passed = 0u32;
+        let mut attempts = 0u32;
+        while passed < config.cases {
+            attempts += 1;
+            assert!(
+                attempts <= config.cases.saturating_mul(20),
+                "proptest '{name}': too many rejected cases"
+            );
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => continue,
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("proptest '{name}' failed at case {passed}: {msg}")
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a `proptest!` test module needs.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+     $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::test_runner::run(config, stringify!($name), |prop_rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), prop_rng);)*
+                    let prop_case = move || -> $crate::test_runner::TestCaseResult {
+                        $body
+                        Ok(())
+                    };
+                    prop_case()
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Fails the current case with a message unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} ({})", stringify!($cond), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Fails the current case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (prop_lhs, prop_rhs) = (&$a, &$b);
+        if !(prop_lhs == prop_rhs) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{} != {}: {:?} vs {:?}",
+                stringify!($a), stringify!($b), prop_lhs, prop_rhs
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (prop_lhs, prop_rhs) = (&$a, &$b);
+        if !(prop_lhs == prop_rhs) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{} != {} ({}): {:?} vs {:?}",
+                stringify!($a), stringify!($b), format!($($fmt)+), prop_lhs, prop_rhs
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (retried with fresh inputs) unless the
+/// condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respected(v in 3usize..10, f in -1.0f64..1.0) {
+            prop_assert!((3..10).contains(&v));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respected(xs in crate::collection::vec(0u8..5, 2..7)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 7);
+            prop_assert!(xs.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn prop_map_applies(doubled in (0u32..50).prop_map(|v| v * 2)) {
+            prop_assert_eq!(doubled % 2, 0);
+        }
+
+        #[test]
+        fn assume_rejects(v in 0u32..10, w in 0u32..10) {
+            prop_assume!(v != w);
+            prop_assert!(v != w);
+        }
+
+        #[test]
+        fn any_is_reachable(x in crate::num::u64::ANY) {
+            let _ = x;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic() {
+        crate::test_runner::run(ProptestConfig::with_cases(4), "failures_panic", |_| {
+            Err(crate::test_runner::TestCaseError::fail("boom"))
+        });
+    }
+}

@@ -1,0 +1,307 @@
+//! Offline data-parallelism shim, API-compatible with the subset of
+//! `rayon` this workspace uses: `par_iter().map(..).collect()`,
+//! `map_init` (per-worker scratch state) and `for_each`.
+//!
+//! The hermetic build container has no crates.io access, so real rayon's
+//! work-stealing pool cannot be vendored. This shim splits the index
+//! space into one contiguous chunk per worker and runs the chunks on
+//! `std::thread::scope` threads, preserving input order in `collect`.
+//! That is a weaker scheduler than work stealing (no load balancing
+//! within a run), but for compaqt's workload — compressing/decompressing
+//! a pulse library whose waveforms have similar cost — chunking is within
+//! a few percent of optimal, and the API is a drop-in subset so the real
+//! rayon can replace this crate without source changes.
+//!
+//! Worker count: `min(available_parallelism, items)`, overridable with
+//! the `RAYON_NUM_THREADS` environment variable (as in real rayon).
+
+use std::ops::Range;
+
+/// Number of worker threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// An index-addressable parallel pipeline stage.
+///
+/// Implementation detail of the shim: adapters override [`Self::chunk`]
+/// to batch per-worker work (which is what makes `map_init`'s per-worker
+/// state possible).
+pub trait ParallelIterator: Sync + Sized {
+    /// Item type produced by the pipeline.
+    type Item: Send;
+
+    /// Total number of items.
+    fn pi_len(&self) -> usize;
+
+    /// Produces the item at `index`.
+    fn pi_get(&self, index: usize) -> Self::Item;
+
+    /// Produces a contiguous range of items into `out`.
+    fn chunk(&self, range: Range<usize>, out: &mut Vec<Self::Item>) {
+        for i in range {
+            out.push(self.pi_get(i));
+        }
+    }
+
+    /// Maps every item through `map_op`.
+    fn map<R, F>(self, map_op: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, map_op }
+    }
+
+    /// Maps every item through `map_op` with a per-worker state value
+    /// built by `init` (rayon's `map_init`): scratch buffers are created
+    /// once per worker, not once per item.
+    fn map_init<T, R, I, F>(self, init: I, map_op: F) -> MapInit<Self, I, F>
+    where
+        R: Send,
+        I: Fn() -> T + Sync,
+        F: Fn(&mut T, Self::Item) -> R + Sync,
+    {
+        MapInit { base: self, init, map_op }
+    }
+
+    /// Runs the pipeline, collecting results in input order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        execute(&self).into_iter().collect()
+    }
+
+    /// Runs the pipeline for its side effects.
+    fn for_each<F>(self, op: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let _ = self.map(op).collect::<Vec<()>>();
+    }
+}
+
+/// Executes a pipeline across scoped worker threads, in input order.
+fn execute<P: ParallelIterator>(pipeline: &P) -> Vec<P::Item> {
+    execute_with(pipeline, current_num_threads())
+}
+
+/// [`execute`] with an explicit worker count (also the testable seam:
+/// worker-count edge cases must not depend on the host's core count).
+fn execute_with<P: ParallelIterator>(pipeline: &P, workers: usize) -> Vec<P::Item> {
+    let n = pipeline.pi_len();
+    let workers = workers.min(n).max(1);
+    if workers == 1 {
+        let mut out = Vec::with_capacity(n);
+        pipeline.chunk(0..n, &mut out);
+        return out;
+    }
+    let chunk_len = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                // Both bounds clamped: with workers.min(n) and ceil
+                // division, a trailing worker's nominal start can still
+                // exceed n (e.g. 5 items / 4 workers -> chunk 2, worker 3
+                // starts at 6), which must yield an empty chunk, not a
+                // `hi - lo` underflow.
+                let lo = (w * chunk_len).min(n);
+                let hi = ((w + 1) * chunk_len).min(n);
+                scope.spawn(move || {
+                    let mut part = Vec::with_capacity(hi - lo);
+                    pipeline.chunk(lo..hi, &mut part);
+                    part
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for handle in handles {
+            out.extend(handle.join().expect("rayon-shim worker panicked"));
+        }
+        out
+    })
+}
+
+/// Pipeline stage produced by [`ParallelIterator::map`].
+#[derive(Debug)]
+pub struct Map<P, F> {
+    base: P,
+    map_op: F,
+}
+
+impl<P, R, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_get(&self, index: usize) -> R {
+        (self.map_op)(self.base.pi_get(index))
+    }
+}
+
+/// Pipeline stage produced by [`ParallelIterator::map_init`].
+#[derive(Debug)]
+pub struct MapInit<P, I, F> {
+    base: P,
+    init: I,
+    map_op: F,
+}
+
+impl<P, T, R, I, F> ParallelIterator for MapInit<P, I, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    I: Fn() -> T + Sync,
+    F: Fn(&mut T, P::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_get(&self, index: usize) -> R {
+        let mut state = (self.init)();
+        (self.map_op)(&mut state, self.base.pi_get(index))
+    }
+
+    fn chunk(&self, range: Range<usize>, out: &mut Vec<R>) {
+        // One state per worker chunk — the whole point of map_init.
+        let mut state = (self.init)();
+        for i in range {
+            out.push((self.map_op)(&mut state, self.base.pi_get(i)));
+        }
+    }
+}
+
+/// Root stage over a slice.
+#[derive(Debug)]
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn pi_get(&self, index: usize) -> &'a T {
+        &self.slice[index]
+    }
+}
+
+/// Borrowing entry point (`.par_iter()`), as in rayon's prelude.
+pub trait IntoParallelRefIterator<'a> {
+    /// The pipeline root type.
+    type Iter: ParallelIterator;
+
+    /// Starts a parallel pipeline over `&self`'s elements.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = SliceIter<'a, T>;
+
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = SliceIter<'a, T>;
+
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+pub mod prelude {
+    //! The rayon-style prelude.
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let squares: Vec<u64> = xs.par_iter().map(|&x| x * x).collect();
+        assert_eq!(squares.len(), 1000);
+        for (k, v) in squares.iter().enumerate() {
+            assert_eq!(*v, (k * k) as u64);
+        }
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_value() {
+        let xs = vec![1i32, 2, 3, 4];
+        let ok: Result<Vec<i32>, String> = xs.par_iter().map(|&x| Ok(x * 2)).collect();
+        assert_eq!(ok.unwrap(), vec![2, 4, 6, 8]);
+        let err: Result<Vec<i32>, String> =
+            xs.par_iter().map(|&x| if x == 3 { Err("three".into()) } else { Ok(x) }).collect();
+        assert_eq!(err.unwrap_err(), "three");
+    }
+
+    #[test]
+    fn map_init_reuses_state_within_chunks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let xs: Vec<usize> = (0..64).collect();
+        let out: Vec<usize> = xs
+            .par_iter()
+            .map_init(
+                || {
+                    inits.fetch_add(1, Ordering::SeqCst);
+                    Vec::<usize>::new()
+                },
+                |scratch, &x| {
+                    scratch.push(x);
+                    scratch.len()
+                },
+            )
+            .collect();
+        assert_eq!(out.len(), 64);
+        // At most one init per worker, never one per item.
+        assert!(inits.load(Ordering::SeqCst) <= super::current_num_threads());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let xs: Vec<u32> = Vec::new();
+        let out: Vec<u32> = xs.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn every_worker_count_partitions_correctly() {
+        // Regression: ceil-division chunking can put a trailing worker's
+        // nominal start past the item count (5 items / 4 workers), which
+        // underflowed `hi - lo` before the bounds were clamped.
+        for n in 0..40usize {
+            let xs: Vec<usize> = (0..n).collect();
+            for workers in 1..=9 {
+                let out = super::execute_with(&xs.par_iter().map(|&x| x * 3), workers);
+                assert_eq!(out.len(), n, "n={n} workers={workers}");
+                for (k, v) in out.iter().enumerate() {
+                    assert_eq!(*v, k * 3, "n={n} workers={workers}");
+                }
+            }
+        }
+    }
+}

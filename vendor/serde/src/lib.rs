@@ -1,0 +1,19 @@
+//! Offline stub of `serde`.
+//!
+//! The container this workspace builds in has no crates.io access, so the
+//! real serde cannot be fetched. The repo uses serde only as
+//! `#[derive(Serialize, Deserialize)]` markers on codec data types; all
+//! actual wire formats are hand-rolled (see `compaqt-core::bitstream`).
+//! This stub provides the two trait names plus the no-op derive macros so
+//! the annotations compile unchanged. Nothing in the workspace bounds on
+//! these traits.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (never implemented or bounded
+/// on in this workspace; the derive expands to nothing).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (never implemented or bounded
+/// on in this workspace; the derive expands to nothing).
+pub trait Deserialize<'de>: Sized {}

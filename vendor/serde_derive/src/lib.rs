@@ -1,0 +1,25 @@
+//! Offline stub of `serde_derive`.
+//!
+//! This workspace builds in a hermetic container with no crates.io
+//! access, so the real serde cannot be vendored. The codebase only uses
+//! `#[derive(Serialize, Deserialize)]` as wire-format markers; nothing
+//! serializes through serde at runtime (the binary memory-image format in
+//! `compaqt-core::bitstream` is hand-rolled). The derives therefore
+//! expand to nothing: the types stay plain Rust structs and the derive
+//! attributes compile as documentation of intent. Swapping in the real
+//! serde later only requires deleting `vendor/serde*` from the workspace
+//! patch table.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
