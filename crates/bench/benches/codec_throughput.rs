@@ -3,20 +3,24 @@
 //! decompression engine, whose sample rate is the bandwidth-expansion
 //! claim of Figure 2.
 //!
-//! Two decode paths are measured against each other:
+//! Both codec directions are measured as allocating-vs-reuse pairs:
 //!
-//! * `decompress_engine/*` — the historical allocating path (fresh `Vec`
-//!   per pipeline stage per window, dense integer IDCT);
-//! * `decompress_into/*` — the plan/buffer-reuse path (caller-owned
-//!   `DecodeScratch` + output buffers, sparse fused IDCT kernel).
+//! * `decompress_engine/*` vs `decompress_into/*` — the historical
+//!   allocating decode (fresh `Vec` per pipeline stage per window, dense
+//!   integer IDCT) against the plan/buffer-reuse path (caller-owned
+//!   `DecodeScratch` + output buffers, sparse fused IDCT kernel);
+//! * `compress/*` vs `compress_into/*` — the allocating compressor
+//!   (fresh scratch, fresh plans, fresh output per call) against the
+//!   encode twin (caller-owned `EncodeScratch` + reused output stream).
 //!
 //! The run writes `BENCH_codec.json` at the repository root with every
 //! measurement plus the headline `decode_speedup_ws16` ratio, which the
-//! PR acceptance gate tracks (target: >= 3x).
+//! PR acceptance gate tracks (target: >= 3x), and the matching
+//! `encode_speedup_*` ratios for the compress side.
 
 use compaqt_core::batch;
-use compaqt_core::compress::{Compressor, Variant};
-use compaqt_core::engine::{DecodeScratch, DecompressionEngine, EngineStats};
+use compaqt_core::compress::{CompressedWaveform, Compressor, Variant};
+use compaqt_core::engine::{DecodeScratch, DecompressionEngine, EncodeScratch, EngineStats};
 use compaqt_dsp::intdct::IntDct;
 use compaqt_pulse::device::Device;
 use compaqt_pulse::shapes::{Drag, GaussianSquare, PulseShape};
@@ -52,15 +56,33 @@ fn bench_intdct_kernel(c: &mut Criterion) {
 }
 
 fn bench_compress(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compress");
     let x_pulse = Drag::new(136, 0.5, 34.0, 0.2).to_waveform("X", 4.54);
     let cr_pulse = GaussianSquare::new(1362, 0.3, 40.0, 1020).to_waveform("CR", 4.54);
+    // Allocating baseline: fresh scratch + fresh output per call.
+    let mut group = c.benchmark_group("compress");
     for (name, wf) in [("x_136", &x_pulse), ("cr_1362", &cr_pulse)] {
         group.throughput(Throughput::Elements(wf.len() as u64));
         for ws in [8usize, 16] {
             let comp = Compressor::new(Variant::IntDctW { ws });
             group.bench_function(format!("{name}_ws{ws}"), |b| {
                 b.iter(|| black_box(comp.compress(black_box(wf)).unwrap()))
+            });
+        }
+    }
+    group.finish();
+    // Plan/buffer-reuse path: same streams, zero steady-state allocation.
+    let mut group = c.benchmark_group("compress_into");
+    for (name, wf) in [("x_136", &x_pulse), ("cr_1362", &cr_pulse)] {
+        group.throughput(Throughput::Elements(wf.len() as u64));
+        for ws in [8usize, 16] {
+            let comp = Compressor::new(Variant::IntDctW { ws });
+            let mut scratch = EncodeScratch::new();
+            let mut out = CompressedWaveform::empty();
+            group.bench_function(format!("{name}_ws{ws}"), |b| {
+                b.iter(|| {
+                    comp.compress_into(black_box(wf), &mut scratch, &mut out).unwrap();
+                    black_box(out.words())
+                })
             });
         }
     }
@@ -152,14 +174,23 @@ fn main() {
         let name = format!("cr_1362_ws{ws}");
         Some(ns("decompress_engine", &name)? / ns("decompress_into", &name)?)
     };
+    let encode_speedup = |ws: usize| -> Option<f64> {
+        let name = format!("cr_1362_ws{ws}");
+        Some(ns("compress", &name)? / ns("compress_into", &name)?)
+    };
     let ws16 = speedup(16).unwrap_or(f64::NAN);
     let ws8 = speedup(8).unwrap_or(f64::NAN);
+    let enc16 = encode_speedup(16).unwrap_or(f64::NAN);
+    let enc8 = encode_speedup(8).unwrap_or(f64::NAN);
     println!("\ndecode_speedup_ws16: {ws16:.2}x   decode_speedup_ws8: {ws8:.2}x");
+    println!("encode_speedup_ws16: {enc16:.2}x   encode_speedup_ws8: {enc8:.2}x");
 
     // Baseline file with every measurement plus the headline ratios.
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"decode_speedup_ws16\": {ws16:.3},\n"));
     json.push_str(&format!("  \"decode_speedup_ws8\": {ws8:.3},\n"));
+    json.push_str(&format!("  \"encode_speedup_ws16\": {enc16:.3},\n"));
+    json.push_str(&format!("  \"encode_speedup_ws8\": {enc8:.3},\n"));
     json.push_str("  \"benchmarks\": [\n");
     let results = criterion.results();
     for (k, r) in results.iter().enumerate() {

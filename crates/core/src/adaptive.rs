@@ -6,6 +6,21 @@
 //! decoded straight into the buffer in front of the DAC, so both the
 //! memory and the IDCT engine idle for the whole plateau — the extra
 //! power savings of Figure 19.
+//!
+//! **When it wins:** any waveform whose plateau dominates its duration —
+//! the longer the flat top relative to the ramps, the more the ratio and
+//! the bypass fraction improve over the plain windowed codec. It loses
+//! (returns [`CompressError::NoPlateau`]) on pulses without a
+//! window-aligned constant run of at least the configured minimum, so
+//! callers typically try adaptive first and fall back to
+//! [`Compressor::compress`].
+//!
+//! The encoder follows the allocating-vs-reuse convention:
+//! [`AdaptiveCompressor::compress`] wraps
+//! [`AdaptiveCompressor::compress_with`], which threads a caller-owned
+//! [`crate::engine::EncodeScratch`] through the ramp segments and
+//! encodes them from sub-slices without intermediate waveform copies;
+//! [`AdaptiveCompressed::decompress_with`] is the decode twin.
 
 use crate::compress::{CompressedWaveform, Compressor, Variant};
 use crate::engine::{DecompressionEngine, EngineStats};
@@ -227,11 +242,32 @@ impl AdaptiveCompressor {
     /// Compresses a flat-top waveform: DCT windows for the ramps, a single
     /// repeat-run for the plateau.
     ///
+    /// Allocating wrapper over [`AdaptiveCompressor::compress_with`].
+    ///
     /// # Errors
     ///
     /// Returns [`CompressError::NoPlateau`] if the waveform has no plateau
     /// of at least the configured minimum length.
     pub fn compress(&self, wf: &Waveform) -> Result<AdaptiveCompressed, CompressError> {
+        self.compress_with(wf, &mut crate::engine::EncodeScratch::new())
+    }
+
+    /// Compresses a flat-top waveform, threading all ramp-segment working
+    /// memory through a caller-owned scratch — bit-exact with
+    /// [`AdaptiveCompressor::compress`] (which wraps this). Ramp segments
+    /// are encoded straight from sample sub-slices, so no intermediate
+    /// sub-waveform copies are made; only the returned segment list and
+    /// its compressed streams are allocated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError::NoPlateau`] if the waveform has no plateau
+    /// of at least the configured minimum length.
+    pub fn compress_with(
+        &self,
+        wf: &Waveform,
+        scratch: &mut crate::engine::EncodeScratch,
+    ) -> Result<AdaptiveCompressed, CompressError> {
         let ws = self.inner.variant().window_size().expect("validated in new()");
         let (start, len) = wf.flat_top_plateau(self.min_plateau).ok_or(CompressError::NoPlateau)?;
         // Align the plateau cut points to window boundaries so the ramp
@@ -242,17 +278,24 @@ impl AdaptiveCompressor {
         if plateau_end <= head_end {
             return Err(CompressError::NoPlateau);
         }
-        let sub = |name: &str, range: std::ops::Range<usize>| -> Waveform {
-            Waveform::new(
+        let ramp = |name: &str,
+                    range: std::ops::Range<usize>,
+                    scratch: &mut crate::engine::EncodeScratch|
+         -> Result<Segment, CompressError> {
+            let mut z = crate::compress::CompressedWaveform::empty();
+            self.inner.compress_slices_into(
                 name,
-                wf.i()[range.clone()].to_vec(),
-                wf.q()[range].to_vec(),
+                &wf.i()[range.clone()],
+                &wf.q()[range],
                 wf.sample_rate_gs(),
-            )
+                scratch,
+                &mut z,
+            )?;
+            Ok(Segment::Windows(z))
         };
         let mut segments = Vec::new();
         if head_end > 0 {
-            segments.push(Segment::Windows(self.inner.compress(&sub("head", 0..head_end))?));
+            segments.push(ramp("head", 0..head_end, scratch)?);
         }
         segments.push(Segment::Constant {
             i_value: Q15::from_f64(wf.i()[head_end]),
@@ -260,8 +303,7 @@ impl AdaptiveCompressor {
             len: plateau_end - head_end,
         });
         if plateau_end < wf.len() {
-            segments
-                .push(Segment::Windows(self.inner.compress(&sub("tail", plateau_end..wf.len()))?));
+            segments.push(ramp("tail", plateau_end..wf.len(), scratch)?);
         }
         Ok(AdaptiveCompressed {
             name: wf.name().to_string(),

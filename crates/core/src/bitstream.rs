@@ -160,22 +160,66 @@ fn write_image_records<'a>(
     entries: impl Iterator<Item = (&'a GateId, &'a CompressedWaveform)>,
 ) -> Bytes {
     let mut buf = BytesMut::with_capacity(4096);
+    put_image_header(&mut buf, count);
+    for (gate, z) in entries {
+        let name = format!("{gate}");
+        put_record(&mut buf, &name, z);
+    }
+    buf.freeze()
+}
+
+/// Serializes the image header (shared by every image builder so the
+/// byte-identical contract between them cannot drift).
+fn put_image_header(buf: &mut BytesMut, count: usize) {
     buf.put_u32_le(MAGIC);
     buf.put_u16_le(VERSION);
     buf.put_u16_le(count as u16);
-    for (gate, z) in entries {
-        let name = format!("{gate}");
-        buf.put_u16_le(name.len() as u16);
-        buf.put_slice(name.as_bytes());
-        let (tag, ws) = encode_variant(z.variant);
-        buf.put_u8(tag);
-        buf.put_u16_le(ws);
-        buf.put_u32_le(z.n_samples as u32);
-        buf.put_u32_le((z.sample_rate_gs * 1000.0).round() as u32);
-        put_channel(&mut buf, &z.i);
-        put_channel(&mut buf, &z.q);
+}
+
+/// Serializes one record (display name + compressed streams).
+fn put_record(buf: &mut BytesMut, name: &str, z: &CompressedWaveform) {
+    buf.put_u16_le(name.len() as u16);
+    buf.put_slice(name.as_bytes());
+    let (tag, ws) = encode_variant(z.variant);
+    buf.put_u8(tag);
+    buf.put_u16_le(ws);
+    buf.put_u32_le(z.n_samples as u32);
+    buf.put_u32_le((z.sample_rate_gs * 1000.0).round() as u32);
+    put_channel(buf, &z.i);
+    put_channel(buf, &z.q);
+}
+
+/// Sequential calibration-cycle pipeline: compresses a pulse library
+/// waveform by waveform and serializes each stream into the image as it
+/// is produced. One [`EncodeScratch`] and one reused
+/// [`CompressedWaveform`] slot carry all working memory, so peak memory
+/// is one compressed waveform plus the image bytes — the right shape for
+/// a memory-constrained host. Byte-identical to
+/// [`compress_image_par`].
+///
+/// [`EncodeScratch`]: crate::engine::EncodeScratch
+///
+/// # Errors
+///
+/// Propagates compression errors (none occur for supported window
+/// sizes).
+pub fn compress_image(
+    library: &compaqt_pulse::library::PulseLibrary,
+    compressor: &crate::compress::Compressor,
+) -> Result<Bytes, crate::CompressError> {
+    let mut scratch = crate::engine::EncodeScratch::new();
+    let mut z = CompressedWaveform::empty();
+    let mut buf = BytesMut::with_capacity(4096);
+    put_image_header(&mut buf, library.len());
+    let mut name = String::new();
+    for (gate, wf) in library.iter() {
+        compressor.compress_into(wf, &mut scratch, &mut z)?;
+        name.clear();
+        use std::fmt::Write;
+        write!(name, "{gate}").expect("formatting into a String cannot fail");
+        put_record(&mut buf, &name, &z);
     }
-    buf.freeze()
+    Ok(buf.freeze())
 }
 
 /// One-shot calibration-cycle pipeline: compresses a whole pulse library
@@ -311,6 +355,9 @@ mod tests {
         let sequential = write_image(&sample_entries());
         let parallel = compress_image_par(&lib, &c).unwrap();
         assert_eq!(sequential.as_ref(), parallel.as_ref(), "images must be byte-identical");
+        // The streaming single-scratch builder produces the same bytes.
+        let streaming = compress_image(&lib, &c).unwrap();
+        assert_eq!(sequential.as_ref(), streaming.as_ref(), "streaming image must match");
     }
 
     #[test]

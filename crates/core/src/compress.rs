@@ -10,15 +10,55 @@
 //! | `DCT-W` | windowed float DCT (WS=8/16) | moderate (11/26 multipliers) |
 //! | `int-DCT-W` | windowed HEVC integer DCT | low (shift-add only) |
 //!
+//! # The window/threshold encode model
+//!
 //! The pipeline per channel is: transform each window -> zero coefficients
 //! below a threshold -> run-length encode the trailing zeros (Figure 8).
 //! Per the paper, I and Q keep the same number of stored words per window
-//! so the hardware decoder stays simple.
+//! so the hardware decoder stays simple. Everything lossy happens in the
+//! threshold (and, for the integer variants, coefficient rounding): a
+//! smaller threshold keeps more coefficients per window, trading
+//! compression ratio for reconstruction MSE. The optional window-word cap
+//! ([`Compressor::with_max_window_words`]) additionally zeroes
+//! coefficients past a fixed per-window budget so the banked memory can
+//! be sized for a uniform worst case (Section V-A).
+//!
+//! # When each variant wins
+//!
+//! * **`int-DCT-W`** is the paper's design point: decompression hardware
+//!   needs no multipliers, so it wins whenever the stream will be decoded
+//!   by the modelled engine — use WS=16 by default, WS=8 only when the
+//!   decoder's input buffer must be minimal (and see [`crate::overlap`]
+//!   for its boundary-distortion fix).
+//! * **`DCT-W`** is the float reference for the same window structure:
+//!   marginally better MSE at the same threshold, but each hardware
+//!   multiply is a real multiplier (Table IV) — use it to isolate how
+//!   much fidelity the integer approximation costs.
+//! * **`DCT-N`** achieves the highest ratios on long smooth waveforms
+//!   (one giant window, one RLE tail) but its decoder must buffer and
+//!   transform the whole waveform, and its plan depends on the waveform
+//!   length — the keyed plan cache in
+//!   [`EncodeScratch`]/[`crate::engine::DecodeScratch`] exists for
+//!   mixed-length `DCT-N` libraries. Use it for capacity studies, not
+//!   for the streaming engine.
+//! * **`Delta`** is the Section IV-B baseline: cheap, lossless up to
+//!   Q1.15, but defeated by any zero crossing (raw fallback). It wins
+//!   only on monotone envelopes — in practice it exists to be compared
+//!   against.
+//!
+//! # Allocating vs `_into`
+//!
+//! Like the decode side, every encoder has two bit-exact forms: the
+//! allocating [`Compressor::compress`] (fresh buffers per call, the
+//! historical API) and [`Compressor::compress_into`], which threads all
+//! working memory through a caller-owned
+//! [`EncodeScratch`] and rebuilds a reusable output
+//! stream in place. Steady-state recompression of a warm library
+//! performs zero heap allocations (see `tests/alloc_regression.rs`).
 
+use crate::engine::EncodeScratch;
 use crate::CompressError;
-use compaqt_dsp::dct::Dct;
 use compaqt_dsp::fixed::Q15;
-use compaqt_dsp::intdct::IntDct;
 use compaqt_dsp::metrics::CompressionRatio;
 use compaqt_dsp::rle::{CodedWord, RleCodeword, MAX_COEFF, MIN_COEFF};
 use compaqt_dsp::threshold::ThresholdSchedule;
@@ -165,6 +205,21 @@ pub struct CompressedWaveform {
 }
 
 impl CompressedWaveform {
+    /// An empty placeholder stream, intended as the reusable output slot
+    /// of [`Compressor::compress_into`] (which overwrites every field).
+    /// The placeholder itself is not a valid stream — decompressing it is
+    /// meaningless until a compressor has filled it.
+    pub fn empty() -> Self {
+        CompressedWaveform {
+            name: String::new(),
+            variant: Variant::Delta,
+            n_samples: 0,
+            sample_rate_gs: 0.0,
+            i: ChannelData::Raw(Vec::new()),
+            q: ChannelData::Raw(Vec::new()),
+        }
+    }
+
     /// Compression ratio `R = old size / new size` (Figure 7's metric).
     pub fn ratio(&self) -> CompressionRatio {
         let old = self.n_samples * SAMPLE_BYTES;
@@ -272,42 +327,134 @@ impl Compressor {
 
     /// Compresses a waveform.
     ///
+    /// Allocating wrapper over [`Compressor::compress_into`] (fresh
+    /// scratch, fresh output), kept for convenience and as the baseline
+    /// the `codec_throughput` bench measures the reuse path against.
+    ///
     /// # Errors
     ///
     /// Returns [`CompressError::UnsupportedWindow`] for window sizes the
     /// integer transform does not support.
     pub fn compress(&self, wf: &Waveform) -> Result<CompressedWaveform, CompressError> {
+        let mut scratch = EncodeScratch::new();
+        let mut out = CompressedWaveform::empty();
+        self.compress_into(wf, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Compresses a waveform into a caller-owned output stream, threading
+    /// all working memory through `scratch` — the encode twin of
+    /// [`crate::engine::DecompressionEngine::decompress_into`], bit-exact
+    /// with [`Compressor::compress`].
+    ///
+    /// Every field of `out` is overwritten; its existing heap buffers
+    /// (name, window word lists, delta/raw vectors) are reused in place.
+    /// Once a scratch and an output slot have been warmed by one pass
+    /// over a waveform, recompressing the same shape performs **zero
+    /// heap allocations** (the `alloc_regression` integration test
+    /// enforces this across a whole pulse library).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError::UnsupportedWindow`] for window sizes the
+    /// integer transform does not support.
+    pub fn compress_into(
+        &self,
+        wf: &Waveform,
+        scratch: &mut EncodeScratch,
+        out: &mut CompressedWaveform,
+    ) -> Result<(), CompressError> {
+        self.compress_slices_into(wf.name(), wf.i(), wf.q(), wf.sample_rate_gs(), scratch, out)
+    }
+
+    /// Slice-level core of [`Compressor::compress_into`]: lets segment
+    /// compressors (the adaptive encoder) compress sub-ranges without
+    /// materializing intermediate [`Waveform`]s.
+    pub(crate) fn compress_slices_into(
+        &self,
+        name: &str,
+        i: &[f64],
+        q: &[f64],
+        sample_rate_gs: f64,
+        scratch: &mut EncodeScratch,
+        out: &mut CompressedWaveform,
+    ) -> Result<(), CompressError> {
         self.variant.validate()?;
-        let (i, q) = match self.variant {
-            Variant::Delta => (delta_channel(wf.i()), delta_channel(wf.q())),
-            Variant::DctN => {
-                let n = wf.len();
-                let ci = float_full(wf.i(), self.threshold);
-                let cq = float_full(wf.q(), self.threshold);
-                equalize(ci, cq, n, self.max_window_words)
+        debug_assert_eq!(i.len(), q.len(), "I and Q channels must have equal length");
+        out.name.clear();
+        out.name.push_str(name);
+        out.variant = self.variant;
+        out.n_samples = i.len();
+        out.sample_rate_gs = sample_rate_gs;
+        if self.variant == Variant::Delta {
+            delta_channel_into(i, &mut scratch.qsamples, &mut out.i);
+            delta_channel_into(q, &mut scratch.qsamples, &mut out.q);
+            return Ok(());
+        }
+        // Transform variants: encode each channel to quantized coefficient
+        // windows, then I/Q-equalize and run-length encode.
+        let window = self.variant.window_size().unwrap_or(i.len());
+        let mut i_coeffs = std::mem::take(&mut scratch.i_coeffs);
+        let mut q_coeffs = std::mem::take(&mut scratch.q_coeffs);
+        let result = self
+            .encode_channel_into(i, scratch, &mut i_coeffs)
+            .and_then(|()| self.encode_channel_into(q, scratch, &mut q_coeffs));
+        if result.is_ok() {
+            equalize_into(
+                &i_coeffs,
+                &q_coeffs,
+                window,
+                self.max_window_words,
+                &mut out.i,
+                &mut out.q,
+                &mut scratch.spare_windows,
+            );
+        }
+        scratch.i_coeffs = i_coeffs;
+        scratch.q_coeffs = q_coeffs;
+        result
+    }
+
+    /// Transforms, thresholds and quantizes one channel into flat
+    /// `coeffs` — one window-sized chunk per transform window (a single
+    /// full-length chunk for `DCT-N`). This is the per-channel front half
+    /// of [`Compressor::compress_into`]; the back half
+    /// (I/Q equalization + run-length encoding) needs both channels.
+    ///
+    /// `coeffs` is cleared and refilled; all staging and the cached
+    /// transform plans live in `scratch`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError::UnsupportedWindow`] for window sizes the
+    /// integer transform does not support.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`Variant::Delta`], which stores sample differences and
+    /// has no coefficient windows (use [`Compressor::compress_into`]).
+    pub fn encode_channel_into(
+        &self,
+        samples: &[f64],
+        scratch: &mut EncodeScratch,
+        coeffs: &mut Vec<i32>,
+    ) -> Result<(), CompressError> {
+        self.variant.validate()?;
+        coeffs.clear();
+        match self.variant {
+            Variant::Delta => {
+                panic!("Delta channels carry sample deltas, not coefficient windows")
             }
+            Variant::DctN => float_full_into(samples, self.threshold, scratch, coeffs),
             Variant::DctW { ws } => {
-                let dct = Dct::new(ws);
-                let ci = float_windows(&dct, wf.i(), ws, self.threshold);
-                let cq = float_windows(&dct, wf.q(), ws, self.threshold);
-                equalize(ci, cq, ws, self.max_window_words)
+                float_windows_into(samples, ws, self.threshold, scratch, coeffs)
             }
             Variant::IntDctW { ws } => {
-                let t = IntDct::new(ws).map_err(|e| CompressError::UnsupportedWindow(e.size))?;
                 let thr = int_threshold(self.threshold, ws);
-                let ci = int_windows(&t, wf.i(), thr);
-                let cq = int_windows(&t, wf.q(), thr);
-                equalize(ci, cq, ws, self.max_window_words)
+                int_windows_into(samples, ws, thr, scratch, coeffs)?;
             }
-        };
-        Ok(CompressedWaveform {
-            name: wf.name().to_string(),
-            variant: self.variant,
-            n_samples: wf.len(),
-            sample_rate_gs: wf.sample_rate_gs(),
-            i,
-            q,
-        })
+        }
+        Ok(())
     }
 
     /// Fidelity-aware compression (Algorithm 1): halve the threshold until
@@ -337,124 +484,213 @@ impl Compressor {
     }
 }
 
-/// Thresholded coefficient windows for one channel, pre-RLE.
-struct CoeffWindows {
-    /// Quantized integer coefficients per window.
-    windows: Vec<Vec<i32>>,
+/// Reshapes a channel slot into `Windows` with exactly `n_windows` empty
+/// word lists, reusing every inner `Vec`'s capacity. Word lists trimmed
+/// when the slot shrinks are parked in `spare` (and pulled back when it
+/// grows again), so a single output slot reused across waveforms of
+/// different window counts keeps all its capacity. Growth beyond
+/// everything previously seen allocates; steady-state reuse does not.
+pub(crate) fn windows_buf<'a>(
+    ch: &'a mut ChannelData,
+    n_windows: usize,
+    spare: &mut Vec<Vec<CodedWord>>,
+) -> &'a mut Vec<Vec<CodedWord>> {
+    if !matches!(ch, ChannelData::Windows(_)) {
+        *ch = ChannelData::Windows(Vec::new());
+    }
+    let ChannelData::Windows(windows) = ch else { unreachable!("just normalized to Windows") };
+    while windows.len() > n_windows {
+        spare.push(windows.pop().expect("len checked"));
+    }
+    while windows.len() < n_windows {
+        windows.push(spare.pop().unwrap_or_default());
+    }
+    for w in windows.iter_mut() {
+        w.clear();
+    }
+    windows
 }
 
-/// Full-length (`DCT-N`) transform of one channel via the O(N log N)
-/// recursive DCT.
-fn float_full(samples: &[f64], threshold: f64) -> CoeffWindows {
-    let scale = f64::from(1u32 << float_coeff_scale_bits(samples.len()));
-    let mut coeffs = compaqt_dsp::fastdct::fast_dct2(samples);
-    compaqt_dsp::threshold::apply_threshold(&mut coeffs, threshold);
-    let window =
-        coeffs.iter().map(|&c| ((c * scale).round() as i32).clamp(MIN_COEFF, MAX_COEFF)).collect();
-    CoeffWindows { windows: vec![window] }
+/// Reshapes a channel slot into `Raw`, returning its cleared sample
+/// buffer for refilling.
+fn raw_buf(ch: &mut ChannelData) -> &mut Vec<i16> {
+    if !matches!(ch, ChannelData::Raw(_)) {
+        *ch = ChannelData::Raw(Vec::new());
+    }
+    let ChannelData::Raw(samples) = ch else { unreachable!("just normalized to Raw") };
+    samples.clear();
+    samples
 }
 
-fn float_windows(dct: &Dct, samples: &[f64], ws: usize, threshold: f64) -> CoeffWindows {
-    let (wins, _) = compaqt_dsp::window::split(samples, ws, compaqt_dsp::window::PadMode::Zero);
+/// Reshapes a channel slot into `Delta`, setting the header fields and
+/// returning its cleared delta buffer for refilling.
+fn delta_buf(ch: &mut ChannelData, base: i16, bits: u32) -> &mut Vec<i16> {
+    if !matches!(ch, ChannelData::Delta { .. }) {
+        *ch = ChannelData::Delta { base, bits, deltas: Vec::new() };
+    }
+    let ChannelData::Delta { base: b, bits: w, deltas } = ch else {
+        unreachable!("just normalized to Delta")
+    };
+    *b = base;
+    *w = bits;
+    deltas.clear();
+    deltas
+}
+
+/// Full-length (`DCT-N`) transform of one channel through the scratch's
+/// keyed plan cache, appending one quantized full-length window to
+/// `coeffs`.
+fn float_full_into(
+    samples: &[f64],
+    threshold: f64,
+    scratch: &mut EncodeScratch,
+    out: &mut Vec<i32>,
+) {
+    let n = samples.len();
+    let scale = f64::from(1u32 << float_coeff_scale_bits(n));
+    scratch.fcoeffs.resize(n, 0.0);
+    scratch.plans.plan(n).forward_into(samples, &mut scratch.fcoeffs);
+    compaqt_dsp::threshold::apply_threshold(&mut scratch.fcoeffs, threshold);
+    out.extend(
+        scratch.fcoeffs.iter().map(|&c| ((c * scale).round() as i32).clamp(MIN_COEFF, MAX_COEFF)),
+    );
+}
+
+/// Windowed float transform of one channel, appending one quantized
+/// `ws`-chunk per window to `coeffs`. The tail window is zero-padded,
+/// matching [`compaqt_dsp::window::split`] with [`PadMode::Zero`].
+///
+/// [`PadMode::Zero`]: compaqt_dsp::window::PadMode::Zero
+fn float_windows_into(
+    samples: &[f64],
+    ws: usize,
+    threshold: f64,
+    scratch: &mut EncodeScratch,
+    out: &mut Vec<i32>,
+) {
     let scale = f64::from(1u32 << float_coeff_scale_bits(ws));
-    let windows = wins
-        .iter()
-        .map(|w| {
-            let mut coeffs = dct.forward(w);
-            compaqt_dsp::threshold::apply_threshold(&mut coeffs, threshold);
-            coeffs
-                .iter()
-                .map(|&c| ((c * scale).round() as i32).clamp(MIN_COEFF, MAX_COEFF))
-                .collect()
-        })
-        .collect();
-    CoeffWindows { windows }
+    out.reserve(samples.len().div_ceil(ws) * ws);
+    // Take the staging buffers so the cached transform can stay borrowed
+    // across the whole loop (one lookup, not one per window).
+    let mut window = std::mem::take(&mut scratch.window);
+    let mut fcoeffs = std::mem::take(&mut scratch.fcoeffs);
+    window.resize(ws, 0.0);
+    fcoeffs.resize(ws, 0.0);
+    let dct = scratch.dct(ws);
+    for chunk in samples.chunks(ws) {
+        window[..chunk.len()].copy_from_slice(chunk);
+        window[chunk.len()..].fill(0.0);
+        dct.forward_into(&window, &mut fcoeffs);
+        compaqt_dsp::threshold::apply_threshold(&mut fcoeffs, threshold);
+        out.extend(
+            fcoeffs.iter().map(|&c| ((c * scale).round() as i32).clamp(MIN_COEFF, MAX_COEFF)),
+        );
+    }
+    scratch.window = window;
+    scratch.fcoeffs = fcoeffs;
 }
 
-fn int_windows(t: &IntDct, samples: &[f64], thr: i32) -> CoeffWindows {
-    let ws = t.len();
-    let (wins, _) = compaqt_dsp::window::split(samples, ws, compaqt_dsp::window::PadMode::Zero);
-    let windows = wins
-        .iter()
-        .map(|w| {
-            let q: Vec<Q15> = w.iter().map(|&v| Q15::from_f64(v)).collect();
-            let mut coeffs = t.forward(&q);
-            compaqt_dsp::threshold::apply_threshold_int(&mut coeffs, thr);
-            // Quantize to the 15-bit storage word (tag bit + DC headroom).
-            for c in coeffs.iter_mut() {
-                *c = int_store_quantize(*c).clamp(MIN_COEFF, MAX_COEFF);
-            }
-            coeffs
-        })
-        .collect();
-    CoeffWindows { windows }
+/// Windowed integer transform of one channel, appending one quantized
+/// `ws`-chunk per window to `coeffs`.
+fn int_windows_into(
+    samples: &[f64],
+    ws: usize,
+    thr: i32,
+    scratch: &mut EncodeScratch,
+    out: &mut Vec<i32>,
+) -> Result<(), CompressError> {
+    scratch.int_plan(ws)?;
+    out.reserve(samples.len().div_ceil(ws) * ws);
+    // Take the staging buffers so the cached plan can stay borrowed
+    // across the whole loop (one lookup per channel, not per window).
+    let mut qwindow = std::mem::take(&mut scratch.qwindow);
+    let mut icoeffs = std::mem::take(&mut scratch.icoeffs);
+    qwindow.resize(ws, Q15::ZERO);
+    icoeffs.resize(ws, 0);
+    let plan = scratch.int_plans.iter().find(|p| p.len() == ws).expect("cached above");
+    for chunk in samples.chunks(ws) {
+        for (q, &v) in qwindow[..chunk.len()].iter_mut().zip(chunk) {
+            *q = Q15::from_f64(v);
+        }
+        qwindow[chunk.len()..].fill(Q15::ZERO);
+        plan.forward_into(&qwindow, &mut icoeffs);
+        compaqt_dsp::threshold::apply_threshold_int(&mut icoeffs, thr);
+        // Quantize to the 15-bit storage word (tag bit + DC headroom).
+        out.extend(icoeffs.iter().map(|&c| int_store_quantize(c).clamp(MIN_COEFF, MAX_COEFF)));
+    }
+    scratch.qwindow = qwindow;
+    scratch.icoeffs = icoeffs;
+    Ok(())
 }
 
 /// Applies the paper's I/Q equalization: both channels keep the same
 /// number of stored words per window, then run-length encodes. A window
 /// cap (the uniform-width constraint) zeroes coefficients past the cap.
-fn equalize(
-    ci: CoeffWindows,
-    cq: CoeffWindows,
+/// Inputs are flat quantized coefficients, one `ws`-chunk per window;
+/// output word lists are rebuilt in place (capacities reused).
+fn equalize_into(
+    ci: &[i32],
+    cq: &[i32],
     ws: usize,
     cap: Option<usize>,
-) -> (ChannelData, ChannelData) {
-    let encode = |coeffs: &[i32], keep: usize| -> Vec<CodedWord> {
-        let mut words: Vec<CodedWord> =
-            coeffs[..keep].iter().map(|&c| CodedWord::Coeff(CodedWord::clamp_coeff(c))).collect();
-        let zeros = ws - keep;
-        if zeros > 0 {
-            let mut remaining = zeros;
-            while remaining > 0 {
-                let run = remaining.min(compaqt_dsp::rle::MAX_RUN as usize);
-                words.push(CodedWord::Rle(RleCodeword { run: run as u16, repeat_previous: false }));
-                remaining -= run;
-            }
+    i_ch: &mut ChannelData,
+    q_ch: &mut ChannelData,
+    spare: &mut Vec<Vec<CodedWord>>,
+) {
+    fn encode(coeffs: &[i32], keep: usize, ws: usize, words: &mut Vec<CodedWord>) {
+        words.extend(coeffs[..keep].iter().map(|&c| CodedWord::Coeff(CodedWord::clamp_coeff(c))));
+        let mut remaining = ws - keep;
+        while remaining > 0 {
+            let run = remaining.min(compaqt_dsp::rle::MAX_RUN as usize);
+            words.push(CodedWord::Rle(RleCodeword { run: run as u16, repeat_previous: false }));
+            remaining -= run;
         }
-        words
-    };
-    let mut i_out = Vec::with_capacity(ci.windows.len());
-    let mut q_out = Vec::with_capacity(cq.windows.len());
-    for (wi, wq) in ci.windows.iter().zip(&cq.windows) {
-        let keep_i = wi.len() - compaqt_dsp::threshold::trailing_zeros(wi);
-        let keep_q = wq.len() - compaqt_dsp::threshold::trailing_zeros(wq);
+    }
+    debug_assert_eq!(ci.len(), cq.len(), "channels must have equal window counts");
+    let n_windows = ci.len() / ws;
+    let i_out = windows_buf(i_ch, n_windows, spare);
+    let q_out = windows_buf(q_ch, n_windows, spare);
+    let windows = ci.chunks_exact(ws).zip(cq.chunks_exact(ws));
+    for ((wi, wq), (iw, qw)) in windows.zip(i_out.iter_mut().zip(q_out.iter_mut())) {
+        let keep_i = ws - compaqt_dsp::threshold::trailing_zeros(wi);
+        let keep_q = ws - compaqt_dsp::threshold::trailing_zeros(wq);
         let mut keep = keep_i.max(keep_q);
         if let Some(cap) = cap {
             // Reserve one slot for the codeword unless the window fills.
             let max_keep = if cap >= ws { ws } else { cap - 1 };
             keep = keep.min(max_keep);
         }
-        i_out.push(encode(wi, keep));
-        q_out.push(encode(wq, keep));
+        encode(wi, keep, ws, iw);
+        encode(wq, keep, ws, qw);
     }
-    (ChannelData::Windows(i_out), ChannelData::Windows(q_out))
 }
 
 /// Delta-compresses one channel, or falls back to raw storage when the
 /// channel has zero crossings (Section IV-B's limitation: sign changes
 /// force full-width difference fields). Deltas are stored at the minimal
-/// uniform bit width that holds the largest step.
-fn delta_channel(samples: &[f64]) -> ChannelData {
-    let q: Vec<i16> = samples.iter().map(|&v| Q15::from_f64(v).raw()).collect();
+/// uniform bit width that holds the largest step. Q1.15 staging runs
+/// through `qsamples`; the output slot's buffers are reused in place.
+fn delta_channel_into(samples: &[f64], qsamples: &mut Vec<i16>, out: &mut ChannelData) {
+    qsamples.clear();
+    qsamples.extend(samples.iter().map(|&v| Q15::from_f64(v).raw()));
+    let q = &qsamples[..];
     // Zero crossing: consecutive samples with strictly opposite signs.
     let crossing = q.windows(2).any(|w| (w[0] > 0 && w[1] < 0) || (w[0] < 0 && w[1] > 0));
-    if crossing {
-        return ChannelData::Raw(q);
-    }
-    let mut deltas = Vec::with_capacity(q.len().saturating_sub(1));
     let mut max_abs: i32 = 0;
-    for w in q.windows(2) {
-        let d = i32::from(w[1]) - i32::from(w[0]);
-        max_abs = max_abs.max(d.abs());
-        deltas.push(d as i16);
+    if !crossing {
+        for w in q.windows(2) {
+            max_abs = max_abs.max((i32::from(w[1]) - i32::from(w[0])).abs());
+        }
     }
-    if max_abs > i32::from(i16::MAX) / 2 {
-        // Deltas as wide as the samples: nothing gained.
-        return ChannelData::Raw(q);
+    if crossing || max_abs > i32::from(i16::MAX) / 2 {
+        // Deltas as wide as the samples: nothing gained; store raw.
+        raw_buf(out).extend_from_slice(q);
+        return;
     }
     // Signed width for the largest delta, at least 4 bits.
     let bits = (33 - (max_abs.max(1) as u32).leading_zeros()).max(4);
-    ChannelData::Delta { base: q[0], bits, deltas }
+    let deltas = delta_buf(out, q[0], bits);
+    deltas.extend(q.windows(2).map(|w| (i32::from(w[1]) - i32::from(w[0])) as i16));
 }
 
 #[cfg(test)]

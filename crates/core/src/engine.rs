@@ -34,12 +34,21 @@
 //! state lives in the scratch, which is what lets
 //! [`crate::batch`] fan one engine out across decoder threads with one
 //! scratch per worker.
+//!
+//! The compile direction mirrors the same architecture: [`EncodeScratch`]
+//! (defined here, consumed by [`crate::compress::Compressor::compress_into`]
+//! and the overlapped/adaptive encoders) owns the compressor's working
+//! memory, so a calibration cycle's recompression loop is just as
+//! allocation-free as the decode loop. Both scratches share the bounded
+//! keyed [`compaqt_dsp::plan::DctPlanCache`] for full-length `DCT-N`
+//! plans.
 
 use crate::compress::{ChannelData, CompressedWaveform, Variant};
 use crate::CompressError;
 use compaqt_dsp::dct::Dct;
+use compaqt_dsp::fixed::Q15;
 use compaqt_dsp::intdct::IntDct;
-use compaqt_dsp::plan::DctPlan;
+use compaqt_dsp::plan::{DctPlanCache, IntDctPlan};
 use compaqt_dsp::rle::{CodedWord, RleDecoder};
 use compaqt_pulse::waveform::Waveform;
 use serde::{Deserialize, Serialize};
@@ -95,12 +104,34 @@ impl EngineStats {
 /// RLE buffer feeding the IDCT and the dequantized-coefficient staging.
 /// One scratch serves any window size and any variant — buffers grow to
 /// the largest window seen and are reused thereafter. For `DCT-N` the
-/// scratch also caches the inverse [`DctPlan`], rebuilt only when the
-/// waveform length changes (a pulse library replays a handful of
-/// lengths, so steady state stays allocation-free).
+/// scratch caches inverse plans in a bounded keyed [`DctPlanCache`], so
+/// a library mixing several waveform durations rebuilds each twiddle
+/// table once instead of on every length change.
 ///
 /// Scratches are cheap to create and intended to be per-thread: the
 /// engine is shared (`&self`), the scratch is not.
+///
+/// # Example: decode a library through one scratch
+///
+/// ```
+/// use compaqt_core::compress::{Compressor, Variant};
+/// use compaqt_core::engine::{DecodeScratch, DecompressionEngine};
+/// use compaqt_pulse::shapes::{Gaussian, PulseShape};
+///
+/// let compressor = Compressor::new(Variant::IntDctW { ws: 16 });
+/// let engine = DecompressionEngine::for_variant(compressor.variant())?;
+/// let mut scratch = DecodeScratch::new();
+/// let (mut i, mut q) = (Vec::new(), Vec::new());
+/// for n in [136usize, 160, 136, 160] {
+///     let wf = Gaussian::new(n, 0.5, n as f64 / 4.0).to_waveform("G", 4.54);
+///     let z = compressor.compress(&wf)?;
+///     // After the first pass warms the buffers, repeat decodes of the
+///     // same shapes perform zero heap allocations.
+///     engine.decompress_into(&z, &mut scratch, &mut i, &mut q)?;
+///     assert_eq!(i.len(), n);
+/// }
+/// # Ok::<(), compaqt_core::CompressError>(())
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct DecodeScratch {
     /// RLE-expanded integer coefficients for the current window.
@@ -109,14 +140,19 @@ pub struct DecodeScratch {
     fcoeffs: Vec<f64>,
     /// Windowed IDCT output staging (overlap-add decoding).
     time: Vec<f64>,
-    /// Cached `DCT-N` inverse plan, keyed by its transform length.
-    plan: Option<DctPlan>,
+    /// Bounded `DCT-N` inverse plans, keyed by transform length.
+    plans: DctPlanCache,
 }
 
 impl DecodeScratch {
     /// Creates an empty scratch (buffers grow on first use).
     pub fn new() -> Self {
         DecodeScratch::default()
+    }
+
+    /// The cached `DCT-N` plans (keyed by transform length, bounded).
+    pub fn plan_cache(&self) -> &DctPlanCache {
+        &self.plans
     }
 
     /// Splits out the (coeff, float-coeff, time) staging buffers at one
@@ -126,6 +162,121 @@ impl DecodeScratch {
         self.fcoeffs.resize(ws, 0.0);
         self.time.resize(ws, 0.0);
         (&mut self.coeffs[..], &mut self.fcoeffs[..], &mut self.time[..])
+    }
+}
+
+/// Caller-owned working memory for the zero-allocation *compress* path —
+/// the encode twin of [`DecodeScratch`].
+///
+/// The compile side runs under the same cryogenic-controller budget it
+/// decodes with: a calibration cycle recompresses every waveform of the
+/// machine, and the original compressor allocated fresh `Vec`s per
+/// window for sample staging, transform output and quantized
+/// coefficients. This scratch owns all of that working memory instead:
+///
+/// * window staging for the float and integer transforms (zero-padded
+///   tail windows included),
+/// * per-window transform/threshold output,
+/// * the flat per-channel quantized coefficient windows that I/Q
+///   equalization consumes,
+/// * cached transforms — a bounded keyed [`DctPlanCache`] for full-length
+///   `DCT-N` forwards plus one cached [`Dct`]/[`IntDctPlan`] per windowed
+///   size (at most the four supported sizes, so no eviction is needed).
+///
+/// With a reused scratch and a reused output stream
+/// ([`crate::compress::Compressor::compress_into`]), steady-state
+/// library compression performs zero heap allocations — enforced by the
+/// `alloc_regression` integration test alongside the decode guarantee.
+///
+/// # Example: recompress into reused buffers
+///
+/// ```
+/// use compaqt_core::compress::{CompressedWaveform, Compressor, Variant};
+/// use compaqt_core::engine::EncodeScratch;
+/// use compaqt_pulse::shapes::{Drag, PulseShape};
+///
+/// let compressor = Compressor::new(Variant::IntDctW { ws: 16 });
+/// let wf = Drag::new(136, 0.5, 34.0, 0.2).to_waveform("X(q0)", 4.54);
+/// let mut scratch = EncodeScratch::new();
+/// let mut z = CompressedWaveform::empty();
+/// for _ in 0..3 {
+///     // First pass sizes every buffer; later passes reuse them all.
+///     compressor.compress_into(&wf, &mut scratch, &mut z)?;
+/// }
+/// assert_eq!(z, compressor.compress(&wf)?, "paths are bit-identical");
+/// # Ok::<(), compaqt_core::CompressError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EncodeScratch {
+    /// Float window staging (transform input, zero-padded tail).
+    pub(crate) window: Vec<f64>,
+    /// Q1.15 window staging for the integer transform.
+    pub(crate) qwindow: Vec<Q15>,
+    /// Float transform/threshold output for the current window.
+    pub(crate) fcoeffs: Vec<f64>,
+    /// Integer transform/threshold output for the current window.
+    pub(crate) icoeffs: Vec<i32>,
+    /// Flat quantized coefficient windows for the I channel.
+    pub(crate) i_coeffs: Vec<i32>,
+    /// Flat quantized coefficient windows for the Q channel.
+    pub(crate) q_coeffs: Vec<i32>,
+    /// Q1.15 sample staging for the delta encoder.
+    pub(crate) qsamples: Vec<i16>,
+    /// Spare per-window word lists, parked here when a reused output
+    /// slot shrinks so their capacity survives mixed-size libraries.
+    pub(crate) spare_windows: Vec<Vec<CodedWord>>,
+    /// Bounded `DCT-N` forward plans, keyed by waveform length.
+    pub(crate) plans: DctPlanCache,
+    /// Cached windowed float transforms, one per distinct window size.
+    pub(crate) dcts: Vec<Dct>,
+    /// Cached integer transform plans, one per distinct window size.
+    pub(crate) int_plans: Vec<IntDctPlan>,
+}
+
+impl EncodeScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        EncodeScratch::default()
+    }
+
+    /// The cached `DCT-N` forward plans (keyed by length, bounded).
+    pub fn plan_cache(&self) -> &DctPlanCache {
+        &self.plans
+    }
+
+    /// The cached windowed float transform for window size `ws`, built on
+    /// first use. At most one transform per supported size is retained.
+    pub(crate) fn dct(&mut self, ws: usize) -> &Dct {
+        if let Some(idx) = self.dcts.iter().position(|d| d.len() == ws) {
+            &self.dcts[idx]
+        } else {
+            self.dcts.push(Dct::new(ws));
+            self.dcts.last().expect("just pushed")
+        }
+    }
+
+    /// The cached integer transform plan for window size `ws`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError::UnsupportedWindow`] for unsupported sizes.
+    pub(crate) fn int_plan(&mut self, ws: usize) -> Result<&IntDctPlan, CompressError> {
+        if let Some(idx) = self.int_plans.iter().position(|p| p.len() == ws) {
+            Ok(&self.int_plans[idx])
+        } else {
+            let plan = IntDctPlan::new(ws).map_err(|e| CompressError::UnsupportedWindow(e.size))?;
+            self.int_plans.push(plan);
+            Ok(self.int_plans.last().expect("just pushed"))
+        }
+    }
+
+    /// Splits out the (window, float-coeff, int-coeff) staging buffers at
+    /// one window size — the stages of a windowed float encode.
+    pub(crate) fn float_buffers(&mut self, ws: usize) -> (&mut [f64], &mut [f64], &mut [i32]) {
+        self.window.resize(ws, 0.0);
+        self.fcoeffs.resize(ws, 0.0);
+        self.icoeffs.resize(ws, 0);
+        (&mut self.window[..], &mut self.fcoeffs[..], &mut self.icoeffs[..])
     }
 }
 
@@ -369,11 +520,7 @@ impl DecompressionEngine {
                 for (f, &c) in scratch.fcoeffs.iter_mut().zip(&scratch.coeffs) {
                     *f = f64::from(c) / scale;
                 }
-                if scratch.plan.as_ref().is_none_or(|p| p.len() != window) {
-                    scratch.plan = Some(DctPlan::new(window));
-                }
-                let plan = scratch.plan.as_mut().expect("plan just ensured");
-                plan.inverse_into(&scratch.fcoeffs, dst);
+                scratch.plans.plan(window).inverse_into(&scratch.fcoeffs, dst);
             }
         }
     }

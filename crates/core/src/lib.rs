@@ -13,9 +13,12 @@
 //!
 //! * [`compress`] — the compression pipelines: `Delta`, `DCT-N`, `DCT-W`
 //!   and `int-DCT-W` variants, plus fidelity-aware thresholding
-//!   (Algorithm 1).
+//!   (Algorithm 1). Allocating and zero-allocation (`compress_into`)
+//!   paths, bit-exact with each other.
 //! * [`engine`] — the two-stage decompression pipeline model (Figure 10)
-//!   with cycle and operation accounting.
+//!   with cycle and operation accounting, plus the caller-owned
+//!   `EncodeScratch`/`DecodeScratch` working memory both codec
+//!   directions reuse.
 //! * [`memory`] — banked compressed waveform memory with uniform
 //!   worst-case window width (Figure 12).
 //! * [`adaptive`] — IDCT-bypass compression of flat-top waveforms

@@ -12,6 +12,23 @@
 //!
 //! The cost: ~2x the window count, so roughly half the compression ratio
 //! — exactly the trade the ablation bench quantifies.
+//!
+//! **When it wins:** reach for the overlapped encoder only when WS=8-class
+//! boundary distortion is the dominant error term — short windows on
+//! fast-varying envelopes (DRAG derivatives, steep ramps) where the
+//! plain windowed codec shows visible seams at window edges. For WS=16
+//! on typical control pulses the plain codec's boundary error is already
+//! below the threshold-induced error, and the 2x window overhead buys
+//! nothing. Channels are encoded independently here (no I/Q
+//! equalization): each frame keeps its own coefficient count, because
+//! the synthesis window cross-fades reconstruction error anyway.
+//!
+//! Both codec directions follow the workspace's allocating-vs-`_into`
+//! convention: [`OverlapCompressor::compress`] /
+//! [`OverlapCompressor::decode_channel`] allocate per call, while
+//! [`OverlapCompressor::compress_into`] /
+//! [`OverlapCompressor::decode_channel_into`] thread caller-owned
+//! scratches and reuse output buffers, bit-exactly.
 
 use crate::compress::ChannelData;
 use crate::CompressError;
@@ -40,6 +57,20 @@ pub struct OverlapCompressed {
 }
 
 impl OverlapCompressed {
+    /// An empty placeholder, intended as the reusable output slot of
+    /// [`OverlapCompressor::compress_into`] (which overwrites every
+    /// field).
+    pub fn empty() -> Self {
+        OverlapCompressed {
+            name: String::new(),
+            ws: 0,
+            n_samples: 0,
+            sample_rate_gs: 0.0,
+            i: ChannelData::Windows(Vec::new()),
+            q: ChannelData::Windows(Vec::new()),
+        }
+    }
+
     /// Compression ratio (paper convention).
     pub fn ratio(&self) -> CompressionRatio {
         let old = self.n_samples * crate::compress::SAMPLE_BYTES;
@@ -104,19 +135,42 @@ impl OverlapCompressor {
 
     /// Compresses a waveform.
     ///
+    /// Allocating wrapper over [`OverlapCompressor::compress_into`].
+    ///
     /// # Errors
     ///
     /// Currently infallible after construction; kept fallible for parity
     /// with [`crate::compress::Compressor::compress`].
     pub fn compress(&self, wf: &Waveform) -> Result<OverlapCompressed, CompressError> {
-        Ok(OverlapCompressed {
-            name: wf.name().to_string(),
-            ws: self.ws,
-            n_samples: wf.len(),
-            sample_rate_gs: wf.sample_rate_gs(),
-            i: self.encode_channel(wf.i()),
-            q: self.encode_channel(wf.q()),
-        })
+        let mut scratch = crate::engine::EncodeScratch::new();
+        let mut out = OverlapCompressed::empty();
+        self.compress_into(wf, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Compresses into a caller-owned output, threading the per-frame
+    /// analysis staging through `scratch` — bit-exact with
+    /// [`OverlapCompressor::compress`] (which wraps this). With warmed
+    /// buffers, recompressing the same shape allocates nothing.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible after construction; kept fallible for parity
+    /// with [`crate::compress::Compressor::compress_into`].
+    pub fn compress_into(
+        &self,
+        wf: &Waveform,
+        scratch: &mut crate::engine::EncodeScratch,
+        out: &mut OverlapCompressed,
+    ) -> Result<(), CompressError> {
+        out.name.clear();
+        out.name.push_str(wf.name());
+        out.ws = self.ws;
+        out.n_samples = wf.len();
+        out.sample_rate_gs = wf.sample_rate_gs();
+        self.encode_channel_into(wf.i(), scratch, &mut out.i);
+        self.encode_channel_into(wf.q(), scratch, &mut out.q);
+        Ok(())
     }
 
     fn n_frames(&self, n_samples: usize) -> usize {
@@ -124,40 +178,45 @@ impl OverlapCompressor {
         n_samples.div_ceil(self.hop) + 1
     }
 
-    fn encode_channel(&self, samples: &[f64]) -> ChannelData {
-        let mut windows = Vec::new();
-        for frame in 0..self.n_frames(samples.len()) {
+    /// Analysis-windows, transforms and run-length encodes one channel
+    /// into a reused channel slot. Overlapped channels are independent
+    /// (no I/Q equalization: each frame keeps its own coefficient
+    /// count), so this is a complete per-channel encoder.
+    pub fn encode_channel_into(
+        &self,
+        samples: &[f64],
+        scratch: &mut crate::engine::EncodeScratch,
+        out: &mut ChannelData,
+    ) {
+        let n_frames = self.n_frames(samples.len());
+        let windows = crate::compress::windows_buf(out, n_frames, &mut scratch.spare_windows);
+        for (frame, words) in windows.iter_mut().enumerate() {
             let start = frame as isize * self.hop as isize - self.hop as isize;
-            let mut buf = vec![0.0; self.ws];
+            let (buf, fcoeffs, quant) = scratch.float_buffers(self.ws);
             for (k, b) in buf.iter_mut().enumerate() {
                 let idx = start + k as isize;
-                if idx >= 0 && (idx as usize) < samples.len() {
-                    *b = samples[idx as usize] * self.window[k];
-                }
+                *b = if idx >= 0 && (idx as usize) < samples.len() {
+                    samples[idx as usize] * self.window[k]
+                } else {
+                    0.0
+                };
             }
-            let mut coeffs = self.dct.forward(&buf);
-            compaqt_dsp::threshold::apply_threshold(&mut coeffs, self.threshold);
-            let quant: Vec<i32> = coeffs
-                .iter()
-                .map(|&c| {
-                    ((c * self.scale).round() as i32)
-                        .clamp(compaqt_dsp::rle::MIN_COEFF, compaqt_dsp::rle::MAX_COEFF)
-                })
-                .collect();
-            let keep = quant.len() - compaqt_dsp::threshold::trailing_zeros(&quant);
-            let mut words: Vec<CodedWord> = quant[..keep]
-                .iter()
-                .map(|&c| CodedWord::Coeff(CodedWord::clamp_coeff(c)))
-                .collect();
+            self.dct.forward_into(buf, fcoeffs);
+            compaqt_dsp::threshold::apply_threshold(fcoeffs, self.threshold);
+            for (qc, &c) in quant.iter_mut().zip(fcoeffs.iter()) {
+                *qc = ((c * self.scale).round() as i32)
+                    .clamp(compaqt_dsp::rle::MIN_COEFF, compaqt_dsp::rle::MAX_COEFF);
+            }
+            let keep = self.ws - compaqt_dsp::threshold::trailing_zeros(quant);
+            words
+                .extend(quant[..keep].iter().map(|&c| CodedWord::Coeff(CodedWord::clamp_coeff(c))));
             if keep < self.ws {
                 words.push(CodedWord::Rle(RleCodeword {
                     run: (self.ws - keep) as u16,
                     repeat_previous: false,
                 }));
             }
-            windows.push(words);
         }
-        ChannelData::Windows(windows)
     }
 
     /// Decodes one channel via IDCT + windowed overlap-add.

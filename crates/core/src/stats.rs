@@ -99,6 +99,14 @@ impl LibraryReport {
 
 /// Compresses every waveform of a library and aggregates the results.
 ///
+/// The loop reuses one [`EncodeScratch`] and one [`DecodeScratch`]
+/// across the whole library (cached transform plans, staging buffers),
+/// so per-window work allocates nothing; only the per-waveform
+/// compressed streams the report owns are allocated.
+///
+/// [`EncodeScratch`]: crate::engine::EncodeScratch
+/// [`DecodeScratch`]: crate::engine::DecodeScratch
+///
 /// # Errors
 ///
 /// Propagates the first compression error (none occur for supported
@@ -107,11 +115,19 @@ pub fn compress_library(
     library: &PulseLibrary,
     compressor: &Compressor,
 ) -> Result<LibraryReport, CompressError> {
+    let engine = crate::engine::DecompressionEngine::for_variant(compressor.variant())?;
+    let mut enc = crate::engine::EncodeScratch::new();
+    let mut dec = crate::engine::DecodeScratch::new();
+    let (mut i_buf, mut q_buf) = (Vec::new(), Vec::new());
     let mut waveforms = Vec::with_capacity(library.len());
     let mut overall: Option<CompressionRatio> = None;
     for (gate, wf) in library.iter() {
-        let compressed = compressor.compress(wf)?;
-        let restored = compressed.decompress()?;
+        let mut compressed = CompressedWaveform::empty();
+        compressor.compress_into(wf, &mut enc, &mut compressed)?;
+        engine.decompress_into(&compressed, &mut dec, &mut i_buf, &mut q_buf)?;
+        let mse = (compaqt_dsp::metrics::mse(wf.i(), &i_buf)
+            + compaqt_dsp::metrics::mse(wf.q(), &q_buf))
+            / 2.0;
         let ratio = compressed.ratio();
         overall = Some(match overall {
             Some(acc) => acc.combine(&ratio),
@@ -120,7 +136,7 @@ pub fn compress_library(
         waveforms.push(WaveformReport {
             gate: gate.clone(),
             ratio: ratio.ratio(),
-            mse: wf.mse(&restored),
+            mse,
             worst_case_window_words: compressed.worst_case_window_words(),
             compressed,
         });

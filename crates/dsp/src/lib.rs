@@ -23,7 +23,8 @@
 //! * [`metrics`] — MSE / PSNR / compression-ratio measurements.
 //! * [`window`] — splitting waveforms into fixed-size transform windows.
 //! * [`plan`] — reusable transform plans ([`plan::DctPlan`],
-//!   [`plan::IntDctPlan`]) with caller-provided output buffers.
+//!   [`plan::IntDctPlan`]) with caller-provided output buffers, plus the
+//!   bounded keyed [`plan::DctPlanCache`] for mixed-length workloads.
 //!
 //! # Plans and buffer reuse
 //!

@@ -20,6 +20,11 @@
 //! [`IntDct::forward`], ...) remain as thin wrappers, so existing callers
 //! and tests keep working bit-exactly.
 //!
+//! For workloads that mix transform *lengths* — a pulse library whose
+//! `DCT-N` waveforms span many durations — [`DctPlanCache`] keeps a small
+//! bounded set of plans keyed by length, so revisiting a length reuses its
+//! twiddle tables instead of rebuilding them per waveform.
+//!
 //! # Example
 //!
 //! ```
@@ -47,6 +52,22 @@ use std::f64::consts::PI;
 /// internal scratch buffer, so repeated transforms perform no heap
 /// allocation. Methods take `&mut self` because they use the internal
 /// scratch; clone the plan (or build one per worker) for parallel use.
+///
+/// # Example: plan once, transform many times
+///
+/// ```
+/// use compaqt_dsp::plan::DctPlan;
+///
+/// let mut plan = DctPlan::new(64);
+/// let mut coeffs = vec![0.0; 64];
+/// for phase in 0..100 {
+///     let x: Vec<f64> = (0..64).map(|i| ((i + phase) as f64 * 0.1).sin()).collect();
+///     // Steady state: no allocation — the plan's tables and scratch,
+///     // and the caller's output buffer, are all reused.
+///     plan.forward_into(&x, &mut coeffs);
+/// }
+/// assert_eq!(plan.len(), 64);
+/// ```
 #[derive(Debug, Clone)]
 pub struct DctPlan {
     n: usize,
@@ -259,6 +280,107 @@ impl DctPlan {
     }
 }
 
+/// A small bounded cache of [`DctPlan`]s keyed by transform length.
+///
+/// A single cached plan thrashes as soon as a workload alternates between
+/// two lengths — every `DCT-N` waveform of a mixed-duration pulse library
+/// would rebuild its twiddle tables. The cache keeps the
+/// most-recently-used plans (up to [`DctPlanCache::capacity`]); looking up
+/// a cached length costs a linear scan over at most `capacity` entries
+/// and no allocation, while a miss builds the plan once and evicts the
+/// least-recently-used entry. Both the encode and decode scratches are
+/// built on this type, so a host compiling and a model decoding the same
+/// mixed-length library each pay each twiddle table once.
+///
+/// # Example
+///
+/// ```
+/// use compaqt_dsp::plan::DctPlanCache;
+///
+/// let mut cache = DctPlanCache::new();
+/// let mut a = vec![0.0; 136];
+/// let mut b = vec![0.0; 1362];
+/// for _ in 0..10 {
+///     // Alternating lengths no longer rebuild plans: each length is
+///     // planned exactly once and found in cache thereafter.
+///     cache.plan(136).forward_into(&vec![0.5; 136], &mut a);
+///     cache.plan(1362).forward_into(&vec![0.5; 1362], &mut b);
+/// }
+/// assert_eq!(cache.len(), 2);
+/// assert!(cache.len() <= cache.capacity());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DctPlanCache {
+    /// Cached plans, most recently used first.
+    plans: Vec<DctPlan>,
+    capacity: usize,
+}
+
+impl DctPlanCache {
+    /// Default number of cached plans — covers the handful of distinct
+    /// waveform durations a typical pulse library replays while keeping
+    /// the linear lookup scan trivially cheap.
+    pub const DEFAULT_CAPACITY: usize = 8;
+
+    /// Creates an empty cache with [`DctPlanCache::DEFAULT_CAPACITY`].
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Creates an empty cache bounded to `capacity` plans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` (a cache that can hold nothing would
+    /// silently rebuild every plan).
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "plan cache capacity must be positive");
+        DctPlanCache { plans: Vec::new(), capacity }
+    }
+
+    /// The maximum number of plans the cache retains.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of plans currently cached (at most [`DctPlanCache::capacity`]).
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Whether the cache holds no plans yet.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Whether a plan for length `n` is currently cached.
+    pub fn contains(&self, n: usize) -> bool {
+        self.plans.iter().any(|p| p.len() == n)
+    }
+
+    /// Returns the plan for transform length `n`, building (and caching)
+    /// it on first use. The returned plan is moved to the front of the
+    /// LRU order; on a full cache the least-recently-used plan is evicted.
+    pub fn plan(&mut self, n: usize) -> &mut DctPlan {
+        if let Some(idx) = self.plans.iter().position(|p| p.len() == n) {
+            // Move-to-front keeps LRU order without touching the heap.
+            self.plans[..=idx].rotate_right(1);
+        } else {
+            if self.plans.len() == self.capacity {
+                self.plans.pop();
+            }
+            self.plans.insert(0, DctPlan::new(n));
+        }
+        &mut self.plans[0]
+    }
+}
+
+impl Default for DctPlanCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// A reusable plan for the windowed HEVC integer transform.
 ///
 /// [`IntDct`] already precomputes its basis matrix; this wrapper exposes
@@ -267,6 +389,26 @@ impl DctPlan {
 /// decompression engine's zero-allocation path is built on. All methods
 /// take `&self`: the integer kernels need no scratch, so one plan can be
 /// shared across threads.
+///
+/// # Example: one plan, caller-owned buffers
+///
+/// ```
+/// use compaqt_dsp::fixed::Q15;
+/// use compaqt_dsp::plan::IntDctPlan;
+///
+/// let plan = IntDctPlan::new(16)?;
+/// let mut coeffs = vec![0i32; 16];
+/// let mut back = vec![Q15::ZERO; 16];
+/// for step in 0..50 {
+///     let x: Vec<Q15> = (0..16)
+///         .map(|i| Q15::from_f64(0.5 * ((i + step) as f64 * 0.2).sin()))
+///         .collect();
+///     // Transform round trip with zero allocations per iteration.
+///     plan.forward_into(&x, &mut coeffs);
+///     plan.inverse_into(&coeffs, &mut back);
+/// }
+/// # Ok::<(), compaqt_dsp::intdct::UnsupportedSizeError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct IntDctPlan {
     transform: IntDct,
@@ -393,5 +535,66 @@ mod tests {
     #[test]
     fn int_plan_rejects_unsupported_sizes() {
         assert!(IntDctPlan::new(12).is_err());
+    }
+
+    #[test]
+    fn cache_reuses_plans_across_mixed_lengths() {
+        let mut cache = DctPlanCache::new();
+        let lengths = [136usize, 1362, 454, 136, 1362, 454, 136];
+        for &n in &lengths {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
+            let mut out = vec![0.0; n];
+            cache.plan(n).forward_into(&x, &mut out);
+            let direct = dct2(&x);
+            for (a, b) in out.iter().zip(&direct) {
+                assert!((a - b).abs() < 1e-9, "n={n}");
+            }
+        }
+        assert_eq!(cache.len(), 3, "three distinct lengths -> three plans");
+    }
+
+    #[test]
+    fn cache_results_are_bit_identical_to_fresh_plans() {
+        let mut cache = DctPlanCache::with_capacity(2);
+        // Adversarial: cycle more lengths than the capacity, forcing
+        // evictions; rebuilt plans must still match fresh ones exactly.
+        for &n in &[64usize, 136, 454, 64, 136, 454] {
+            let x: Vec<f64> = (0..n).map(|i| ((i * 3) as f64 * 0.017).cos()).collect();
+            let mut cached = vec![0.0; n];
+            cache.plan(n).forward_into(&x, &mut cached);
+            assert_eq!(cached, DctPlan::new(n).forward(&x), "n={n}");
+            assert!(cache.len() <= cache.capacity());
+        }
+    }
+
+    #[test]
+    fn cache_stays_within_bound_under_adversarial_sequences() {
+        let mut cache = DctPlanCache::with_capacity(4);
+        // Monotone sweep (never repeats): worst case for any LRU.
+        for n in 1..200 {
+            let _ = cache.plan(n);
+            assert!(cache.len() <= 4, "length {n} overflowed the bound");
+        }
+        // The most recent lengths survive; ancient ones were evicted.
+        assert!(cache.contains(199) && cache.contains(196));
+        assert!(!cache.contains(1));
+    }
+
+    #[test]
+    fn cache_hit_moves_plan_to_front() {
+        let mut cache = DctPlanCache::with_capacity(2);
+        cache.plan(8);
+        cache.plan(16);
+        // Touch 8 so it becomes most-recent; inserting 32 must evict 16.
+        cache.plan(8);
+        cache.plan(32);
+        assert!(cache.contains(8) && cache.contains(32));
+        assert!(!cache.contains(16));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_cache_rejected() {
+        DctPlanCache::with_capacity(0);
     }
 }

@@ -10,6 +10,18 @@
 //! replaced by a first-order analytical model *calibrated to the paper's
 //! reported design points* and exercised by the same sweeps. See
 //! DESIGN.md for the substitution rationale.
+//!
+//! # Role in the COMPAQT pipeline
+//!
+//! This crate answers "what does the decompression engine cost, and what
+//! does the saved bandwidth buy?". It consumes the codec's outputs —
+//! compression ratios, worst-case window words, engine operation counts
+//! from `compaqt-core` — and produces the system-level numbers: qubits
+//! per RFSoC ([`rfsoc`]), LUT/FF/BRAM budgets and clock closure
+//! ([`resources`], [`timing`]), and the cryogenic power budget
+//! ([`power`], including the adaptive-bypass savings of Figure 19).
+//! Models are pure functions of their parameter structs: no global
+//! state, so sweeps parallelize trivially.
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]

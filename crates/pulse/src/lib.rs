@@ -22,6 +22,17 @@
 //! * [`memory_model`] — the Section III capacity/bandwidth demand equations.
 //! * [`exotic`] — complex multi-qubit and fluxonium gate pulses (Table IX).
 //!
+//! # Role in the COMPAQT pipeline
+//!
+//! This crate is stage 0 of the reproduction: it *produces* the waveform
+//! libraries that `compaqt-core` compresses and the modelled hardware
+//! engine decompresses, and the [`memory_model`] equations that motivate
+//! compressing them at all (capacity and bandwidth demand versus qubit
+//! count). Everything here is deterministic under a seed, so every
+//! downstream figure is reproducible bit-for-bit. Waveforms are plain
+//! `f64` I/Q pairs in `[-1, 1)`; quantization to the 16-bit DAC format
+//! happens inside the codec, not here.
+//!
 //! # Example
 //!
 //! ```

@@ -26,6 +26,18 @@
 //!   (surface-17/25/81).
 //! * [`fidelity`] — TVD benchmark fidelity (Figure 15).
 //!
+//! # Role in the COMPAQT pipeline
+//!
+//! This crate closes the loop on the paper's central claim: compression
+//! is only acceptable if it does not hurt *computation*. The codec in
+//! `compaqt-core` reports MSE; this crate converts waveform distortion
+//! into gate infidelity, randomized-benchmarking error per Clifford, and
+//! end-to-end benchmark fidelity, so a threshold choice can be judged in
+//! the units experimentalists care about. Nothing here depends on how a
+//! waveform was produced — original and decompressed envelopes go
+//! through the identical evolution path, so any fidelity difference is
+//! attributable to the codec alone.
+//!
 //! # Example
 //!
 //! ```

@@ -1,17 +1,19 @@
-//! Allocation-count regression test for the steady-state decode loop.
+//! Allocation-count regression test for the steady-state codec loops.
 //!
-//! The tentpole guarantee of the plan/buffer-reuse decode path: once the
-//! scratch and output buffers are warm, decoding an entire pulse library
-//! performs **zero heap allocations** — the engine behaves like the
-//! hardware pipeline it models, which has SRAMs, not a malloc. This
+//! The tentpole guarantee of the plan/buffer-reuse architecture: once
+//! scratches and output buffers are warm, *both* directions of the codec
+//! run a whole pulse library with **zero heap allocations** — the code
+//! behaves like the hardware pipeline it models (which has SRAMs, not a
+//! malloc) on decode, and like a budgeted cryogenic host on encode. This
 //! binary installs a counting global allocator and asserts the count is
-//! exactly zero across repeated full-library decodes.
+//! exactly zero across repeated full-library decodes and repeated
+//! full-library recompressions.
 //!
 //! (Kept to a single `#[test]` so no concurrent test thread can perturb
 //! the counter.)
 
-use compaqt::core::compress::{Compressor, Variant};
-use compaqt::core::engine::{DecodeScratch, DecompressionEngine};
+use compaqt::core::compress::{CompressedWaveform, Compressor, Variant};
+use compaqt::core::engine::{DecodeScratch, DecompressionEngine, EncodeScratch};
 use compaqt::pulse::device::Device;
 use compaqt::pulse::vendor::Vendor;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -42,15 +44,69 @@ unsafe impl GlobalAlloc for CountingAllocator {
 static ALLOCATOR: CountingAllocator = CountingAllocator;
 
 #[test]
-fn steady_state_library_decode_allocates_nothing() {
+fn steady_state_library_codec_allocates_nothing() {
     // A realistic library: every gate of a 5-qubit synthetic machine,
     // compressed with the paper's design point (int-DCT-W, WS=16).
     let device = Device::synthesize(Vendor::Ibm, 5, 0xA110C);
     let lib = device.pulse_library();
     let compressor = Compressor::new(Variant::IntDctW { ws: 16 });
-    let compressed: Vec<_> = lib.iter().map(|(_, wf)| compressor.compress(wf).unwrap()).collect();
-    assert!(compressed.len() >= 20, "library should be non-trivial");
+    let waveforms: Vec<_> = lib.iter().map(|(_, wf)| wf.clone()).collect();
+    assert!(waveforms.len() >= 20, "library should be non-trivial");
 
+    // ---- Encode side: recompress the library into reused output slots.
+    let mut enc = EncodeScratch::new();
+    let mut slots: Vec<CompressedWaveform> =
+        waveforms.iter().map(|_| CompressedWaveform::empty()).collect();
+
+    // Warm-up: two full passes size every scratch buffer, cached plan and
+    // per-slot output buffer.
+    for _ in 0..2 {
+        for (wf, slot) in waveforms.iter().zip(&mut slots) {
+            compressor.compress_into(wf, &mut enc, slot).unwrap();
+        }
+    }
+
+    // Steady state: ten more full-library recompressions, zero allocations
+    // (a calibration cycle re-running on fresh calibration data).
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut words = 0usize;
+    for _ in 0..10 {
+        for (wf, slot) in waveforms.iter().zip(&mut slots) {
+            compressor.compress_into(wf, &mut enc, slot).unwrap();
+            words += slot.words();
+        }
+    }
+    let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert!(words > 0);
+    assert_eq!(
+        delta,
+        0,
+        "steady-state compression of {} waveforms x 10 passes must not allocate, saw {delta}",
+        waveforms.len()
+    );
+
+    // ---- Encode side, shared slot: one output reused across *every*
+    // waveform (mixed window counts). The scratch's spare-window pool
+    // must preserve inner capacities as the slot shrinks and regrows.
+    let mut shared = CompressedWaveform::empty();
+    for _ in 0..2 {
+        for wf in &waveforms {
+            compressor.compress_into(wf, &mut enc, &mut shared).unwrap();
+        }
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10 {
+        for wf in &waveforms {
+            compressor.compress_into(wf, &mut enc, &mut shared).unwrap();
+        }
+    }
+    let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        delta, 0,
+        "shared-slot compression across mixed-size waveforms must not allocate, saw {delta}"
+    );
+
+    // ---- Decode side: stream the compressed library back out.
     let engine = DecompressionEngine::for_variant(Variant::IntDctW { ws: 16 }).unwrap();
     let mut scratch = DecodeScratch::new();
     let (mut i, mut q) = (Vec::new(), Vec::new());
@@ -58,7 +114,7 @@ fn steady_state_library_decode_allocates_nothing() {
     // Warm-up: two full passes size every reusable buffer.
     let mut warm_samples = 0usize;
     for _ in 0..2 {
-        for z in &compressed {
+        for z in &slots {
             let stats = engine.decompress_into(z, &mut scratch, &mut i, &mut q).unwrap();
             warm_samples += stats.output_samples;
         }
@@ -69,7 +125,7 @@ fn steady_state_library_decode_allocates_nothing() {
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     let mut checksum = 0.0f64;
     for _ in 0..10 {
-        for z in &compressed {
+        for z in &slots {
             engine.decompress_into(z, &mut scratch, &mut i, &mut q).unwrap();
             checksum += i[0] + q[z.n_samples - 1];
         }
@@ -80,6 +136,6 @@ fn steady_state_library_decode_allocates_nothing() {
         delta,
         0,
         "steady-state decode of {} waveforms x 10 passes must not allocate, saw {delta}",
-        compressed.len()
+        slots.len()
     );
 }

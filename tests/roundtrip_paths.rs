@@ -1,15 +1,19 @@
-//! Round-trip property tests over *both* decode paths.
+//! Round-trip property tests over *both* paths of *both* codec
+//! directions.
 //!
 //! Every compression variant is pushed through the allocating decoder
 //! and the plan/buffer-reuse (`_into`) decoder, and the two
 //! reconstructions must agree **bit-exactly** (f64 `==`, not a
 //! tolerance): the zero-allocation path is a pure refactor of the
 //! arithmetic, so any ULP of drift is a bug. Engine stats must agree
-//! exactly as well.
+//! exactly as well. The same contract binds the encode side: a reused
+//! [`EncodeScratch`] + output slot must produce streams `==` to the
+//! allocating compressor's, for every variant, window size, and encoder
+//! (plain, overlapped, adaptive).
 
 use compaqt::core::batch;
-use compaqt::core::compress::{Compressor, Variant};
-use compaqt::core::engine::{DecodeScratch, DecompressionEngine};
+use compaqt::core::compress::{CompressedWaveform, Compressor, Variant};
+use compaqt::core::engine::{DecodeScratch, DecompressionEngine, EncodeScratch};
 use compaqt::pulse::waveform::Waveform;
 use proptest::prelude::*;
 
@@ -98,6 +102,58 @@ proptest! {
     }
 
     #[test]
+    fn every_variant_compresses_identically_across_paths(xs in smooth_signal(160)) {
+        // The reuse encoder must be a pure refactor: one scratch and one
+        // output slot shared across all variants (worst case for stale
+        // state) still produce streams identical to the allocating path.
+        let wf = Waveform::from_real("prop", xs, 4.54);
+        let mut scratch = EncodeScratch::new();
+        let mut out = CompressedWaveform::empty();
+        for variant in all_variants() {
+            let compressor = Compressor::new(variant);
+            compressor.compress_into(&wf, &mut scratch, &mut out).unwrap();
+            prop_assert_eq!(&out, &compressor.compress(&wf).unwrap(),
+                "{:?}: compress_into must be bit-exact", variant);
+        }
+    }
+
+    #[test]
+    fn capped_and_thresholded_encodes_agree_across_paths(
+        xs in smooth_signal(200),
+        cap in 2usize..5,
+        thr_millis in 1u32..60,
+    ) {
+        let wf = Waveform::from_real("prop", xs, 4.54);
+        let compressor = Compressor::new(Variant::IntDctW { ws: 16 })
+            .with_threshold(f64::from(thr_millis) / 1000.0)
+            .with_max_window_words(cap);
+        let mut scratch = EncodeScratch::new();
+        let mut out = CompressedWaveform::empty();
+        compressor.compress_into(&wf, &mut scratch, &mut out).unwrap();
+        prop_assert_eq!(&out, &compressor.compress(&wf).unwrap());
+    }
+
+    #[test]
+    fn overlap_and_adaptive_encoders_agree_across_paths(xs in smooth_signal(454)) {
+        use compaqt::core::adaptive::AdaptiveCompressor;
+        use compaqt::core::overlap::{OverlapCompressed, OverlapCompressor};
+        use compaqt::pulse::shapes::{GaussianSquare, PulseShape};
+        let wf = Waveform::from_real("prop", xs, 4.54);
+        let mut scratch = EncodeScratch::new();
+        let lapped = OverlapCompressor::new(8).unwrap();
+        let mut out = OverlapCompressed::empty();
+        lapped.compress_into(&wf, &mut scratch, &mut out).unwrap();
+        prop_assert_eq!(&out, &lapped.compress(&wf).unwrap());
+        // Flat-top for the adaptive encoder (synthetic plateau).
+        let flat = GaussianSquare::new(454, 0.35, 12.0, 360).to_waveform("flat", 4.54);
+        let adaptive = AdaptiveCompressor::new(Variant::IntDctW { ws: 16 });
+        prop_assert_eq!(
+            adaptive.compress_with(&flat, &mut scratch).unwrap(),
+            adaptive.compress(&flat).unwrap()
+        );
+    }
+
+    #[test]
     fn window_cap_streams_agree_across_paths(xs in smooth_signal(200), cap in 2usize..5) {
         let wf = Waveform::from_real("prop", xs, 4.54);
         let z = Compressor::new(Variant::IntDctW { ws: 16 })
@@ -112,4 +168,64 @@ proptest! {
         prop_assert_eq!(alloc.i(), &i[..]);
         prop_assert_eq!(alloc.q(), &q[..]);
     }
+}
+
+/// A mixed-length `DCT-N` library exercises the keyed plan cache: every
+/// waveform length needs its own full-length transform plan, and before
+/// the cache a single cached slot was rebuilt on every length change.
+#[test]
+fn mixed_length_dct_n_library_round_trips_through_shared_scratches() {
+    use compaqt::pulse::shapes::{GaussianSquare, PulseShape};
+    // More distinct lengths than fit in one plan slot, revisited in an
+    // alternating order that would thrash a single-entry cache.
+    let lengths = [136usize, 1362, 454, 160, 320, 136, 1362, 454, 160, 320, 136, 1362];
+    let compressor = Compressor::new(Variant::DctN);
+    let engine = DecompressionEngine::for_variant(Variant::DctN).unwrap();
+    let mut enc = EncodeScratch::new();
+    let mut dec = DecodeScratch::new();
+    let mut z = CompressedWaveform::empty();
+    let (mut i, mut q) = (Vec::new(), Vec::new());
+    for &n in &lengths {
+        let wf = GaussianSquare::new(n, 0.3, n as f64 / 30.0, n / 2).to_waveform("w", 4.54);
+        // Encode through the shared scratch == allocating encode.
+        compressor.compress_into(&wf, &mut enc, &mut z).unwrap();
+        assert_eq!(z, compressor.compress(&wf).unwrap(), "n={n}: encode paths diverge");
+        // Decode through the shared scratch == allocating decode.
+        let (alloc, _) = engine.decompress(&z).unwrap();
+        engine.decompress_into(&z, &mut dec, &mut i, &mut q).unwrap();
+        assert_eq!(alloc.i(), &i[..], "n={n}: decode paths diverge");
+        assert_eq!(alloc.q(), &q[..], "n={n}: decode paths diverge");
+    }
+    // Five distinct lengths -> five cached plans on each side, within the
+    // bound; revisits were cache hits, not rebuilds.
+    assert_eq!(enc.plan_cache().len(), 5);
+    assert_eq!(dec.plan_cache().len(), 5);
+    assert!(enc.plan_cache().len() <= enc.plan_cache().capacity());
+    assert!(dec.plan_cache().len() <= dec.plan_cache().capacity());
+}
+
+/// Adversarial length sequences must never grow the cache past its
+/// bound, and evicted-then-revisited lengths must still decode exactly.
+#[test]
+fn plan_cache_stays_bounded_under_adversarial_length_sequences() {
+    use compaqt::dsp::plan::DctPlanCache;
+    use compaqt::pulse::shapes::{Gaussian, PulseShape};
+    let cap = DctPlanCache::DEFAULT_CAPACITY;
+    // A sweep of more distinct lengths than the bound, then a revisit of
+    // the oldest (guaranteed-evicted) length.
+    let lengths: Vec<usize> = (0..cap + 4).map(|k| 96 + 16 * k).collect();
+    let compressor = Compressor::new(Variant::DctN);
+    let engine = DecompressionEngine::for_variant(Variant::DctN).unwrap();
+    let mut dec = DecodeScratch::new();
+    let (mut i, mut q) = (Vec::new(), Vec::new());
+    for &n in lengths.iter().chain([lengths[0]].iter()) {
+        let wf = Gaussian::new(n, 0.5, n as f64 / 5.0).to_waveform("g", 4.54);
+        let z = compressor.compress(&wf).unwrap();
+        let (alloc, _) = engine.decompress(&z).unwrap();
+        engine.decompress_into(&z, &mut dec, &mut i, &mut q).unwrap();
+        assert_eq!(alloc.i(), &i[..], "n={n}");
+        assert!(dec.plan_cache().len() <= cap, "n={n}: cache exceeded its bound");
+    }
+    assert_eq!(dec.plan_cache().len(), cap, "sweep should fill the cache exactly");
+    assert!(dec.plan_cache().contains(lengths[0]), "revisited length must be re-cached");
 }

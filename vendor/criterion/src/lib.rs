@@ -5,7 +5,7 @@
 //! The hermetic build container has no crates.io access, so the real
 //! criterion cannot be vendored. Measurement model: each benchmark is
 //! warmed up, then timed over adaptive batches (batch size doubles until
-//! a batch runs at least [`Criterion::MIN_BATCH`]); the reported
+//! a batch runs at least the 20 ms minimum batch duration); the reported
 //! time/iter is the minimum over measured batches, which is robust
 //! against scheduler noise on small containers. Results are printed in a
 //! `name  time: [..]` format and retained in [`Criterion::results`] so

@@ -120,7 +120,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use rand::RngExt;
 
-    /// Number of elements a [`vec`] strategy may generate.
+    /// Number of elements a [`vec()`] strategy may generate.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         min: usize,
@@ -147,7 +147,7 @@ pub mod collection {
         VecStrategy { element, size: size.into() }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
