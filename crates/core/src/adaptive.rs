@@ -64,17 +64,18 @@ pub struct AdaptiveCompressed {
 }
 
 impl AdaptiveCompressed {
-    /// Compression ratio including the plateau codewords.
+    /// Compression ratio including the plateau codewords. Saturating,
+    /// so hostile sample-count claims cannot overflow the accounting.
     pub fn ratio(&self) -> CompressionRatio {
-        let old = self.n_samples * crate::compress::SAMPLE_BYTES;
+        let old = self.n_samples.saturating_mul(crate::compress::SAMPLE_BYTES);
         let new_bits: usize = self
             .segments
             .iter()
             .map(|s| match s {
-                Segment::Windows(z) => z.i.size_bits() + z.q.size_bits(),
+                Segment::Windows(z) => z.i.size_bits().saturating_add(z.q.size_bits()),
                 Segment::Constant { len, .. } => {
                     // Per channel: one literal + ceil(run/MAX_RUN) codewords.
-                    let cws = (len - 1).div_ceil(compaqt_dsp::rle::MAX_RUN as usize).max(1);
+                    let cws = plateau_codewords(*len);
                     2 * (1 + cws) * 16
                 }
             })
@@ -104,8 +105,10 @@ impl AdaptiveCompressed {
     pub fn decompress(&self) -> Result<(Waveform, EngineStats), CompressError> {
         let engine = DecompressionEngine::for_variant(self.variant)?;
         let mut stats = EngineStats::default();
-        let mut i: Vec<f64> = Vec::with_capacity(self.n_samples);
-        let mut q: Vec<f64> = Vec::with_capacity(self.n_samples);
+        // Grown by decoded data only — never pre-sized from the
+        // (untrusted) n_samples claim.
+        let mut i: Vec<f64> = Vec::new();
+        let mut q: Vec<f64> = Vec::new();
         for seg in &self.segments {
             match seg {
                 Segment::Windows(z) => {
@@ -115,9 +118,10 @@ impl AdaptiveCompressed {
                     stats.merge(&s);
                 }
                 Segment::Constant { i_value, q_value, len } => {
+                    check_plateau_claim(*len, self.n_samples.saturating_sub(i.len()))?;
                     // One literal word + codeword per channel; the run is
                     // produced without memory traffic or IDCT work.
-                    let cws = (len - 1).div_ceil(compaqt_dsp::rle::MAX_RUN as usize).max(1);
+                    let cws = plateau_codewords(*len);
                     stats.memory_words_read += 2 * (1 + cws);
                     stats.rle_codewords += 2 * cws;
                     stats.bypassed_samples += 2 * len;
@@ -130,7 +134,7 @@ impl AdaptiveCompressed {
         }
         i.truncate(self.n_samples);
         q.truncate(self.n_samples);
-        let wf = Waveform::new(self.name.clone(), i, q, self.sample_rate_gs);
+        let wf = crate::engine::checked_waveform(&self.name, i, q, self.sample_rate_gs)?;
         Ok((wf, stats))
     }
 
@@ -171,7 +175,8 @@ impl AdaptiveCompressed {
                     stats.merge(&s);
                 }
                 Segment::Constant { i_value, q_value, len } => {
-                    let cws = (len - 1).div_ceil(compaqt_dsp::rle::MAX_RUN as usize).max(1);
+                    check_plateau_claim(*len, self.n_samples.saturating_sub(i_out.len()))?;
+                    let cws = plateau_codewords(*len);
                     stats.memory_words_read += 2 * (1 + cws);
                     stats.rle_codewords += 2 * cws;
                     stats.bypassed_samples += 2 * len;
@@ -184,17 +189,22 @@ impl AdaptiveCompressed {
         }
         i_out.truncate(self.n_samples);
         q_out.truncate(self.n_samples);
+        crate::engine::check_channel_shapes(i_out.len(), q_out.len())?;
+        crate::engine::check_sample_rate(self.sample_rate_gs)?;
         Ok(stats)
     }
 
     /// The plateau as raw coded words (what actually sits in memory for
-    /// the constant segment).
+    /// the constant segment). Segments whose length claim decode would
+    /// reject (zero, or beyond the representable run ceiling) contribute
+    /// no words — materializing a hostile multi-petabyte claim here
+    /// would be the very amplification the decode guards exist to block.
     pub fn plateau_words(&self) -> Vec<CodedWord> {
         let enc = RleEncoder::new();
         self.segments
             .iter()
             .filter_map(|s| match s {
-                Segment::Constant { i_value, len, .. } => {
+                Segment::Constant { i_value, len, .. } if (1..=MAX_PLATEAU_RUN).contains(len) => {
                     Some(enc.encode_constant_run(i_value.raw(), *len))
                 }
                 _ => None,
@@ -202,6 +212,41 @@ impl AdaptiveCompressed {
             .flatten()
             .collect()
     }
+}
+
+/// Hard ceiling on a single plateau claim: 256 maximal repeat codewords
+/// (~4.2M samples, ~0.9 ms at 4.54 GS/s — three orders of magnitude
+/// beyond any control pulse's flat top). Bounds the memory a hostile
+/// `Segment::Constant` length field can demand before decode rejects it.
+const MAX_PLATEAU_RUN: usize = 256 * compaqt_dsp::rle::MAX_RUN as usize;
+
+/// Per-channel run-length codewords a plateau of `len` samples occupies:
+/// one literal plus `ceil((len-1)/MAX_RUN)` repeat codewords (saturating
+/// for hostile zero-length claims, which decode rejects anyway).
+fn plateau_codewords(len: usize) -> usize {
+    len.saturating_sub(1).div_ceil(compaqt_dsp::rle::MAX_RUN as usize).max(1)
+}
+
+/// Validates a `Segment::Constant` length claim before any sample is
+/// produced from it — the IDCT-bypass twin of the engine's
+/// window-claim guard: plateau expansion is driven purely by a metadata
+/// field, so it must be bounded by the waveform's remaining sample
+/// budget and an absolute sanity ceiling, never trusted raw.
+fn check_plateau_claim(len: usize, remaining: usize) -> Result<(), CompressError> {
+    if len == 0 {
+        return Err(CompressError::MalformedStream { reason: "zero-length plateau segment" });
+    }
+    if len > remaining {
+        return Err(CompressError::MalformedStream {
+            reason: "plateau segment claims more samples than the waveform",
+        });
+    }
+    if len > MAX_PLATEAU_RUN {
+        return Err(CompressError::MalformedStream {
+            reason: "plateau segment exceeds the maximum representable run",
+        });
+    }
+    Ok(())
 }
 
 /// Compresses flat-top waveforms with the adaptive scheme.

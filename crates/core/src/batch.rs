@@ -135,7 +135,12 @@ pub fn decompress_library(
         let engine = engine_of(&engines, z);
         let s = engine.decompress_into(z, &mut scratch, &mut i_buf, &mut q_buf)?;
         stats.merge(&s);
-        out.push(Waveform::new(z.name.clone(), i_buf.clone(), q_buf.clone(), z.sample_rate_gs));
+        out.push(crate::engine::checked_waveform(
+            &z.name,
+            i_buf.clone(),
+            q_buf.clone(),
+            z.sample_rate_gs,
+        )?);
     }
     Ok((out, stats))
 }
@@ -176,7 +181,10 @@ pub fn decompress_library_par(
         stats.merge(&pair[1].1);
         let i = std::mem::take(&mut pair[0].0);
         let q = std::mem::take(&mut pair[1].0);
-        out.push(Waveform::new(z.name.clone(), i, q, z.sample_rate_gs));
+        // Same hostile-stream guards as the single-waveform path:
+        // per-channel decodes can diverge on corrupted input, and
+        // Waveform::new must never see them (or a bogus rate) raw.
+        out.push(crate::engine::checked_waveform(&z.name, i, q, z.sample_rate_gs)?);
     }
     Ok((out, stats))
 }

@@ -80,12 +80,12 @@ pub enum Variant {
     DctN,
     /// Windowed floating-point DCT.
     DctW {
-        /// Window size (4, 8, 16 or 32).
+        /// Window size (4, 8, 16, 32 or 64).
         ws: usize,
     },
     /// Windowed HEVC-style integer DCT (the COMPAQT design point).
     IntDctW {
-        /// Window size (4, 8, 16 or 32).
+        /// Window size (4, 8, 16, 32 or 64).
         ws: usize,
     },
 }
@@ -163,11 +163,14 @@ pub enum ChannelData {
 }
 
 impl ChannelData {
-    /// Storage footprint in bits.
+    /// Storage footprint in bits (saturating, so hostile `Delta` headers
+    /// with absurd bit widths cannot overflow the accounting).
     pub fn size_bits(&self) -> usize {
         match self {
             ChannelData::Windows(windows) => windows.iter().map(|w| w.len() * 16).sum(),
-            ChannelData::Delta { bits, deltas, .. } => 16 + 8 + deltas.len() * *bits as usize,
+            ChannelData::Delta { bits, deltas, .. } => {
+                deltas.len().saturating_mul(*bits as usize).saturating_add(16 + 8)
+            }
             ChannelData::Raw(samples) => samples.len() * 16,
         }
     }
@@ -221,9 +224,10 @@ impl CompressedWaveform {
     }
 
     /// Compression ratio `R = old size / new size` (Figure 7's metric).
+    /// Saturating, so hostile sample-count claims cannot overflow it.
     pub fn ratio(&self) -> CompressionRatio {
-        let old = self.n_samples * SAMPLE_BYTES;
-        let new = (self.i.size_bits() + self.q.size_bits()).div_ceil(8);
+        let old = self.n_samples.saturating_mul(SAMPLE_BYTES);
+        let new = (self.i.size_bits().saturating_add(self.q.size_bits())).div_ceil(8);
         CompressionRatio::new(old, new.max(1))
     }
 

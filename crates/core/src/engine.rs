@@ -346,7 +346,7 @@ impl DecompressionEngine {
         let mut stats = EngineStats::default();
         let i = self.decode_channel(&z.i, z.n_samples, &mut stats)?;
         let q = self.decode_channel(&z.q, z.n_samples, &mut stats)?;
-        let wf = Waveform::new(z.name.clone(), i, q, z.sample_rate_gs);
+        let wf = checked_waveform(&z.name, i, q, z.sample_rate_gs)?;
         Ok((wf, stats))
     }
 
@@ -370,20 +370,26 @@ impl DecompressionEngine {
                 stats.memory_words_read += words;
                 stats.output_samples += deltas.len() + 1;
                 stats.cycles += (deltas.len() + 1) as u64;
-                let mut acc = i32::from(*base);
+                // Wrapping i16 accumulation: bit-identical to the exact
+                // sum for every stream the encoder emits, and well
+                // defined (no debug-overflow panic) for hostile delta
+                // chains that walk past the i32 range.
+                let mut acc = *base;
                 let mut out = Vec::with_capacity(deltas.len() + 1);
                 out.push(f64::from(acc) / 32768.0);
                 for &d in deltas {
-                    acc += i32::from(d);
-                    out.push(f64::from(acc as i16) / 32768.0);
+                    acc = acc.wrapping_add(d);
+                    out.push(f64::from(acc) / 32768.0);
                 }
                 Ok(out)
             }
             ChannelData::Windows(windows) => {
                 let decoder = RleDecoder::new();
-                let mut out: Vec<f64> = Vec::with_capacity(n_samples);
+                let window = self.effective_window(windows.len(), n_samples)?;
+                check_window_claims(windows, window)?;
+                let mut out: Vec<f64> =
+                    Vec::with_capacity(windows.len().saturating_mul(window).min(n_samples));
                 for words in windows {
-                    let window = self.effective_window(windows.len(), n_samples);
                     stats.memory_words_read += words.len();
                     stats.rle_codewords +=
                         words.iter().filter(|w| matches!(w, CodedWord::Rle(_))).count();
@@ -420,6 +426,8 @@ impl DecompressionEngine {
         q_out.clear();
         self.decode_channel_into(&z.i, z.n_samples, scratch, i_out, &mut stats)?;
         self.decode_channel_into(&z.q, z.n_samples, scratch, q_out, &mut stats)?;
+        check_channel_shapes(i_out.len(), q_out.len())?;
+        check_sample_rate(z.sample_rate_gs)?;
         Ok(stats)
     }
 
@@ -459,20 +467,28 @@ impl DecompressionEngine {
                 stats.memory_words_read += words;
                 stats.output_samples += deltas.len() + 1;
                 stats.cycles += (deltas.len() + 1) as u64;
-                let mut acc = i32::from(*base);
+                // Wrapping i16 accumulation; see `decode_channel`.
+                let mut acc = *base;
                 out.reserve(deltas.len() + 1);
                 out.push(f64::from(acc) / 32768.0);
                 for &d in deltas {
-                    acc += i32::from(d);
-                    out.push(f64::from(acc as i16) / 32768.0);
+                    acc = acc.wrapping_add(d);
+                    out.push(f64::from(acc) / 32768.0);
                 }
                 Ok(())
             }
             ChannelData::Windows(windows) => {
                 let decoder = RleDecoder::new();
-                let window = self.effective_window(windows.len(), n_samples);
+                let window = self.effective_window(windows.len(), n_samples)?;
+                check_window_claims(windows, window)?;
                 let base = out.len();
-                out.resize(base + windows.len() * window, 0.0);
+                let total =
+                    windows.len().checked_mul(window).and_then(|t| t.checked_add(base)).ok_or(
+                        CompressError::MalformedStream {
+                            reason: "window layout overflows the address space",
+                        },
+                    )?;
+                out.resize(total, 0.0);
                 let mut pos = base;
                 for words in windows {
                     stats.memory_words_read += words.len();
@@ -527,12 +543,19 @@ impl DecompressionEngine {
 
     /// Window length for this stream: fixed for windowed variants, the
     /// padded waveform length for `DCT-N`.
-    fn effective_window(&self, n_windows: usize, n_samples: usize) -> usize {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError::MalformedStream`] for a `DCT-N` stream
+    /// that does not store exactly one window (the compressor never
+    /// emits one; a corrupted or hostile stream can claim anything).
+    fn effective_window(&self, n_windows: usize, n_samples: usize) -> Result<usize, CompressError> {
         if self.window > 0 {
-            self.window
+            Ok(self.window)
+        } else if n_windows == 1 {
+            Ok(n_samples)
         } else {
-            debug_assert_eq!(n_windows, 1, "DCT-N stores exactly one window");
-            n_samples
+            Err(CompressError::MalformedStream { reason: "DCT-N streams store exactly one window" })
         }
     }
 
@@ -559,6 +582,66 @@ impl DecompressionEngine {
     }
 }
 
+/// Post-decode consistency check shared by every whole-waveform decode
+/// path (engine, batch, adaptive): a stream whose channels expand to
+/// different sample counts (or to none at all) cannot have come from
+/// the compressor — reject it instead of letting `Waveform::new`'s
+/// invariants panic on hostile input.
+pub(crate) fn check_channel_shapes(i_len: usize, q_len: usize) -> Result<(), CompressError> {
+    if i_len != q_len {
+        return Err(CompressError::MalformedStream {
+            reason: "I and Q channels decode to different sample counts",
+        });
+    }
+    if i_len == 0 {
+        return Err(CompressError::MalformedStream { reason: "stream decodes to no samples" });
+    }
+    Ok(())
+}
+
+/// Metadata check for the stored sample rate: `Waveform::new` (and all
+/// timing math downstream) requires a finite positive rate, so a hostile
+/// header is rejected as malformed — never clamped to a fabricated rate
+/// and never allowed to reach the constructor's panic.
+pub(crate) fn check_sample_rate(sample_rate_gs: f64) -> Result<(), CompressError> {
+    if sample_rate_gs.is_finite() && sample_rate_gs > 0.0 {
+        Ok(())
+    } else {
+        Err(CompressError::MalformedStream { reason: "sample rate is not a positive finite value" })
+    }
+}
+
+/// Validating [`Waveform`] constructor shared by every decode path that
+/// materializes one from untrusted stream fields.
+pub(crate) fn checked_waveform(
+    name: &str,
+    i: Vec<f64>,
+    q: Vec<f64>,
+    sample_rate_gs: f64,
+) -> Result<Waveform, CompressError> {
+    check_channel_shapes(i.len(), q.len())?;
+    check_sample_rate(sample_rate_gs)?;
+    Ok(Waveform::new(name.to_string(), i, q, sample_rate_gs))
+}
+
+/// Pre-decode guard against length-lying streams: a window claiming more
+/// samples than its codewords could possibly expand to (at most
+/// [`compaqt_dsp::rle::MAX_RUN`] per word) is mathematically guaranteed
+/// to underflow, so it is rejected *before* any buffer is sized from the
+/// claim — output allocation stays linear in the attacker-supplied
+/// stream, never in its metadata.
+fn check_window_claims(windows: &[Vec<CodedWord>], window: usize) -> Result<(), CompressError> {
+    let max_run = usize::from(compaqt_dsp::rle::MAX_RUN);
+    for words in windows {
+        if window > words.len().saturating_mul(max_run) {
+            return Err(CompressError::MalformedStream {
+                reason: "window claims more samples than its codewords can expand to",
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Fused RLE-decode + integer IDCT for one window: coefficient words
 /// accumulate their basis row directly (zero-run codewords advance the
 /// position without touching the accumulators — the RLE buffer stage of
@@ -567,8 +650,8 @@ impl DecompressionEngine {
 ///
 /// Accumulators are `i32` on the stack: the worst case
 /// `sum_k |T[k][i]| * |coeff| * 2^INT_STORE_SHIFT` is
-/// `2880 * 32768 * 4 < 2^29`, so the arithmetic cannot overflow and the
-/// result is bit-identical to the i64 reference kernel
+/// `5760 * 32768 * 4 < 2^30` at WS=64, so the arithmetic cannot overflow
+/// and the result is bit-identical to the i64 reference kernel
 /// ([`IntDct::inverse_f64_into`]); the round-trip property suite asserts
 /// the equality on every variant.
 ///
@@ -586,7 +669,7 @@ fn fused_int_window(t: &IntDct, words: &[CodedWord], dst: &mut [f64]) -> Result<
         t.inverse_f64_into(&coeffs, crate::compress::INT_STORE_SHIFT, dst);
         return Ok(());
     }
-    let mut acc = [0i32; 32];
+    let mut acc = [0i32; 64];
     let acc = &mut acc[..window];
     let mut pos = 0usize;
     for &w in words {

@@ -72,6 +72,13 @@ pub enum CompressError {
     },
     /// A run-length stream was malformed.
     Rle(compaqt_dsp::rle::RleError),
+    /// A compressed stream's metadata is inconsistent with its payload —
+    /// hostile or corrupted input that would otherwise drive oversized
+    /// allocations or impossible decodes.
+    MalformedStream {
+        /// What the consistency check found.
+        reason: &'static str,
+    },
     /// A shared engine was handed a stream compressed with a different
     /// variant (segmented decodes require an exact match).
     EngineMismatch {
@@ -89,12 +96,15 @@ impl fmt::Display for CompressError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CompressError::UnsupportedWindow(ws) => {
-                write!(f, "window size {ws} is not supported (use 4, 8, 16 or 32)")
+                write!(f, "window size {ws} is not supported (use 4, 8, 16, 32 or 64)")
             }
             CompressError::TargetUnreachable { target_mse } => {
                 write!(f, "fidelity-aware compression could not reach target MSE {target_mse:e}")
             }
             CompressError::Rle(e) => write!(f, "run-length stream error: {e}"),
+            CompressError::MalformedStream { reason } => {
+                write!(f, "malformed compressed stream: {reason}")
+            }
             CompressError::EngineMismatch { expected, got } => {
                 write!(
                     f,

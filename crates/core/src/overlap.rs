@@ -71,10 +71,11 @@ impl OverlapCompressed {
         }
     }
 
-    /// Compression ratio (paper convention).
+    /// Compression ratio (paper convention). Saturating, so hostile
+    /// sample-count claims cannot overflow the accounting.
     pub fn ratio(&self) -> CompressionRatio {
-        let old = self.n_samples * crate::compress::SAMPLE_BYTES;
-        let new = (self.i.size_bits() + self.q.size_bits()).div_ceil(8);
+        let old = self.n_samples.saturating_mul(crate::compress::SAMPLE_BYTES);
+        let new = (self.i.size_bits().saturating_add(self.q.size_bits())).div_ceil(8);
         CompressionRatio::new(old, new.max(1))
     }
 
@@ -82,12 +83,13 @@ impl OverlapCompressed {
     ///
     /// # Errors
     ///
-    /// Returns an error for malformed run-length streams.
+    /// Returns an error for malformed run-length streams or metadata
+    /// (mismatched channel expansions, bogus sample rate).
     pub fn decompress(&self) -> Result<Waveform, CompressError> {
         let compressor = OverlapCompressor::new(self.ws)?;
         let i = compressor.decode_channel(&self.i, self.n_samples)?;
         let q = compressor.decode_channel(&self.q, self.n_samples)?;
-        Ok(Waveform::new(self.name.clone(), i, q, self.sample_rate_gs))
+        crate::engine::checked_waveform(&self.name, i, q, self.sample_rate_gs)
     }
 }
 
@@ -244,7 +246,9 @@ impl OverlapCompressor {
     ///
     /// # Errors
     ///
-    /// Returns an error for malformed run-length streams.
+    /// Returns an error for malformed run-length streams, or for a
+    /// sample-count claim no lapped frame layout could produce (hostile
+    /// metadata must not size the output buffer).
     pub fn decode_channel_into(
         &self,
         channel: &ChannelData,
@@ -256,6 +260,14 @@ impl OverlapCompressor {
             ChannelData::Windows(w) => w,
             _ => return Err(CompressError::UnsupportedWindow(0)),
         };
+        // Every valid 50%-hop stream stores n_frames(n) > n/hop frames,
+        // so a claim beyond windows*hop is impossible; reject it before
+        // the claim sizes any allocation.
+        if n_samples > windows.len().saturating_mul(self.hop) {
+            return Err(CompressError::MalformedStream {
+                reason: "lapped stream claims more samples than its frames cover",
+            });
+        }
         let decoder = RleDecoder::new();
         out.clear();
         out.resize(n_samples, 0.0);

@@ -142,12 +142,12 @@ impl EngineResources {
     ///
     /// # Panics
     ///
-    /// Panics for window sizes outside 4/8/16/32.
+    /// Panics for window sizes outside 4/8/16/32/64.
     pub fn int_dct_w(ws: usize) -> Self {
         match ws {
             8 | 16 => EngineResources::int_dct_w_paper(ws),
-            4 | 32 => engine_resources(ws, false),
-            _ => panic!("int-DCT-W engines exist for WS in 4/8/16/32, got {ws}"),
+            4 | 32 | 64 => engine_resources(ws, false),
+            _ => panic!("int-DCT-W engines exist for WS in 4/8/16/32/64, got {ws}"),
         }
     }
 }
@@ -222,7 +222,10 @@ mod tests {
 
     #[test]
     fn csd_reconstructs_all_hevc_constants() {
-        for c in crate::intdct::IntDct::new(32).unwrap().distinct_constants() {
+        // 64 covers the full constant family: its even rows are exactly
+        // the 32-point (normative HEVC) matrix, its odd rows add the
+        // VVC-style extension constants.
+        for c in crate::intdct::IntDct::new(64).unwrap().distinct_constants() {
             let csd = Csd::of(c as u32);
             assert_eq!(csd.reconstruct(), c as u32, "constant {c}");
         }
@@ -261,7 +264,7 @@ mod tests {
 
     #[test]
     fn derived_resources_are_multiplierless() {
-        for n in [4, 8, 16, 32] {
+        for n in [4, 8, 16, 32, 64] {
             let res = engine_resources(n, true);
             assert_eq!(res.multipliers, 0);
             assert!(res.adders > 0);

@@ -15,8 +15,38 @@
 //! The matrices are generated from the normative 33-entry magnitude table of
 //! the HEVC 32-point transform with the cosine sign-folding rule; the N-point
 //! matrix is the standard row-subsampling `T_N[k][n] = T_32[k*32/N][n]`.
+//! The 64-point matrix extends the family the way VVC (H.266) does: even
+//! angle indices reuse the normative HEVC table unchanged — so the even
+//! rows of `T_64` are *exactly* `T_32`, and every committed 4..32-point
+//! stream is untouched — while odd indices are pure roundings of
+//! `64*sqrt(2)*cos(m*pi/128)`.
+//!
+//! # Forward kernel selection and the scale-folding contract
+//!
+//! Since the factorized-forward work, every `IntDct` carries two forward
+//! kernels with one arithmetic contract:
+//!
+//! * the **factorized butterfly** ([`crate::loeffler::IntButterflyPlan`],
+//!   the default) — Loeffler reflection butterflies recursing through the
+//!   even rows, dense integer rotator banks for the odd rows; roughly a
+//!   third of the dense multiply count; and
+//! * the **dense matrix oracle** ([`IntDct::forward_matrix_into`]) — the
+//!   historical row-by-row multiply, kept as the reference the butterfly
+//!   is proptested against.
+//!
+//! Both compute the *identical* integer accumulator
+//! `sum_i T[k][i] * x[i]` (the factorization only reorders exact integer
+//! additions), then apply the same `(acc + rnd) >> forward_shift`
+//! rounding. The flowgraph's uniform scale `S = 2^(6 + log2(N)/2)` thus
+//! stays folded into [`IntDct::forward_shift`] and the quantization
+//! constants exactly as before — selecting a kernel never changes a
+//! stored stream, and `forward_shift + inverse_shift = 12 + log2 N`
+//! keeps cancelling `S^2`. Should a future matrix lack the butterfly
+//! symmetry (or exceed [`crate::loeffler::MAX_BUTTERFLY_LEN`]), plan
+//! construction falls back to the matrix path silently and bit-exactly.
 
 use crate::fixed::Q15;
+use crate::loeffler::IntButterflyPlan;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -43,8 +73,40 @@ fn cos_fold(m: usize) -> i32 {
     }
 }
 
+/// Odd-index magnitudes of the 64-point extension, `round(64*sqrt(2) *
+/// cos(m*pi/128))` for `m = 1, 3, ..., 63` (the VVC-style construction).
+/// Even indices reuse [`HEVC_MAGNITUDE`], which makes the even rows of
+/// `T_64` exactly `T_32` — the identity both the butterfly factorization
+/// and backward bit-compatibility rest on.
+const EXT64_ODD_MAGNITUDE: [i32; 32] = [
+    90, 90, 90, 89, 88, 87, 86, 84, 83, 81, 79, 76, 74, 71, 69, 66, 62, 59, 56, 52, 48, 45, 41, 37,
+    33, 28, 24, 20, 15, 11, 7, 2,
+];
+
+/// Magnitude for 64-point angle index `m` in `0..=64`: normative HEVC
+/// entries at even indices, the rounded extension at odd indices.
+fn magnitude64(m: usize) -> i32 {
+    if m.is_multiple_of(2) {
+        HEVC_MAGNITUDE[m / 2]
+    } else {
+        EXT64_ODD_MAGNITUDE[(m - 1) / 2]
+    }
+}
+
+/// Signed 64-point basis value for angle index `m` (mod 256), the
+/// integer approximation of `64*sqrt(2)*cos(m*pi/128)`.
+fn cos_fold64(m: usize) -> i32 {
+    let m = m % 256;
+    match m {
+        0..=64 => magnitude64(m),
+        65..=128 => -magnitude64(128 - m),
+        129..=192 => -magnitude64(m - 128),
+        _ => magnitude64(256 - m),
+    }
+}
+
 /// Window sizes supported by the integer transform.
-pub const SUPPORTED_SIZES: [usize; 4] = [4, 8, 16, 32];
+pub const SUPPORTED_SIZES: [usize; 5] = [4, 8, 16, 32, 64];
 
 /// Error returned when constructing an [`IntDct`] with an unsupported size.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,11 +127,15 @@ impl fmt::Display for UnsupportedSizeError {
 
 impl std::error::Error for UnsupportedSizeError {}
 
-/// An N-point HEVC-style integer DCT/IDCT pair (N in 4/8/16/32).
+/// An N-point HEVC-style integer DCT/IDCT pair (N in 4/8/16/32/64).
 ///
 /// Forward transforms map Q1.15 samples to integer coefficients; the
 /// inverse maps coefficients back to Q1.15 with only adds and shifts, which
 /// is what makes the hardware decompression engine cheap (Table IV).
+/// The forward runs the factorized Loeffler-style butterfly kernel by
+/// default (bit-exact with the matrix, ~3x fewer multiplies; see the
+/// module docs), with [`IntDct::forward_matrix_into`] kept as the dense
+/// oracle.
 ///
 /// # Example
 ///
@@ -94,6 +160,10 @@ pub struct IntDct {
     log2n: u32,
     /// Row-major `n x n` integer basis matrix.
     matrix: Vec<i32>,
+    /// Factorized forward/inverse kernel; `None` only for matrices the
+    /// butterfly cannot represent (never for the built-in sizes), in
+    /// which case the dense matrix path serves both directions.
+    butterfly: Option<IntButterflyPlan>,
 }
 
 impl IntDct {
@@ -101,20 +171,25 @@ impl IntDct {
     ///
     /// # Errors
     ///
-    /// Returns [`UnsupportedSizeError`] unless `n` is 4, 8, 16 or 32.
+    /// Returns [`UnsupportedSizeError`] unless `n` is 4, 8, 16, 32 or 64.
     pub fn new(n: usize) -> Result<Self, UnsupportedSizeError> {
         if !SUPPORTED_SIZES.contains(&n) {
             return Err(UnsupportedSizeError { size: n });
         }
         let log2n = n.trailing_zeros();
-        let stride = 32 / n;
         let mut matrix = vec![0i32; n * n];
         for k in 0..n {
-            for i in 0..n {
-                matrix[k * n + i] = cos_fold((2 * i + 1) * k * stride);
+            for (i, e) in matrix[k * n..(k + 1) * n].iter_mut().enumerate() {
+                *e = if n == 64 {
+                    cos_fold64((2 * i + 1) * k)
+                } else {
+                    cos_fold((2 * i + 1) * k * (32 / n))
+                };
             }
         }
-        Ok(IntDct { n, log2n, matrix })
+        let butterfly = IntButterflyPlan::from_matrix(n, &matrix);
+        debug_assert!(butterfly.is_some(), "built-in matrices always factorize");
+        Ok(IntDct { n, log2n, matrix, butterfly })
     }
 
     /// Transform length (the window size `WS`).
@@ -193,10 +268,46 @@ impl IntDct {
     /// [`IntDct::forward`] into a caller-provided buffer — the
     /// zero-allocation entry point used by plan-based codec loops.
     ///
+    /// Runs the factorized butterfly kernel when the matrix supports it
+    /// (always, for the built-in sizes), falling back to the dense
+    /// matrix path otherwise; the two are bit-identical (see the module
+    /// docs), so callers never observe the selection.
+    ///
     /// # Panics
     ///
     /// Panics if `x.len()` or `out.len()` differs from the transform size.
     pub fn forward_into(&self, x: &[Q15], out: &mut [i32]) {
+        let Some(bf) = &self.butterfly else {
+            self.forward_matrix_into(x, out);
+            return;
+        };
+        assert_eq!(x.len(), self.n, "window length must match transform size");
+        assert_eq!(out.len(), self.n, "output length must match transform size");
+        // Widen Q1.15 to i32 for the kernel. All arithmetic fits i32:
+        // the accumulator bound max|T| * n * max|x| = 90 * 64 * 2^15 is
+        // under 2^28, so the reassociated sums equal the i64 oracle's.
+        let mut wide = [0i32; crate::loeffler::MAX_BUTTERFLY_LEN];
+        let wide = &mut wide[..self.n];
+        for (w, s) in wide.iter_mut().zip(x) {
+            *w = i32::from(s.raw());
+        }
+        bf.forward_accumulate(wide, out);
+        let shift = self.forward_shift();
+        let rnd = 1i32 << (shift - 1);
+        for o in out.iter_mut() {
+            let v = (*o + rnd) >> shift;
+            *o = v.clamp(i32::from(i16::MIN), i32::from(i16::MAX));
+        }
+    }
+
+    /// The dense matrix-multiply forward — the historical kernel, kept
+    /// as the bit-exact oracle the factorized path is verified against
+    /// (`tests/transform_equivalence.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` or `out.len()` differs from the transform size.
+    pub fn forward_matrix_into(&self, x: &[Q15], out: &mut [i32]) {
         assert_eq!(x.len(), self.n, "window length must match transform size");
         assert_eq!(out.len(), self.n, "output length must match transform size");
         let shift = self.forward_shift();
@@ -208,6 +319,13 @@ impl IntDct {
             let v = (acc + rnd) >> shift;
             *o = v.clamp(i64::from(i16::MIN), i64::from(i16::MAX)) as i32;
         }
+    }
+
+    /// Whether the factorized butterfly kernel is driving
+    /// [`IntDct::forward_into`] (`false` only for matrices outside the
+    /// butterfly's representable family).
+    pub fn uses_factorized_forward(&self) -> bool {
+        self.butterfly.is_some()
     }
 
     /// Inverse integer DCT: transposed matrix multiply plus a right shift.
@@ -238,8 +356,38 @@ impl IntDct {
     ///
     /// Panics if `y.len()` or `out.len()` differs from the transform size.
     pub fn inverse_into(&self, y: &[i32], out: &mut [Q15]) {
-        let mut acc = [0i64; 32];
+        let mut acc = [0i64; 64];
         self.accumulate_inverse(y, out.len(), &mut acc);
+        let shift = self.inverse_shift();
+        let rnd = 1i64 << (shift - 1);
+        for (o, &a) in out.iter_mut().zip(acc.iter()) {
+            let v = (a + rnd) >> shift;
+            *o = Q15::from_raw(v.clamp(i64::from(i16::MIN), i64::from(i16::MAX)) as i16);
+        }
+    }
+
+    /// Inverse transform through the *factorized* transposed flowgraph —
+    /// bit-identical to [`IntDct::inverse_into`] (both compute the exact
+    /// transposed-matrix accumulator; only the addition order differs).
+    ///
+    /// The default decode path keeps the sparse column-skipping matrix
+    /// kernel, which wins on the thresholded 2-3-nonzero windows real
+    /// streams carry; this entry point serves dense-coefficient
+    /// workloads, where the butterfly's reduced multiply count wins, and
+    /// anchors the equivalence suite's round-trip composition tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len()` or `out.len()` differs from the transform size.
+    pub fn inverse_butterfly_into(&self, y: &[i32], out: &mut [Q15]) {
+        let Some(bf) = &self.butterfly else {
+            self.inverse_into(y, out);
+            return;
+        };
+        assert_eq!(y.len(), self.n, "coefficient count must match transform size");
+        assert_eq!(out.len(), self.n, "output length must match transform size");
+        let mut acc = [0i64; 64];
+        bf.inverse_accumulate(y, &mut acc[..self.n]);
         let shift = self.inverse_shift();
         let rnd = 1i64 << (shift - 1);
         for (o, &a) in out.iter_mut().zip(acc.iter()) {
@@ -260,7 +408,7 @@ impl IntDct {
     ///
     /// Panics if `y.len()` or `out.len()` differs from the transform size.
     pub fn inverse_f64_into(&self, y: &[i32], pre_shift: u32, out: &mut [f64]) {
-        let mut acc = [0i64; 32];
+        let mut acc = [0i64; 64];
         self.accumulate_inverse(y, out.len(), &mut acc);
         let shift = self.inverse_shift();
         let rnd = 1i64 << (shift - 1);
@@ -273,7 +421,7 @@ impl IntDct {
 
     /// Shared sparse transposed-matrix accumulation for the inverse
     /// kernels (`acc[i] = sum_k T[k][i] * y[k]` over nonzero `y[k]`).
-    fn accumulate_inverse(&self, y: &[i32], out_len: usize, acc: &mut [i64; 32]) {
+    fn accumulate_inverse(&self, y: &[i32], out_len: usize, acc: &mut [i64; 64]) {
         assert_eq!(y.len(), self.n, "coefficient count must match transform size");
         assert_eq!(out_len, self.n, "output length must match transform size");
         let acc = &mut acc[..self.n];
@@ -309,11 +457,84 @@ mod tests {
 
     #[test]
     fn rejects_unsupported_sizes() {
-        for n in [0, 1, 2, 3, 5, 7, 9, 12, 24, 64] {
+        for n in [0, 1, 2, 3, 5, 7, 9, 12, 24, 48, 128] {
             assert_eq!(IntDct::new(n).unwrap_err().size, n);
         }
         for n in SUPPORTED_SIZES {
             assert!(IntDct::new(n).is_ok());
+        }
+    }
+
+    #[test]
+    fn matrix_64pt_even_rows_are_exactly_the_32pt_matrix() {
+        // The backward-compatibility and butterfly-recursion identity of
+        // the VVC-style extension: T64[2k][i] == T32[k][i].
+        let t64 = IntDct::new(64).unwrap();
+        let t32 = IntDct::new(32).unwrap();
+        for k in 0..32 {
+            for i in 0..32 {
+                assert_eq!(t64.coefficient(2 * k, i), t32.coefficient(k, i), "k={k} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_64pt_odd_rows_use_extension_constants() {
+        let t = IntDct::new(64).unwrap();
+        // First column of odd rows walks the odd-index magnitudes.
+        let expect = [90, 90, 90, 89, 88, 87, 86, 84, 83, 81, 79, 76, 74, 71, 69, 66];
+        for (j, &e) in expect.iter().enumerate() {
+            assert_eq!(t.coefficient(2 * j + 1, 0), e, "row {}", 2 * j + 1);
+        }
+        assert_eq!(t.scale(), 512.0);
+        assert_eq!(t.forward_shift(), 12);
+    }
+
+    #[test]
+    fn factorized_forward_is_the_default_for_all_sizes() {
+        for n in SUPPORTED_SIZES {
+            assert!(IntDct::new(n).unwrap().uses_factorized_forward(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn forward_matches_matrix_oracle_on_extremes() {
+        for n in SUPPORTED_SIZES {
+            let t = IntDct::new(n).unwrap();
+            let cases: [Vec<Q15>; 4] = [
+                vec![Q15::MAX; n],
+                vec![Q15::MIN; n],
+                (0..n).map(|i| if i % 2 == 0 { Q15::MAX } else { Q15::MIN }).collect(),
+                (0..n).map(|i| if i == 0 { Q15::MAX } else { Q15::ZERO }).collect(),
+            ];
+            for x in &cases {
+                let mut fast = vec![0i32; n];
+                let mut oracle = vec![0i32; n];
+                t.forward_into(x, &mut fast);
+                t.forward_matrix_into(x, &mut oracle);
+                assert_eq!(fast, oracle, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_butterfly_matches_sparse_matrix_inverse() {
+        for n in SUPPORTED_SIZES {
+            let t = IntDct::new(n).unwrap();
+            let y: Vec<i32> = (0..n)
+                .map(|k| match k % 5 {
+                    0 => i32::from(i16::MAX),
+                    1 => 0,
+                    2 => i32::from(i16::MIN),
+                    3 => -12345,
+                    _ => 777,
+                })
+                .collect();
+            let mut a = vec![Q15::ZERO; n];
+            let mut b = vec![Q15::ZERO; n];
+            t.inverse_into(&y, &mut a);
+            t.inverse_butterfly_into(&y, &mut b);
+            assert_eq!(a, b, "n={n}");
         }
     }
 
@@ -423,9 +644,12 @@ mod tests {
                 })
                 .collect();
             let back = t.inverse(&t.forward(&x));
+            // Forward rounding noise accumulates ~sqrt(N) per sample;
+            // 4e-3 is the calibrated bound at N <= 32.
+            let bound = 4e-3 * (n as f64 / 32.0).sqrt().max(1.0);
             for (a, b) in x.iter().zip(&back) {
                 assert!(
-                    (a.to_f64() - b.to_f64()).abs() < 4e-3,
+                    (a.to_f64() - b.to_f64()).abs() < bound,
                     "n={n}: {} vs {}",
                     a.to_f64(),
                     b.to_f64()

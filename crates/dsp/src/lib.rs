@@ -12,9 +12,15 @@
 //! * [`dct`] — exact orthonormal DCT-II / DCT-III (the paper's Eq. 1/2),
 //!   both full-length (`DCT-N`) and windowed (`DCT-W`).
 //! * [`loeffler`] — Loeffler's fast 8-point DCT factorization (11 multiplies,
-//!   29 adds), the minimal-multiplier floating-point engine of Table IV.
-//! * [`intdct`] — HEVC-style integer DCT/IDCT for window sizes 4/8/16/32,
-//!   multiplierless when lowered through [`csd`].
+//!   29 adds), the minimal-multiplier floating-point engine of Table IV,
+//!   plus the generic power-of-two integer butterfly kernel
+//!   ([`loeffler::IntButterflyPlan`]) behind the factorized forward
+//!   integer DCT.
+//! * [`intdct`] — HEVC-style integer DCT/IDCT for window sizes
+//!   4/8/16/32/64 (64 is the VVC-style extension whose even rows are
+//!   exactly the normative 32-point matrix), multiplierless when lowered
+//!   through [`csd`]. The forward defaults to the factorized butterfly
+//!   kernel, bit-exact with the dense matrix oracle it keeps alongside.
 //! * [`csd`] — canonical-signed-digit decomposition used to replace constant
 //!   multipliers with shift-and-add networks, plus the resource-count model
 //!   behind Table IV.

@@ -383,12 +383,29 @@ impl Default for DctPlanCache {
 
 /// A reusable plan for the windowed HEVC integer transform.
 ///
-/// [`IntDct`] already precomputes its basis matrix; this wrapper exposes
-/// the buffer-reuse entry points under the plan naming scheme, including
+/// [`IntDct`] already precomputes its basis matrix *and* its factorized
+/// Loeffler-style butterfly kernel; this wrapper exposes the
+/// buffer-reuse entry points under the plan naming scheme, including
 /// the fused sparse inverse ([`IntDctPlan::inverse_f64_into`]) that the
 /// decompression engine's zero-allocation path is built on. All methods
-/// take `&self`: the integer kernels need no scratch, so one plan can be
-/// shared across threads.
+/// take `&self`: the integer kernels need no scratch (butterfly
+/// intermediates live on the stack), so one plan can be shared across
+/// threads.
+///
+/// # Kernel selection
+///
+/// [`IntDctPlan::forward_into`] runs the factorized butterfly whenever
+/// the matrix supports it — every built-in window size does — and falls
+/// back to the dense matrix multiply otherwise
+/// ([`IntDctPlan::uses_factorized_forward`] reports which). Both kernels
+/// are bit-identical, and [`IntDctPlan::forward_matrix_into`] keeps the
+/// dense path callable as the oracle, so the selection is purely a
+/// throughput decision: encode loops get ~3x fewer multiplies per
+/// window with unchanged streams. The inverse default stays the sparse
+/// column-skipping matrix kernel (thresholded decode windows carry only
+/// a few nonzero coefficients); see
+/// [`IntDct::inverse_butterfly_into`][crate::intdct::IntDct::inverse_butterfly_into]
+/// for the factorized transpose.
 ///
 /// # Example: one plan, caller-owned buffers
 ///
@@ -415,7 +432,7 @@ pub struct IntDctPlan {
 }
 
 impl IntDctPlan {
-    /// Plans an N-point integer transform (N in 4/8/16/32).
+    /// Plans an N-point integer transform (N in 4/8/16/32/64).
     ///
     /// # Errors
     ///
@@ -445,8 +462,24 @@ impl IntDctPlan {
     }
 
     /// Forward transform into a caller buffer; see [`IntDct::forward_into`].
+    /// Runs the factorized butterfly kernel (matrix fallback otherwise).
     pub fn forward_into(&self, x: &[Q15], out: &mut [i32]) {
         self.transform.forward_into(x, out);
+    }
+
+    /// The dense matrix-multiply forward oracle; see
+    /// [`IntDct::forward_matrix_into`]. Bit-identical to
+    /// [`IntDctPlan::forward_into`] — kept callable so equivalence
+    /// suites (and any caller wanting the reference arithmetic) can
+    /// cross-check the factorized kernel.
+    pub fn forward_matrix_into(&self, x: &[Q15], out: &mut [i32]) {
+        self.transform.forward_matrix_into(x, out);
+    }
+
+    /// Whether [`IntDctPlan::forward_into`] is running the factorized
+    /// butterfly kernel (`true` for every built-in window size).
+    pub fn uses_factorized_forward(&self) -> bool {
+        self.transform.uses_factorized_forward()
     }
 
     /// Inverse transform into a caller buffer; see [`IntDct::inverse_into`].
@@ -535,6 +568,22 @@ mod tests {
     #[test]
     fn int_plan_rejects_unsupported_sizes() {
         assert!(IntDctPlan::new(12).is_err());
+        assert!(IntDctPlan::new(128).is_err());
+    }
+
+    #[test]
+    fn int_plan_selects_factorized_forward_with_matrix_oracle_agreement() {
+        for ws in crate::intdct::SUPPORTED_SIZES {
+            let plan = IntDctPlan::new(ws).unwrap();
+            assert!(plan.uses_factorized_forward(), "ws={ws}");
+            let x: Vec<Q15> =
+                (0..ws).map(|i| Q15::from_f64(((i * 7) as f64 * 0.13).sin() * 0.9)).collect();
+            let mut fast = vec![0i32; ws];
+            let mut oracle = vec![0i32; ws];
+            plan.forward_into(&x, &mut fast);
+            plan.forward_matrix_into(&x, &mut oracle);
+            assert_eq!(fast, oracle, "ws={ws}: kernels must be bit-identical");
+        }
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Committed golden vectors for the Loeffler flowgraphs.
+//!
+//! Proptest equivalence suites catch *relative* regressions (factorized
+//! vs matrix), but if both kernels drifted together — a twiddle edit, a
+//! rounding change, a shift off by one — they would still agree with
+//! each other. These tests pin the *absolute* outputs: committed input
+//! vectors with committed expected outputs for the 8-point f64 Loeffler
+//! flowgraph and the 8/16-point factorized integer forward, each also
+//! cross-checked against the exact f64 DCT reference so the constants
+//! can be re-derived if they ever need to move. Failures here point at a
+//! kernel regression directly, with no proptest shrink noise in the way.
+
+use compaqt_dsp::dct::dct2;
+use compaqt_dsp::fixed::Q15;
+use compaqt_dsp::intdct::IntDct;
+use compaqt_dsp::loeffler::{
+    loeffler_dct8, loeffler_idct8, IntButterflyPlan, LOEFFLER_16_ADDERS, LOEFFLER_16_MULTIPLIERS,
+    LOEFFLER_8_ADDERS, LOEFFLER_8_MULTIPLIERS, LOEFFLER_8_SCALE,
+};
+
+/// Committed input for the f64 flowgraph: exactly representable
+/// multiples of 2^-5, so the input itself carries no rounding.
+const F64_INPUT: [f64; 8] =
+    [0.21875, -0.40625, 0.59375, 0.09375, -0.71875, 0.46875, -0.15625, 0.84375];
+
+/// Committed `loeffler_dct8(F64_INPUT)` outputs.
+const F64_GOLDEN: [f64; 8] = [
+    9.375e-1,
+    -8.384886884654028e-1,
+    1.325381340491315e0,
+    -1.477704541046152e0,
+    -6.25e-2,
+    8.455869617146949e-1,
+    3.03643323692082e0,
+    -9.559987964768888e-1,
+];
+
+/// Committed Q1.15 raw inputs for the 8-point integer flowgraph.
+const WS8_INPUT: [i16; 8] = [-9189, 25840, 31495, 12383, 11499, -26864, -25902, -9814];
+
+/// Committed 8-point factorized forward outputs (after the
+/// `forward_shift` rounding, before RLE storage quantization).
+const WS8_GOLDEN: [i32; 8] = [1181, 13418, -7282, -11958, 39, -6752, -2255, 3364];
+
+/// Committed Q1.15 raw inputs for the 16-point integer flowgraph.
+const WS16_INPUT: [i16; 16] = [
+    -8790, -28786, 2292, 11949, 21948, 3615, -18143, -14986, 13628, -23762, -938, -27909, 21579,
+    -17221, 3866, -32594,
+];
+
+/// Committed 16-point factorized forward outputs.
+const WS16_GOLDEN: [i32; 16] = [
+    -5891, 3036, -2400, -3200, -7617, -614, -3628, 6903, 3994, 8, -848, 3081, 1952, 4670, -6255,
+    8407,
+];
+
+#[test]
+fn f64_flowgraph_matches_committed_vectors() {
+    let y = loeffler_dct8(&F64_INPUT);
+    for (k, (got, want)) in y.iter().zip(&F64_GOLDEN).enumerate() {
+        assert!((got - want).abs() < 1e-14, "k={k}: {got:e} vs committed {want:e}");
+    }
+    // The committed vector itself must satisfy the scale contract
+    // against the exact orthonormal DCT, and invert back to the input.
+    let exact = dct2(&F64_INPUT);
+    for k in 0..8 {
+        assert!((F64_GOLDEN[k] / LOEFFLER_8_SCALE - exact[k]).abs() < 1e-12, "k={k}");
+    }
+    let back = loeffler_idct8(&F64_GOLDEN);
+    for k in 0..8 {
+        assert!((back[k] - F64_INPUT[k]).abs() < 1e-12, "k={k}");
+    }
+}
+
+#[test]
+fn int8_flowgraph_matches_committed_vectors() {
+    let t = IntDct::new(8).unwrap();
+    let x: Vec<Q15> = WS8_INPUT.iter().map(|&r| Q15::from_raw(r)).collect();
+    assert_eq!(t.forward(&x), WS8_GOLDEN, "factorized default");
+    let mut oracle = vec![0i32; 8];
+    t.forward_matrix_into(&x, &mut oracle);
+    assert_eq!(oracle, WS8_GOLDEN, "matrix oracle");
+}
+
+#[test]
+fn int16_flowgraph_matches_committed_vectors() {
+    let t = IntDct::new(16).unwrap();
+    let x: Vec<Q15> = WS16_INPUT.iter().map(|&r| Q15::from_raw(r)).collect();
+    assert_eq!(t.forward(&x), WS16_GOLDEN, "factorized default");
+    let mut oracle = vec![0i32; 16];
+    t.forward_matrix_into(&x, &mut oracle);
+    assert_eq!(oracle, WS16_GOLDEN, "matrix oracle");
+}
+
+#[test]
+fn committed_int_vectors_track_the_f64_reference() {
+    // The integer goldens must stay explainable from first principles:
+    // T ~ S*D with S = 2^(6 + log2(N)/2) folded into forward_shift, so
+    // forward(x) ~ sqrt(N) * DCT(x) / 2 in Q1.15 raw units (one factor
+    // of S cancels against the shift, the /2 is the 16->15-bit headroom
+    // convention of the stored format: out = S*D*x / 2^(6+log2 N)).
+    for (input, golden) in [(&WS8_INPUT[..], &WS8_GOLDEN[..]), (&WS16_INPUT[..], &WS16_GOLDEN[..])]
+    {
+        let n = input.len();
+        let real: Vec<f64> = input.iter().map(|&r| f64::from(r) / 32768.0).collect();
+        let exact = dct2(&real);
+        let t = IntDct::new(n).unwrap();
+        let expected_scale = t.scale() / f64::from(1u32 << t.forward_shift());
+        for (k, (&g, &e)) in golden.iter().zip(&exact).enumerate() {
+            let predicted = e * expected_scale * 32768.0;
+            assert!(
+                (f64::from(g) - predicted).abs() < 0.01 * 32768.0,
+                "n={n} k={k}: committed {g} vs reference {predicted:.1}"
+            );
+        }
+    }
+}
+
+#[test]
+fn table_iv_counts_and_butterfly_cost_model() {
+    // Table IV, DCT-W rows: the minimal-multiplier flowgraph the f64
+    // reference implements.
+    assert_eq!((LOEFFLER_8_MULTIPLIERS, LOEFFLER_8_ADDERS), (11, 29));
+    assert_eq!((LOEFFLER_16_MULTIPLIERS, LOEFFLER_16_ADDERS), (26, 81));
+    // The exact-integer butterfly trades some of that reduction for
+    // bit-exactness with the HEVC matrix: 22 multiplies at N=8 (vs 64
+    // dense, vs Loeffler's 11), 86 at N=16 (vs 256 dense, vs 26).
+    let counts: Vec<(usize, usize)> = [8usize, 16]
+        .iter()
+        .map(|&n| {
+            let t = IntDct::new(n).unwrap();
+            let m: Vec<i32> = (0..n * n).map(|j| t.coefficient(j / n, j % n)).collect();
+            let p = IntButterflyPlan::from_matrix(n, &m).unwrap();
+            (p.multiplies(), p.adds())
+        })
+        .collect();
+    assert_eq!(counts[0], (22, 28), "8-point butterfly cost");
+    assert_eq!(counts[1], (86, 100), "16-point butterfly cost");
+    assert!(counts[0].0 > LOEFFLER_8_MULTIPLIERS && counts[0].0 < 64);
+    assert!(counts[1].0 > LOEFFLER_16_MULTIPLIERS && counts[1].0 < 256);
+}

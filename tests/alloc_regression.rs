@@ -106,6 +106,42 @@ fn steady_state_library_codec_allocates_nothing() {
         "shared-slot compression across mixed-size waveforms must not allocate, saw {delta}"
     );
 
+    // ---- Factorized forward kernel: the butterfly path that now backs
+    // every integer encode must itself be allocation-free in steady
+    // state — plan construction (matrix + butterfly tables) is the one
+    // allowed allocation, per window size, paid exactly once. Both
+    // kernels run so the matrix oracle inherits the same guarantee.
+    use compaqt::dsp::fixed::Q15;
+    use compaqt::dsp::plan::IntDctPlan;
+    let int_plans: Vec<IntDctPlan> = compaqt::dsp::intdct::SUPPORTED_SIZES
+        .iter()
+        .map(|&ws| IntDctPlan::new(ws).unwrap())
+        .collect();
+    let max_ws = *compaqt::dsp::intdct::SUPPORTED_SIZES.iter().max().unwrap();
+    let window: Vec<Q15> =
+        (0..max_ws).map(|i| Q15::from_f64(0.7 * ((i as f64) * 0.37).sin())).collect();
+    let mut coeffs = vec![0i32; max_ws];
+    let mut restored = vec![Q15::ZERO; max_ws];
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut acc = 0i64;
+    for _ in 0..100 {
+        for plan in &int_plans {
+            let ws = plan.len();
+            assert!(plan.uses_factorized_forward());
+            plan.forward_into(&window[..ws], &mut coeffs[..ws]);
+            acc += i64::from(coeffs[0]);
+            plan.forward_matrix_into(&window[..ws], &mut coeffs[..ws]);
+            plan.inverse_into(&coeffs[..ws], &mut restored[..ws]);
+            acc += i64::from(restored[ws - 1].raw());
+        }
+    }
+    let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert!(acc != 0);
+    assert_eq!(
+        delta, 0,
+        "factorized forward reuse across all window sizes must not allocate, saw {delta}"
+    );
+
     // ---- Decode side: stream the compressed library back out.
     let engine = DecompressionEngine::for_variant(Variant::IntDctW { ws: 16 }).unwrap();
     let mut scratch = DecodeScratch::new();

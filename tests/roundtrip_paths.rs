@@ -65,7 +65,7 @@ proptest! {
     #[test]
     fn odd_lengths_agree_across_paths(
         xs in smooth_signal(137),
-        ws_idx in 0usize..4,
+        ws_idx in 0usize..5,
     ) {
         // Padding paths: waveform length not a multiple of the window.
         let ws = compaqt::dsp::intdct::SUPPORTED_SIZES[ws_idx];

@@ -1,0 +1,163 @@
+//! Factorized-vs-matrix equivalence suite for the integer DCT.
+//!
+//! The factorized Loeffler-style butterfly kernel is the *default*
+//! forward transform of the codec (`IntDctPlan::forward_into`), so its
+//! contract with the dense matrix oracle is the strongest one possible:
+//! **bit-exactness**, on every supported window size, for every input —
+//! the factorization only reorders exact integer additions, so there is
+//! no max-ulp bound to manage. This suite drives both kernels over
+//! hostile deterministic patterns (full-scale DC, all-min, alternating
+//! sign, impulses) and proptest-generated random windows, asserts `==`
+//! on the coefficient streams in both directions, and closes the loop
+//! with round-trip composition checks.
+
+use compaqt::dsp::fixed::Q15;
+use compaqt::dsp::intdct::{IntDct, SUPPORTED_SIZES};
+use compaqt::dsp::plan::IntDctPlan;
+use proptest::prelude::*;
+
+/// The window sizes the issue calls out explicitly, plus the rest of the
+/// supported family (4 rides along for free).
+const EQUIV_SIZES: [usize; 5] = SUPPORTED_SIZES;
+
+/// Named hostile windows: the saturation and sign-flip patterns most
+/// likely to expose reassociation overflow or sign bugs in a fixed-point
+/// butterfly.
+fn hostile_windows(ws: usize) -> Vec<(&'static str, Vec<Q15>)> {
+    let mut cases: Vec<(&'static str, Vec<Q15>)> = vec![
+        ("all-max", vec![Q15::MAX; ws]),
+        ("all-min", vec![Q15::MIN; ws]),
+        ("alternating", (0..ws).map(|i| if i % 2 == 0 { Q15::MAX } else { Q15::MIN }).collect()),
+        ("dc-half", vec![Q15::from_f64(0.5); ws]),
+        ("dc-neg", vec![Q15::from_f64(-0.75); ws]),
+        ("zero", vec![Q15::ZERO; ws]),
+    ];
+    for pos in [0, ws / 2, ws - 1] {
+        let mut imp = vec![Q15::ZERO; ws];
+        imp[pos] = Q15::MAX;
+        cases.push(("impulse-max", imp));
+        let mut imp = vec![Q15::ZERO; ws];
+        imp[pos] = Q15::MIN;
+        cases.push(("impulse-min", imp));
+    }
+    cases
+}
+
+#[test]
+fn factorized_forward_is_default_and_bit_exact_on_hostile_windows() {
+    for ws in EQUIV_SIZES {
+        let plan = IntDctPlan::new(ws).unwrap();
+        assert!(plan.uses_factorized_forward(), "ws={ws}: butterfly must be the default");
+        let mut fast = vec![0i32; ws];
+        let mut oracle = vec![0i32; ws];
+        for (name, x) in hostile_windows(ws) {
+            plan.forward_into(&x, &mut fast);
+            plan.forward_matrix_into(&x, &mut oracle);
+            assert_eq!(fast, oracle, "ws={ws} case {name}");
+        }
+    }
+}
+
+#[test]
+fn factorized_inverse_is_bit_exact_on_hostile_coefficients() {
+    // The inverse accepts arbitrary i32 coefficients (hostile streams
+    // included); both kernels accumulate in i64, so they must agree even
+    // at the extreme corners of the coefficient range.
+    for ws in EQUIV_SIZES {
+        let t = IntDct::new(ws).unwrap();
+        let hostile: [Vec<i32>; 4] = [
+            vec![i32::MAX; ws],
+            vec![i32::MIN; ws],
+            (0..ws).map(|k| if k % 2 == 0 { i32::MAX } else { i32::MIN }).collect(),
+            (0..ws).map(|k| if k == ws - 1 { i32::MIN } else { 0 }).collect(),
+        ];
+        let mut a = vec![Q15::ZERO; ws];
+        let mut b = vec![Q15::ZERO; ws];
+        for y in &hostile {
+            t.inverse_into(y, &mut a);
+            t.inverse_butterfly_into(y, &mut b);
+            assert_eq!(a, b, "ws={ws}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn forward_kernels_agree_on_random_windows(raw in proptest::collection::vec(proptest::num::i16::ANY, 64)) {
+        for ws in EQUIV_SIZES {
+            let x: Vec<Q15> = raw[..ws].iter().map(|&r| Q15::from_raw(r)).collect();
+            let plan = IntDctPlan::new(ws).unwrap();
+            let mut fast = vec![0i32; ws];
+            let mut oracle = vec![0i32; ws];
+            plan.forward_into(&x, &mut fast);
+            plan.forward_matrix_into(&x, &mut oracle);
+            prop_assert_eq!(fast, oracle, "ws={}", ws);
+        }
+    }
+
+    #[test]
+    fn inverse_kernels_agree_on_random_coefficients(raw in proptest::collection::vec(proptest::num::i32::ANY, 64)) {
+        for ws in EQUIV_SIZES {
+            let t = IntDct::new(ws).unwrap();
+            let mut a = vec![Q15::ZERO; ws];
+            let mut b = vec![Q15::ZERO; ws];
+            t.inverse_into(&raw[..ws], &mut a);
+            t.inverse_butterfly_into(&raw[..ws], &mut b);
+            prop_assert_eq!(a, b, "ws={}", ws);
+        }
+    }
+
+    #[test]
+    fn round_trip_composition_is_kernel_independent(raw in proptest::collection::vec(proptest::num::i16::ANY, 64)) {
+        // forward -> inverse through the factorized kernels must land on
+        // the same samples as matrix -> matrix: with identical
+        // coefficient streams (asserted above) and bit-exact inverses,
+        // the composition cannot diverge — this closes the loop on the
+        // full factorized round trip.
+        for ws in EQUIV_SIZES {
+            let x: Vec<Q15> = raw[..ws].iter().map(|&r| Q15::from_raw(r)).collect();
+            let t = IntDct::new(ws).unwrap();
+            let mut y_fast = vec![0i32; ws];
+            let mut y_oracle = vec![0i32; ws];
+            t.forward_into(&x, &mut y_fast);
+            t.forward_matrix_into(&x, &mut y_oracle);
+            prop_assert_eq!(&y_fast, &y_oracle, "ws={} coefficients", ws);
+            let mut back_fast = vec![Q15::ZERO; ws];
+            let mut back_oracle = vec![Q15::ZERO; ws];
+            t.inverse_butterfly_into(&y_fast, &mut back_fast);
+            t.inverse_into(&y_oracle, &mut back_oracle);
+            prop_assert_eq!(back_fast, back_oracle, "ws={} reconstruction", ws);
+        }
+    }
+
+    #[test]
+    fn round_trip_error_stays_bounded_for_smooth_windows(
+        amp in 0.05f64..0.95,
+        freq in 1usize..4,
+    ) {
+        // Sanity on top of equivalence: the factorized default still
+        // reconstructs smooth windows to codec accuracy.
+        for ws in EQUIV_SIZES {
+            let x: Vec<Q15> = (0..ws)
+                .map(|i| {
+                    let ph = std::f64::consts::PI * freq as f64 * (i as f64 + 0.5) / ws as f64;
+                    Q15::from_f64(amp * ph.sin())
+                })
+                .collect();
+            let t = IntDct::new(ws).unwrap();
+            let mut y = vec![0i32; ws];
+            t.forward_into(&x, &mut y);
+            let mut back = vec![Q15::ZERO; ws];
+            t.inverse_butterfly_into(&y, &mut back);
+            // Rounding plus the HEVC matrix's documented ~1% row
+            // non-orthogonality (see `transform_properties`): the bound
+            // scales with amplitude at the large window sizes.
+            let bound = 6e-3 + 0.015 * amp;
+            for (a, b) in x.iter().zip(&back) {
+                prop_assert!((a.to_f64() - b.to_f64()).abs() < bound, "ws={}", ws);
+            }
+        }
+    }
+}
