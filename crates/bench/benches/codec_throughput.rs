@@ -13,6 +13,11 @@
 //!   (fresh scratch, fresh plans, fresh output per call) against the
 //!   encode twin (caller-owned `EncodeScratch` + reused output stream).
 //!
+//! The serving path is measured too: `store_fetch/cold_fetch_into`
+//! (sharded-store streaming fetch, decodes every call) vs
+//! `store_fetch/hot_fetch_cached` (decoded-LRU hit, no IDCT) — the
+//! runtime single-gate workload the store exists for.
+//!
 //! The run writes `BENCH_codec.json` at the repository root with every
 //! measurement plus the headline `decode_speedup_ws16` ratio, which the
 //! PR acceptance gate tracks (target: >= 3x), and the matching
@@ -21,6 +26,7 @@
 use compaqt_core::batch;
 use compaqt_core::compress::{CompressedWaveform, Compressor, Variant};
 use compaqt_core::engine::{DecodeScratch, DecompressionEngine, EncodeScratch, EngineStats};
+use compaqt_core::store::Store;
 use compaqt_dsp::intdct::IntDct;
 use compaqt_pulse::device::Device;
 use compaqt_pulse::shapes::{Drag, GaussianSquare, PulseShape};
@@ -169,12 +175,45 @@ fn bench_library_compile(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_store_fetch(c: &mut Criterion) {
+    // Runtime serving path: single-gate fetches from the sharded store.
+    // `cold` always decodes (streaming fetch into reused buffers, the
+    // zero-allocation path); `hot` hits the decoded LRU and skips the
+    // RLE + IDCT entirely. The gap between the two rows is what the
+    // hot set buys calibration-critical gates.
+    let device = Device::named_machine("guadalupe");
+    let lib = device.pulse_library();
+    let compressor = Compressor::new(Variant::IntDctW { ws: 16 });
+    let store = Store::from_library(&lib, &compressor).unwrap();
+    // A long two-qubit drive: the expensive, representative fetch.
+    let (gate, wf) =
+        lib.iter().max_by_key(|(_, wf)| wf.len()).expect("guadalupe library is non-empty");
+    let mut group = c.benchmark_group("store_fetch");
+    group.throughput(Throughput::Elements(2 * wf.len() as u64));
+    let (mut i, mut q) = (Vec::new(), Vec::new());
+    group.bench_function("cold_fetch_into", |b| {
+        b.iter(|| {
+            let stats = store.fetch_into(black_box(gate), &mut i, &mut q).unwrap();
+            black_box(stats.output_samples)
+        })
+    });
+    store.fetch_cached(gate).unwrap(); // park the decode
+    group.bench_function("hot_fetch_cached", |b| {
+        b.iter(|| {
+            let cached = store.fetch_cached(black_box(gate)).unwrap();
+            black_box(cached.i()[0])
+        })
+    });
+    group.finish();
+}
+
 fn main() {
     let mut criterion = Criterion::default();
     bench_intdct_kernel(&mut criterion);
     bench_compress(&mut criterion);
     bench_decompress(&mut criterion);
     bench_library_compile(&mut criterion);
+    bench_store_fetch(&mut criterion);
     criterion.final_summary();
 
     // Headline ratio the acceptance gate tracks.
@@ -224,9 +263,15 @@ fn main() {
     json.push_str("  ]\n}\n");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_codec.json");
     // The committed file is the authoritative baseline the smoke gates
-    // compare against; it is only overwritten once the gates pass, so a
-    // regressing run cannot destroy the reference it was judged by (and
-    // back-to-back local runs keep gating against a passing baseline).
+    // compare against; it is only overwritten once the gates pass *and*
+    // the gated encode ratio did not dip below the committed reference.
+    // Without the second condition the gate would ratchet downward:
+    // each run inside the 20% jitter margin would rewrite the baseline
+    // a little lower, compounding sub-threshold regressions into an
+    // arbitrarily large one that never fails CI. Within-jitter dips
+    // therefore pass but leave the file alone; improvements move it up;
+    // accepting a deliberate encode regression is a manual edit of
+    // BENCH_codec.json.
     let committed_enc8 = std::fs::read_to_string(path)
         .ok()
         .and_then(|s| parse_baseline_field(&s, "encode_speedup_ws8"));
@@ -257,9 +302,17 @@ fn main() {
         eprintln!("BENCH_codec.json left untouched (committed baseline preserved)");
         std::process::exit(1);
     }
-    std::fs::write(path, json).expect("write BENCH_codec.json");
-    println!("baseline written to BENCH_codec.json");
     println!("bench gates passed (decode >= 3x, encode within jitter margin of baseline)");
+    match committed_enc8 {
+        Some(baseline) if enc8 < baseline => println!(
+            "encode_speedup_ws8 {enc8:.2}x is below the committed {baseline:.2}x \
+             (within jitter): baseline left untouched so the gate cannot ratchet down"
+        ),
+        _ => {
+            std::fs::write(path, json).expect("write BENCH_codec.json");
+            println!("baseline written to BENCH_codec.json");
+        }
+    }
 }
 
 /// Extracts a `"name": 1.234` field from the committed baseline JSON

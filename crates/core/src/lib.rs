@@ -25,6 +25,10 @@
 //!   (Figure 13).
 //! * [`stats`] — library-level compression statistics (Figures 7/11/14,
 //!   Tables VII/IX).
+//! * [`store`] — the serving path: a sharded concurrent compressed
+//!   waveform store with pooled decode scratch and a hot set of decoded
+//!   waveforms (runtime single-gate fetches, the deployment model of
+//!   Section IV-A).
 //!
 //! # Example
 //!
@@ -53,9 +57,11 @@ pub mod memory;
 pub mod overlap;
 pub mod sequencer;
 pub mod stats;
+pub mod store;
 
 pub use compress::{CompressedWaveform, Compressor, Variant};
 pub use engine::{DecodeScratch, DecompressionEngine, EngineStats};
+pub use store::{Store, StoreConfig, StoreError, StoreStats};
 
 use std::fmt;
 

@@ -7,6 +7,7 @@
 //! (Figure 11).
 
 use crate::compress::{CompressedWaveform, Compressor};
+use crate::store::Store;
 use crate::CompressError;
 use compaqt_dsp::metrics::{CompressionRatio, Summary};
 use compaqt_pulse::library::{GateId, GateKind, PulseLibrary};
@@ -77,6 +78,20 @@ impl LibraryReport {
         } else {
             Some(values.iter().sum::<f64>() / values.len() as f64)
         }
+    }
+
+    /// Consumes the report into a serving-path [`Store`], moving each
+    /// compressed stream in without re-encoding or cloning — the bridge
+    /// from the compile side (this report) to runtime single-gate
+    /// fetches ([`Store::fetch_into`] / [`Store::fetch_cached`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError`] if a stream carries a variant no
+    /// decompression engine can be built for (never the case for
+    /// reports produced by [`compress_library`]).
+    pub fn into_store(self, config: crate::store::StoreConfig) -> Result<Store, CompressError> {
+        Store::from_entries(self.waveforms.into_iter().map(|w| (w.gate, w.compressed)), config)
     }
 
     /// Mean ratio over waveforms of one gate kind touching qubit `q`

@@ -1,0 +1,827 @@
+//! A sharded concurrent compressed-waveform store: the serving path.
+//!
+//! The paper's deployment model is that compressed pulse libraries are
+//! *served* at runtime: control hardware fetches **one gate's** waveform
+//! and decompresses it on the fly — it never inflates the whole library
+//! (Section IV-A). The batch paths in [`crate::batch`] model the
+//! compile-time side (whole-library encode/decode); this module models
+//! the runtime side: many concurrent readers, single-gate granularity,
+//! zero steady-state allocation.
+//!
+//! # Architecture
+//!
+//! A [`Store`] maps [`GateId`] → [`CompressedWaveform`] across a fixed
+//! power-of-two number of shards, each behind its own
+//! `parking_lot::RwLock`. Reads on different gates proceed fully in
+//! parallel; a write (calibration updating one gate) briefly excludes
+//! readers of **one shard only**. Gates are routed to shards by
+//! [`GateId::stable_hash`], so the layout is identical on every run.
+//!
+//! Three more pieces make the fetch path cheap:
+//!
+//! * **Scratch pool** — decoding needs a [`DecodeScratch`]; the store
+//!   keeps a bounded pool (checkout → decode → check in), so N reader
+//!   threads decode with at most N scratches ever built and **zero heap
+//!   allocations** per steady-state [`Store::fetch_into`] (enforced in
+//!   the `alloc_regression` integration test).
+//! * **Hot set** — a bounded per-shard LRU of *decoded* waveforms.
+//!   [`Store::fetch_cached`] returns an `Arc<Waveform>` clone on a hit,
+//!   skipping the RLE + IDCT entirely — the win for calibration-critical
+//!   gates fetched over and over. Recency is an atomic stamp per entry,
+//!   so hits ride the shared read lock (no writer serialization), and
+//!   the recency clock and fetch counters are shard-local, so readers
+//!   on different shards share no atomic cache line at all.
+//! * **Engine registry** — one shared [`DecompressionEngine`] per
+//!   variant, built at insert time, shared `&self` by all readers.
+//!
+//! # `fetch_into` vs `fetch_cached`
+//!
+//! [`Store::fetch_into`] always decodes, into caller-owned buffers: the
+//! right call when the caller streams samples onward (DAC staging) and
+//! wants deterministic latency and zero allocation. [`Store::fetch_cached`]
+//! amortizes: the first fetch decodes and parks an `Arc<Waveform>` in the
+//! hot set; repeats are a lock-shared lookup + refcount bump. Use it for
+//! skewed traffic (a few gates dominating fetches); size
+//! [`StoreConfig::hot_capacity`] to that working set.
+//!
+//! # Example
+//!
+//! ```
+//! use compaqt_core::compress::{Compressor, Variant};
+//! use compaqt_core::store::Store;
+//! use compaqt_pulse::device::Device;
+//! use compaqt_pulse::vendor::Vendor;
+//!
+//! let lib = Device::synthesize(Vendor::Ibm, 2, 0x51E).pulse_library();
+//! let compressor = Compressor::new(Variant::IntDctW { ws: 16 });
+//! let store = Store::from_library(&lib, &compressor)?;
+//!
+//! let (gate, wf) = lib.iter().next().unwrap();
+//! // Zero-allocation streaming fetch into reusable buffers...
+//! let (mut i, mut q) = (Vec::new(), Vec::new());
+//! store.fetch_into(gate, &mut i, &mut q)?;
+//! assert_eq!(i.len(), wf.len());
+//! // ...or a cached fetch that skips the IDCT on repeats.
+//! let first = store.fetch_cached(gate)?;
+//! let again = store.fetch_cached(gate)?;
+//! assert_eq!(first.i(), again.i());
+//! assert_eq!(store.stats().hot_hits, 1);
+//! # Ok::<(), compaqt_core::store::StoreError>(())
+//! ```
+
+use crate::compress::{CompressedWaveform, Compressor, Variant};
+use crate::engine::{DecodeScratch, DecompressionEngine, EncodeScratch, EngineStats};
+use crate::CompressError;
+use compaqt_pulse::library::{GateId, PulseLibrary};
+use compaqt_pulse::waveform::Waveform;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Sizing knobs for a [`Store`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Number of shards; rounded up to a power of two, minimum 1.
+    /// More shards = less writer/reader contention, slightly more memory.
+    pub shards: usize,
+    /// Total decoded waveforms kept hot across all shards (split evenly,
+    /// rounded up). `0` disables the hot set: [`Store::fetch_cached`]
+    /// then decodes on every call.
+    pub hot_capacity: usize,
+}
+
+impl Default for StoreConfig {
+    /// 16 shards, 64 hot waveforms: comfortable for a ~100-qubit
+    /// machine's calibration-critical working set.
+    fn default() -> Self {
+        StoreConfig { shards: 16, hot_capacity: 64 }
+    }
+}
+
+/// Errors from the serving path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// The store holds no waveform for the requested gate.
+    UnknownGate(GateId),
+    /// The stored stream failed to decode (or an insert was rejected).
+    Codec(CompressError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownGate(id) => write!(f, "store holds no waveform for gate {id}"),
+            StoreError::Codec(e) => write!(f, "stored stream failed to decode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Codec(e) => Some(e),
+            StoreError::UnknownGate(_) => None,
+        }
+    }
+}
+
+impl From<CompressError> for StoreError {
+    fn from(e: CompressError) -> Self {
+        StoreError::Codec(e)
+    }
+}
+
+/// A point-in-time snapshot of the store's fetch counters.
+///
+/// Counters are process-lifetime monotonic (never reset by fetches);
+/// sample twice and subtract to rate-measure a window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Successful fetches, both kinds.
+    pub fetches: u64,
+    /// [`Store::fetch_cached`] calls served from the hot set (no IDCT).
+    pub hot_hits: u64,
+    /// [`Store::fetch_cached`] calls that had to decode.
+    pub hot_misses: u64,
+    /// Decodes performed (every `fetch_into` plus every hot miss).
+    pub decodes: u64,
+    /// Wall nanoseconds spent inside the decompression engine.
+    pub decode_ns: u64,
+    /// Hot-set entries dropped by [`Store::invalidate`] / re-inserts.
+    pub invalidations: u64,
+}
+
+impl StoreStats {
+    /// Hot-set hit rate over all `fetch_cached` calls so far (0 when
+    /// none were made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hot_hits + self.hot_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hot_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Internal atomic counters behind [`StoreStats`] — one set per shard
+/// (summed by [`Store::stats`]), so fetches on different shards never
+/// contend on a shared counter cache line.
+#[derive(Debug, Default)]
+struct Counters {
+    fetches: AtomicU64,
+    hot_hits: AtomicU64,
+    hot_misses: AtomicU64,
+    decodes: AtomicU64,
+    decode_ns: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+/// One decoded waveform parked in a shard's hot set.
+#[derive(Debug)]
+struct HotEntry {
+    id: GateId,
+    decoded: Arc<Waveform>,
+    /// Recency stamp from the store-wide clock; atomic so cache *hits*
+    /// can bump it under the shared read lock.
+    last_used: AtomicU64,
+}
+
+/// One stored stream plus the shard generation it was inserted at.
+///
+/// The generation is what makes the hot set safe against recalibration
+/// races: a cached-fetch miss decodes outside the locks, and may only
+/// park its result if the gate's generation is still the one it read —
+/// a concurrent [`Store::insert`] bumps it, so a stale decode can never
+/// enter the hot set after the insert returned.
+#[derive(Debug)]
+struct StoredEntry {
+    gen: u64,
+    z: CompressedWaveform,
+}
+
+/// One shard: the compressed map plus its bounded hot set.
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<GateId, StoredEntry>,
+    hot: Vec<HotEntry>,
+    /// Monotonic insert counter; source of [`StoredEntry::gen`].
+    next_gen: u64,
+}
+
+/// One shard slot: the locked shard state plus its contention-free
+/// sidecars. The recency clock and fetch counters deliberately live
+/// *outside* the lock and *per shard*: hot hits then touch only
+/// shard-local cache lines, so readers hammering different shards never
+/// serialize on a store-wide atomic. (A shard-local clock is exact —
+/// LRU eviction only ever compares entries of the same shard.)
+#[derive(Debug, Default)]
+struct ShardSlot {
+    state: RwLock<Shard>,
+    /// This shard's recency clock.
+    clock: AtomicU64,
+    /// This shard's fetch counters; [`Store::stats`] sums across shards.
+    counters: Counters,
+}
+
+impl ShardSlot {
+    /// Next recency stamp for this shard.
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Drops the hot-set copy of `id` from `shard` (which must be this
+    /// slot's locked state), counting the invalidation. The single
+    /// eviction-accounting site shared by insert/invalidate/remove.
+    fn drop_hot(&self, shard: &mut Shard, id: &GateId) -> bool {
+        if let Some(pos) = shard.hot.iter().position(|e| &e.id == id) {
+            shard.hot.swap_remove(pos);
+            self.counters.invalidations.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// A sharded concurrent `GateId → CompressedWaveform` store with pooled
+/// decode scratch and a bounded hot set of decoded waveforms.
+///
+/// All methods take `&self`: the store is meant to sit in an `Arc` and
+/// be shared by reader and writer threads alike. See the [module
+/// docs](self) for the architecture and the fetch-path guarantees.
+#[derive(Debug)]
+pub struct Store {
+    shards: Vec<ShardSlot>,
+    /// `shards.len() - 1`; shard count is a power of two.
+    shard_mask: u64,
+    /// Hot-set slots per shard (0 disables caching).
+    hot_per_shard: usize,
+    /// One shared engine per variant seen at insert time.
+    engines: RwLock<Vec<(Variant, DecompressionEngine)>>,
+    /// Bounded checkout pool of decode scratches.
+    scratches: Mutex<Vec<DecodeScratch>>,
+    /// Upper bound on parked scratches (pool pre-allocated to this).
+    scratch_bound: usize,
+}
+
+impl Default for Store {
+    fn default() -> Self {
+        Store::new(StoreConfig::default())
+    }
+}
+
+impl Store {
+    /// Creates an empty store with the given sizing.
+    pub fn new(config: StoreConfig) -> Self {
+        let n_shards = config.shards.max(1).next_power_of_two();
+        let hot_per_shard =
+            if config.hot_capacity == 0 { 0 } else { config.hot_capacity.div_ceil(n_shards) };
+        let shards = (0..n_shards)
+            .map(|_| ShardSlot {
+                state: RwLock::new(Shard {
+                    map: HashMap::new(),
+                    // +1: insert-then-evict never reallocates.
+                    hot: Vec::with_capacity(hot_per_shard + 1),
+                    next_gen: 0,
+                }),
+                clock: AtomicU64::new(0),
+                counters: Counters::default(),
+            })
+            .collect();
+        let scratch_bound = n_shards.max(8);
+        Store {
+            shards,
+            shard_mask: (n_shards - 1) as u64,
+            hot_per_shard,
+            engines: RwLock::new(Vec::new()),
+            scratches: Mutex::new(Vec::with_capacity(scratch_bound)),
+            scratch_bound,
+        }
+    }
+
+    /// Compresses every waveform of a library into a new store with the
+    /// default sizing, reusing one [`EncodeScratch`] across the whole
+    /// pass (the zero-allocation encode path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first compression error (none occur for supported
+    /// window sizes).
+    pub fn from_library(
+        library: &PulseLibrary,
+        compressor: &Compressor,
+    ) -> Result<Self, CompressError> {
+        Store::from_library_with(library, compressor, StoreConfig::default())
+    }
+
+    /// [`Store::from_library`] with explicit sizing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first compression error.
+    pub fn from_library_with(
+        library: &PulseLibrary,
+        compressor: &Compressor,
+        config: StoreConfig,
+    ) -> Result<Self, CompressError> {
+        let store = Store::new(config);
+        let mut enc = EncodeScratch::new();
+        for (gate, wf) in library.iter() {
+            let mut z = CompressedWaveform::empty();
+            compressor.compress_into(wf, &mut enc, &mut z)?;
+            store.insert(gate.clone(), z)?;
+        }
+        Ok(store)
+    }
+
+    /// Builds a store from already-compressed `(gate, stream)` pairs,
+    /// moving the streams in (no re-encode, no clone) — the bridge from
+    /// a compile-side [`crate::stats::LibraryReport`] to the serving
+    /// path (see [`crate::stats::LibraryReport::into_store`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError::UnsupportedWindow`] if a stream carries
+    /// a variant no engine can be built for.
+    pub fn from_entries<I>(entries: I, config: StoreConfig) -> Result<Self, CompressError>
+    where
+        I: IntoIterator<Item = (GateId, CompressedWaveform)>,
+    {
+        let store = Store::new(config);
+        for (gate, z) in entries {
+            store.insert(gate, z)?;
+        }
+        Ok(store)
+    }
+
+    /// Inserts (or replaces) the compressed waveform for a gate and
+    /// drops any stale hot-set copy, so no reader can observe the old
+    /// decode after the insert returns. Concurrent readers of *other*
+    /// gates in the same shard are blocked only for the map write.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError::UnsupportedWindow`] if the stream's
+    /// variant has no valid decompression engine; the store is
+    /// unchanged in that case.
+    pub fn insert(&self, id: GateId, z: CompressedWaveform) -> Result<(), CompressError> {
+        // Register the engine before the entry becomes visible: any
+        // reader that can see the stream can also decode it. (Engine and
+        // shard locks are never held together, in either order.)
+        self.ensure_engine(z.variant)?;
+        let slot = &self.shards[self.shard_index(&id)];
+        let mut shard = slot.state.write();
+        slot.drop_hot(&mut shard, &id);
+        // The generation bump is what keeps a concurrent cached-fetch
+        // miss (decoding the *old* stream outside the locks right now)
+        // from parking its stale result after we return.
+        shard.next_gen += 1;
+        let gen = shard.next_gen;
+        shard.map.insert(id, StoredEntry { gen, z });
+        Ok(())
+    }
+
+    /// Decodes one gate's waveform into caller-owned buffers (cleared
+    /// and refilled), returning the engine's operation counts.
+    ///
+    /// This is the streaming fetch: it always runs the decoder, through
+    /// a pooled [`DecodeScratch`] — with reused output buffers the
+    /// steady-state call performs **zero heap allocations**. That
+    /// guarantee is why the decode runs under the shard's *read* lock
+    /// (copying the stream out first would allocate): concurrent
+    /// fetches of any gate proceed, but note the stub lock is
+    /// `std`-backed and writer-favoring, so a queued [`Store::insert`]
+    /// on the same shard makes *new* fetches of that shard wait for the
+    /// in-flight decodes to finish. Writes are rare (end of a
+    /// calibration cycle), so this is the right trade for the serving
+    /// loop.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownGate`] if the gate is absent;
+    /// [`StoreError::Codec`] if the stored stream is malformed.
+    pub fn fetch_into(
+        &self,
+        id: &GateId,
+        i_out: &mut Vec<f64>,
+        q_out: &mut Vec<f64>,
+    ) -> Result<EngineStats, StoreError> {
+        let slot = &self.shards[self.shard_index(id)];
+        let shard = slot.state.read();
+        let entry = shard.map.get(id).ok_or_else(|| StoreError::UnknownGate(id.clone()))?;
+        let z = &entry.z;
+        let mut scratch = self.checkout();
+        let started = Instant::now();
+        let result = self
+            .with_engine(z.variant, |engine| engine.decompress_into(z, &mut scratch, i_out, q_out));
+        let elapsed = started.elapsed().as_nanos() as u64;
+        self.checkin(scratch);
+        let stats = result?;
+        slot.counters.decodes.fetch_add(1, Ordering::Relaxed);
+        slot.counters.decode_ns.fetch_add(elapsed, Ordering::Relaxed);
+        slot.counters.fetches.fetch_add(1, Ordering::Relaxed);
+        Ok(stats)
+    }
+
+    /// Fetches one gate's decoded waveform through the hot set.
+    ///
+    /// A hit is a shared-lock lookup plus an `Arc` refcount bump — the
+    /// IDCT is skipped entirely. A miss snapshots the compressed stream
+    /// (one clone), decodes it **outside every lock** (pooled scratch),
+    /// parks the result in the shard's LRU (evicting the least recently
+    /// used entry if the shard is at capacity) and returns it. The park
+    /// is generation-checked: if the gate was recalibrated while the
+    /// miss was decoding, the now-stale decode is returned to its
+    /// caller (it was the truth when the fetch started) but never
+    /// cached, so [`Store::insert`]'s no-stale-reads guarantee holds.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownGate`] if the gate is absent;
+    /// [`StoreError::Codec`] if the stored stream is malformed.
+    pub fn fetch_cached(&self, id: &GateId) -> Result<Arc<Waveform>, StoreError> {
+        let slot = &self.shards[self.shard_index(id)];
+        // Fast path: shared lock, shard-local recency bump and counters,
+        // refcount clone.
+        let (z, gen) = {
+            let shard = slot.state.read();
+            if let Some(entry) = shard.hot.iter().find(|e| &e.id == id) {
+                entry.last_used.store(slot.tick(), Ordering::Relaxed);
+                slot.counters.hot_hits.fetch_add(1, Ordering::Relaxed);
+                slot.counters.fetches.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(&entry.decoded));
+            }
+            let entry = shard.map.get(id).ok_or_else(|| StoreError::UnknownGate(id.clone()))?;
+            // Snapshot the stream so the (long) decode holds no lock: a
+            // cold miss must not stall writers — or, through the
+            // writer-favoring std-backed lock, other readers — of this
+            // shard. One clone per miss; misses also allocate the
+            // waveform itself, so this is not on the zero-alloc path.
+            (entry.z.clone(), entry.gen)
+        };
+        let mut scratch = self.checkout();
+        let (mut i, mut q) = (Vec::new(), Vec::new());
+        let started = Instant::now();
+        let result = self.with_engine(z.variant, |engine| {
+            engine.decompress_into(&z, &mut scratch, &mut i, &mut q)
+        });
+        let elapsed = started.elapsed().as_nanos() as u64;
+        self.checkin(scratch);
+        result?;
+        let decoded = Arc::new(crate::engine::checked_waveform(&z.name, i, q, z.sample_rate_gs)?);
+        slot.counters.decodes.fetch_add(1, Ordering::Relaxed);
+        slot.counters.decode_ns.fetch_add(elapsed, Ordering::Relaxed);
+        slot.counters.hot_misses.fetch_add(1, Ordering::Relaxed);
+        slot.counters.fetches.fetch_add(1, Ordering::Relaxed);
+        if self.hot_per_shard == 0 {
+            return Ok(decoded);
+        }
+        // Park the decode. Another reader may have raced us here; keep
+        // the first entry so every caller converges on one shared
+        // decode.
+        let mut shard = slot.state.write();
+        if let Some(entry) = shard.hot.iter().find(|e| &e.id == id) {
+            entry.last_used.store(slot.tick(), Ordering::Relaxed);
+            return Ok(Arc::clone(&entry.decoded));
+        }
+        // The gate may have been recalibrated (or removed) while we
+        // were decoding; parking the old decode would then serve stale
+        // samples until the next invalidation. The generation stamp
+        // pins the exact stream we decoded.
+        if shard.map.get(id).is_some_and(|e| e.gen == gen) {
+            let entry = HotEntry {
+                id: id.clone(),
+                decoded: Arc::clone(&decoded),
+                last_used: AtomicU64::new(slot.tick()),
+            };
+            shard.hot.push(entry);
+            if shard.hot.len() > self.hot_per_shard {
+                let coldest = shard
+                    .hot
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                    .map(|(k, _)| k)
+                    .expect("hot set is non-empty");
+                shard.hot.swap_remove(coldest);
+            }
+        }
+        Ok(decoded)
+    }
+
+    /// Drops the hot-set copy of one gate (the compressed stream stays).
+    /// Returns `true` if a decoded copy was parked. Call after mutating
+    /// anything a cached decode depends on; [`Store::insert`] does this
+    /// automatically.
+    pub fn invalidate(&self, id: &GateId) -> bool {
+        let slot = &self.shards[self.shard_index(id)];
+        let mut shard = slot.state.write();
+        slot.drop_hot(&mut shard, id)
+    }
+
+    /// Removes a gate entirely (compressed stream and hot copy),
+    /// returning the stream if it was present.
+    pub fn remove(&self, id: &GateId) -> Option<CompressedWaveform> {
+        let slot = &self.shards[self.shard_index(id)];
+        let mut shard = slot.state.write();
+        slot.drop_hot(&mut shard, id);
+        shard.map.remove(id).map(|e| e.z)
+    }
+
+    /// A snapshot of the fetch counters, summed over all shards.
+    pub fn stats(&self) -> StoreStats {
+        let mut out = StoreStats::default();
+        for slot in &self.shards {
+            out.fetches += slot.counters.fetches.load(Ordering::Relaxed);
+            out.hot_hits += slot.counters.hot_hits.load(Ordering::Relaxed);
+            out.hot_misses += slot.counters.hot_misses.load(Ordering::Relaxed);
+            out.decodes += slot.counters.decodes.load(Ordering::Relaxed);
+            out.decode_ns += slot.counters.decode_ns.load(Ordering::Relaxed);
+            out.invalidations += slot.counters.invalidations.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Number of gates stored.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.state.read().map.len()).sum()
+    }
+
+    /// `true` if no gates are stored.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.state.read().map.is_empty())
+    }
+
+    /// `true` if the store holds a stream for the gate.
+    pub fn contains(&self, id: &GateId) -> bool {
+        self.shards[self.shard_index(id)].state.read().map.contains_key(id)
+    }
+
+    /// All stored gate ids, sorted (deterministic across runs — gate ids
+    /// are `Ord`).
+    pub fn gates(&self) -> Vec<GateId> {
+        let mut out: Vec<GateId> = Vec::with_capacity(self.len());
+        for slot in &self.shards {
+            out.extend(slot.state.read().map.keys().cloned());
+        }
+        out.sort();
+        out
+    }
+
+    /// Decoded waveforms currently parked across all hot sets.
+    pub fn hot_len(&self) -> usize {
+        self.shards.iter().map(|s| s.state.read().hot.len()).sum()
+    }
+
+    /// The number of shards (power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard a gate routes to — stable across runs and machines.
+    pub fn shard_index(&self, id: &GateId) -> usize {
+        (id.stable_hash() & self.shard_mask) as usize
+    }
+
+    /// Pops a pooled scratch, or builds one (first use per concurrency
+    /// level only).
+    fn checkout(&self) -> DecodeScratch {
+        self.scratches.lock().pop().unwrap_or_default()
+    }
+
+    /// Parks a scratch back in the pool (dropped if the pool is full,
+    /// bounding memory under reader-count spikes).
+    fn checkin(&self, scratch: DecodeScratch) {
+        let mut pool = self.scratches.lock();
+        if pool.len() < self.scratch_bound {
+            pool.push(scratch);
+        }
+    }
+
+    /// Registers the decompression engine for a variant, if new.
+    fn ensure_engine(&self, variant: Variant) -> Result<(), CompressError> {
+        if self.engines.read().iter().any(|(v, _)| *v == variant) {
+            return Ok(());
+        }
+        let engine = DecompressionEngine::for_variant(variant)?;
+        let mut engines = self.engines.write();
+        if !engines.iter().any(|(v, _)| *v == variant) {
+            engines.push((variant, engine));
+        }
+        Ok(())
+    }
+
+    /// Runs `f` with the shared engine for `variant`.
+    fn with_engine<R>(&self, variant: Variant, f: impl FnOnce(&DecompressionEngine) -> R) -> R {
+        let engines = self.engines.read();
+        let engine = engines
+            .iter()
+            .find(|(v, _)| *v == variant)
+            .map(|(_, e)| e)
+            .expect("engine registered before the entry became visible");
+        f(engine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compaqt_pulse::device::Device;
+    use compaqt_pulse::library::GateKind;
+    use compaqt_pulse::vendor::Vendor;
+
+    fn library() -> Arc<PulseLibrary> {
+        Device::synthesize(Vendor::Ibm, 3, 0x570FE).pulse_library()
+    }
+
+    fn store() -> Store {
+        let compressor = Compressor::new(Variant::IntDctW { ws: 16 });
+        Store::from_library(&library(), &compressor).unwrap()
+    }
+
+    #[test]
+    fn fetch_into_matches_engine_decode() {
+        let lib = library();
+        let compressor = Compressor::new(Variant::IntDctW { ws: 16 });
+        let store = Store::from_library(&lib, &compressor).unwrap();
+        let engine = DecompressionEngine::for_variant(compressor.variant()).unwrap();
+        let (mut i, mut q) = (Vec::new(), Vec::new());
+        for (gate, wf) in lib.iter() {
+            let z = compressor.compress(wf).unwrap();
+            let (expect, expect_stats) = engine.decompress(&z).unwrap();
+            let stats = store.fetch_into(gate, &mut i, &mut q).unwrap();
+            assert_eq!(expect.i(), &i[..], "{gate}: I channel");
+            assert_eq!(expect.q(), &q[..], "{gate}: Q channel");
+            assert_eq!(expect_stats, stats, "{gate}: engine stats");
+        }
+    }
+
+    #[test]
+    fn fetch_cached_hits_skip_the_decoder() {
+        let store = store();
+        let gate = store.gates().remove(0);
+        let a = store.fetch_cached(&gate).unwrap();
+        let before = store.stats();
+        let b = store.fetch_cached(&gate).unwrap();
+        let after = store.stats();
+        assert_eq!(a.i(), b.i());
+        assert!(Arc::ptr_eq(&a, &b), "hit must be the same shared decode");
+        assert_eq!(after.decodes, before.decodes, "hit must not decode");
+        assert_eq!(after.hot_hits, before.hot_hits + 1);
+    }
+
+    #[test]
+    fn unknown_gate_is_a_clean_error() {
+        let store = store();
+        let missing = GateId::single(GateKind::X, 99);
+        assert!(matches!(
+            store.fetch_into(&missing, &mut Vec::new(), &mut Vec::new()),
+            Err(StoreError::UnknownGate(_))
+        ));
+        assert!(matches!(store.fetch_cached(&missing), Err(StoreError::UnknownGate(_))));
+    }
+
+    #[test]
+    fn insert_invalidates_the_hot_copy() {
+        let lib = library();
+        let store = store();
+        let (gate, wf) = lib.iter().next().unwrap();
+        let old = store.fetch_cached(gate).unwrap();
+        // Recalibrate: same gate, visibly different waveform.
+        let shifted =
+            Waveform::new(format!("{gate}"), vec![0.25; wf.len()], vec![0.0; wf.len()], 4.54);
+        let z = Compressor::new(Variant::Delta).compress(&shifted).unwrap();
+        store.insert(gate.clone(), z).unwrap();
+        let new = store.fetch_cached(gate).unwrap();
+        assert!(!Arc::ptr_eq(&old, &new), "stale decode must not be served");
+        assert!((new.i()[0] - 0.25).abs() < 1e-3);
+        assert!(store.stats().invalidations >= 1);
+    }
+
+    #[test]
+    fn invalidate_and_remove() {
+        let store = store();
+        let gate = store.gates().remove(0);
+        assert!(!store.invalidate(&gate), "nothing hot yet");
+        store.fetch_cached(&gate).unwrap();
+        assert!(store.invalidate(&gate));
+        assert!(store.contains(&gate));
+        assert!(store.remove(&gate).is_some());
+        assert!(!store.contains(&gate));
+        assert!(store.remove(&gate).is_none());
+    }
+
+    #[test]
+    fn hot_set_is_bounded_and_evicts_lru() {
+        // One shard, two hot slots: the third distinct fetch evicts the
+        // least recently used.
+        let lib = library();
+        let compressor = Compressor::new(Variant::IntDctW { ws: 16 });
+        let store =
+            Store::from_library_with(&lib, &compressor, StoreConfig { shards: 1, hot_capacity: 2 })
+                .unwrap();
+        let gates = store.gates();
+        assert!(gates.len() >= 3);
+        store.fetch_cached(&gates[0]).unwrap();
+        store.fetch_cached(&gates[1]).unwrap();
+        store.fetch_cached(&gates[0]).unwrap(); // refresh gate 0
+        store.fetch_cached(&gates[2]).unwrap(); // evicts gate 1
+        assert_eq!(store.hot_len(), 2);
+        let before = store.stats();
+        store.fetch_cached(&gates[0]).unwrap();
+        assert_eq!(store.stats().hot_hits, before.hot_hits + 1, "gate 0 stayed hot");
+        let before = store.stats();
+        store.fetch_cached(&gates[1]).unwrap();
+        assert_eq!(store.stats().hot_misses, before.hot_misses + 1, "gate 1 was evicted");
+    }
+
+    #[test]
+    fn zero_hot_capacity_disables_caching() {
+        let lib = library();
+        let compressor = Compressor::new(Variant::IntDctW { ws: 16 });
+        let store =
+            Store::from_library_with(&lib, &compressor, StoreConfig { shards: 4, hot_capacity: 0 })
+                .unwrap();
+        let gate = store.gates().remove(0);
+        store.fetch_cached(&gate).unwrap();
+        store.fetch_cached(&gate).unwrap();
+        assert_eq!(store.hot_len(), 0);
+        assert_eq!(store.stats().hot_hits, 0);
+        assert_eq!(store.stats().decodes, 2);
+    }
+
+    #[test]
+    fn shard_routing_is_stable_and_in_range() {
+        let store = Store::new(StoreConfig { shards: 5, hot_capacity: 8 });
+        assert_eq!(store.shard_count(), 8, "rounded up to a power of two");
+        let id = GateId::pair(GateKind::Cx, 3, 7);
+        let s = store.shard_index(&id);
+        assert!(s < 8);
+        assert_eq!(s, store.shard_index(&id), "routing is a pure function of the id");
+    }
+
+    #[test]
+    fn mixed_variants_share_one_store() {
+        let lib = library();
+        let store = Store::new(StoreConfig::default());
+        for (k, (gate, wf)) in lib.iter().enumerate() {
+            let variant = match k % 3 {
+                0 => Variant::IntDctW { ws: 16 },
+                1 => Variant::DctN,
+                _ => Variant::Delta,
+            };
+            store.insert(gate.clone(), Compressor::new(variant).compress(wf).unwrap()).unwrap();
+        }
+        let (mut i, mut q) = (Vec::new(), Vec::new());
+        for (gate, wf) in lib.iter() {
+            store.fetch_into(gate, &mut i, &mut q).unwrap();
+            assert_eq!(i.len(), wf.len(), "{gate}");
+        }
+    }
+
+    #[test]
+    fn bad_variant_insert_is_rejected_and_store_unchanged() {
+        let lib = library();
+        let store = Store::new(StoreConfig::default());
+        let (gate, wf) = lib.iter().next().unwrap();
+        let mut z = Compressor::new(Variant::IntDctW { ws: 16 }).compress(wf).unwrap();
+        z.variant = Variant::IntDctW { ws: 10 };
+        assert!(store.insert(gate.clone(), z).is_err());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn stats_account_fetches_and_time() {
+        let store = store();
+        let gate = store.gates().remove(0);
+        let (mut i, mut q) = (Vec::new(), Vec::new());
+        store.fetch_into(&gate, &mut i, &mut q).unwrap();
+        store.fetch_cached(&gate).unwrap();
+        store.fetch_cached(&gate).unwrap();
+        let s = store.stats();
+        assert_eq!(s.fetches, 3);
+        assert_eq!(s.decodes, 2);
+        assert_eq!(s.hot_hits, 1);
+        assert_eq!(s.hot_misses, 1);
+        assert!(s.hit_rate() > 0.49 && s.hit_rate() < 0.51);
+    }
+
+    #[test]
+    fn into_store_bridge_preserves_streams() {
+        let lib = library();
+        let compressor = Compressor::new(Variant::IntDctW { ws: 16 });
+        let report = crate::stats::compress_library(&lib, &compressor).unwrap();
+        let n = report.waveforms.len();
+        let store = report.into_store(StoreConfig::default()).unwrap();
+        assert_eq!(store.len(), n);
+        let (mut i, mut q) = (Vec::new(), Vec::new());
+        for (gate, wf) in lib.iter() {
+            store.fetch_into(gate, &mut i, &mut q).unwrap();
+            assert_eq!(i.len(), wf.len());
+        }
+    }
+}

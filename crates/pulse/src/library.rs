@@ -11,7 +11,10 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// The kind of physical gate a waveform implements.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Ordered (`Ord`) so gate collections can be listed deterministically:
+/// built-in kinds sort in declaration order, custom kinds last by name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum GateKind {
     /// IBM π rotation (X gate).
     X,
@@ -48,7 +51,10 @@ impl fmt::Display for GateKind {
 
 /// Identifies one waveform in the library: a gate kind applied to specific
 /// qubits (order matters for directed gates such as CX).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Ordered (`Ord`) by kind then qubit list, so sorted gate listings are
+/// stable across runs and machines.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct GateId {
     /// The gate kind.
     pub kind: GateKind,
@@ -65,6 +71,46 @@ impl GateId {
     /// Creates a two-qubit gate id.
     pub fn pair(kind: GateKind, a: u16, b: u16) -> Self {
         GateId { kind, qubits: vec![a, b] }
+    }
+
+    /// A stable 64-bit hash of the id (FNV-1a over the kind and qubit
+    /// list), independent of the process's `HashMap` seeding.
+    ///
+    /// Consumers that partition gates across fixed buckets — the sharded
+    /// waveform store, or any persisted layout — need the same gate to
+    /// land in the same bucket on every run; `std::hash` makes no such
+    /// cross-process promise, so this method is the contract instead.
+    pub fn stable_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |byte: u8| {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(FNV_PRIME);
+        };
+        let tag: u8 = match &self.kind {
+            GateKind::X => 0,
+            GateKind::Sx => 1,
+            GateKind::Cx => 2,
+            GateKind::PhasedXz => 3,
+            GateKind::Fsim => 4,
+            GateKind::ISwap => 5,
+            GateKind::Measure => 6,
+            GateKind::Custom(_) => 7,
+        };
+        eat(tag);
+        if let GateKind::Custom(name) = &self.kind {
+            for &b in name.as_bytes() {
+                eat(b);
+            }
+            eat(0xFF); // terminator: "ab"+[1] never collides with "a"+[0xFF01]
+        }
+        for &q in &self.qubits {
+            let [lo, hi] = q.to_le_bytes();
+            eat(lo);
+            eat(hi);
+        }
+        h
     }
 }
 

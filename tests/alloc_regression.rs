@@ -174,4 +174,53 @@ fn steady_state_library_codec_allocates_nothing() {
         "steady-state decode of {} waveforms x 10 passes must not allocate, saw {delta}",
         slots.len()
     );
+
+    // ---- Serving path: steady-state store fetches allocate nothing.
+    // The sharded store adds lock acquisition, engine lookup, scratch
+    // checkout/checkin and counter updates around the same decode — all
+    // of which must stay off the heap. Hot capacity is sized so every
+    // gate stays cached even if all of them hash to one shard, so
+    // steady-state `fetch_cached` is pure hits.
+    use compaqt::core::store::{Store, StoreConfig};
+    let store = Store::from_library_with(
+        &lib,
+        &compressor,
+        StoreConfig { shards: 4, hot_capacity: 4 * waveforms.len() },
+    )
+    .unwrap();
+    let gates = store.gates();
+
+    // Warm-up: size the output buffers, build the pooled scratch, fill
+    // every hot-set slot.
+    for _ in 0..2 {
+        for gate in &gates {
+            store.fetch_into(gate, &mut i, &mut q).unwrap();
+            let cached = store.fetch_cached(gate).unwrap();
+            assert!(!cached.i().is_empty());
+        }
+    }
+
+    // Steady state: ten passes of streaming fetches + hot-cache fetches
+    // over the whole library, zero allocations (the runtime serving
+    // loop: control hardware pulling one gate at a time).
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut served = 0usize;
+    for _ in 0..10 {
+        for gate in &gates {
+            let stats = store.fetch_into(gate, &mut i, &mut q).unwrap();
+            served += stats.output_samples;
+            let cached = store.fetch_cached(gate).unwrap();
+            served += cached.len();
+        }
+    }
+    let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert!(served > 0);
+    let stats = store.stats();
+    assert_eq!(stats.hot_misses as usize, gates.len(), "warmed hot set must only hit");
+    assert_eq!(
+        delta,
+        0,
+        "steady-state store fetches across {} gates x 10 passes must not allocate, saw {delta}",
+        gates.len()
+    );
 }

@@ -1,7 +1,8 @@
-//! Offline stub of `parking_lot`: the [`Mutex`] subset compaqt uses,
-//! implemented over `std::sync::Mutex` with parking_lot's ergonomics
-//! (`lock()` returns the guard directly; poisoning is swallowed, matching
-//! parking_lot's no-poisoning semantics).
+//! Offline stub of `parking_lot`: the [`Mutex`] / [`RwLock`] subset
+//! compaqt uses, implemented over the `std::sync` primitives with
+//! parking_lot's ergonomics (`lock()`/`read()`/`write()` return the
+//! guard directly; poisoning is swallowed, matching parking_lot's
+//! no-poisoning semantics).
 
 /// A mutual-exclusion lock whose `lock` never returns a `Result`.
 #[derive(Debug, Default)]
@@ -27,6 +28,43 @@ impl<T> Mutex<T> {
     }
 }
 
+/// A reader-writer lock whose `read`/`write` never return a `Result`.
+#[derive(Debug, Default)]
+pub struct RwLock<T>(std::sync::RwLock<T>);
+
+/// Shared guard type returned by [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+
+/// Exclusive guard type returned by [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Wraps a value in a reader-writer lock.
+    pub const fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    /// Acquires a shared read guard, ignoring poisoning.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Acquires an exclusive write guard, ignoring poisoning.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Mutable access through a unique reference (no locking needed).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -37,5 +75,22 @@ mod tests {
         *m.lock() += 1;
         assert_eq!(*m.lock(), 6);
         assert_eq!(m.into_inner(), 6);
+    }
+
+    #[test]
+    fn rwlock_round_trips() {
+        let mut l = RwLock::new(1);
+        *l.write() += 1;
+        assert_eq!(*l.read(), 2);
+        *l.get_mut() += 1;
+        assert_eq!(l.into_inner(), 3);
+    }
+
+    #[test]
+    fn rwlock_allows_concurrent_readers() {
+        let l = RwLock::new(7);
+        let a = l.read();
+        let b = l.read();
+        assert_eq!(*a + *b, 14);
     }
 }
