@@ -16,7 +16,9 @@
 //! The serving path is measured too: `store_fetch/cold_fetch_into`
 //! (sharded-store streaming fetch, decodes every call) vs
 //! `store_fetch/hot_fetch_cached` (decoded-LRU hit, no IDCT) — the
-//! runtime single-gate workload the store exists for.
+//! runtime single-gate workload the store exists for. The `container_io`
+//! group adds informational serialize/validate/serve rows for the CWL
+//! persistence layer (`compaqt-io`); none of them are gated.
 //!
 //! The run writes `BENCH_codec.json` at the repository root with every
 //! measurement plus the headline `decode_speedup_ws16` ratio, which the
@@ -207,6 +209,50 @@ fn bench_store_fetch(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_container_io(c: &mut Criterion) {
+    // Persistence layer (informational rows, no gate): serialize a
+    // whole library store to CWL container bytes, validate + index the
+    // container (header, sorted index, per-entry CRC-32), random-access
+    // decode one gate straight from the backing buffer, and bulk-load a
+    // serving store.
+    let device = Device::named_machine("guadalupe");
+    let lib = device.pulse_library();
+    let compressor = Compressor::new(Variant::IntDctW { ws: 16 });
+    let store = Store::from_library(&lib, &compressor).unwrap();
+    let bytes = compaqt_io::write_store(&store).unwrap();
+    let (gate, wf) =
+        lib.iter().max_by_key(|(_, wf)| wf.len()).expect("guadalupe library is non-empty");
+    let mut group = c.benchmark_group("container_io");
+    group.throughput(Throughput::Elements(bytes.len() as u64));
+    group.bench_function("write_store", |b| {
+        b.iter(|| black_box(compaqt_io::write_store(black_box(&store)).unwrap().len()))
+    });
+    group.bench_function("reader_validate", |b| {
+        b.iter(|| black_box(compaqt_io::Reader::new(black_box(bytes.clone())).unwrap().len()))
+    });
+    let reader = compaqt_io::Reader::new(bytes.clone()).unwrap();
+    let mut scratch = compaqt_io::ContainerScratch::new();
+    let (mut i, mut q) = (Vec::new(), Vec::new());
+    group.throughput(Throughput::Elements(2 * wf.len() as u64));
+    group.bench_function("reader_fetch_into", |b| {
+        b.iter(|| {
+            let stats = reader.fetch_into(black_box(gate), &mut scratch, &mut i, &mut q).unwrap();
+            black_box(stats.output_samples)
+        })
+    });
+    group.throughput(Throughput::Elements(lib.len() as u64));
+    group.bench_function("into_store", |b| {
+        b.iter(|| {
+            let loaded = compaqt_io::Reader::new(bytes.clone())
+                .unwrap()
+                .into_store(Default::default())
+                .unwrap();
+            black_box(loaded.len())
+        })
+    });
+    group.finish();
+}
+
 fn main() {
     let mut criterion = Criterion::default();
     bench_intdct_kernel(&mut criterion);
@@ -214,6 +260,7 @@ fn main() {
     bench_decompress(&mut criterion);
     bench_library_compile(&mut criterion);
     bench_store_fetch(&mut criterion);
+    bench_container_io(&mut criterion);
     criterion.final_summary();
 
     // Headline ratio the acceptance gate tracks.

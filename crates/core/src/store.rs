@@ -427,6 +427,85 @@ impl Store {
         Ok(stats)
     }
 
+    /// Decodes a batch of gates into per-gate caller-owned buffer pairs
+    /// (`outs[k]` receives gate `ids[k]`), returning the merged engine
+    /// stats.
+    ///
+    /// The batch is grouped by shard: each shard's read lock is
+    /// acquired **once per batch** and every batch gate living there is
+    /// decoded under it, instead of one acquire/release per gate as a
+    /// `fetch_into` loop pays — the right call when a schedule hands
+    /// the controller a whole gate list at once. One pooled scratch
+    /// serves the entire batch, so with reused output buffers the
+    /// steady-state call performs zero heap allocations (enforced in
+    /// the `alloc_regression` integration test), and the result is
+    /// bit-exact with per-gate [`Store::fetch_into`] calls.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownGate`] on the first absent gate,
+    /// [`StoreError::Codec`] on the first malformed stream. On error,
+    /// buffers decoded before the failure keep their samples and the
+    /// rest are untouched — treat `outs` as unspecified.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` and `outs` have different lengths.
+    pub fn fetch_many(
+        &self,
+        ids: &[GateId],
+        outs: &mut [(Vec<f64>, Vec<f64>)],
+    ) -> Result<EngineStats, StoreError> {
+        assert_eq!(ids.len(), outs.len(), "one output buffer pair per requested gate");
+        let mut scratch = self.checkout();
+        let result = self.fetch_many_with(ids, outs, &mut scratch);
+        self.checkin(scratch);
+        result
+    }
+
+    /// Shard-grouped batch decode through a caller-held scratch; the
+    /// locked inner loop of [`Store::fetch_many`].
+    fn fetch_many_with(
+        &self,
+        ids: &[GateId],
+        outs: &mut [(Vec<f64>, Vec<f64>)],
+        scratch: &mut DecodeScratch,
+    ) -> Result<EngineStats, StoreError> {
+        let mut merged = EngineStats::default();
+        for (s, slot) in self.shards.iter().enumerate() {
+            // One routing hash per (shard, gate); the shard lock is
+            // taken lazily on the first gate that routes here, so
+            // shards the batch never touches are never locked.
+            let mut shard = None;
+            let mut decoded = 0u64;
+            let result = ids
+                .iter()
+                .zip(outs.iter_mut())
+                .filter(|(id, _)| self.shard_index(id) == s)
+                .try_for_each(|(id, (i_out, q_out))| {
+                    let (shard, _) =
+                        shard.get_or_insert_with(|| (slot.state.read(), Instant::now()));
+                    let entry =
+                        shard.map.get(id).ok_or_else(|| StoreError::UnknownGate(id.clone()))?;
+                    let z = &entry.z;
+                    let stats = self.with_engine(z.variant, |engine| {
+                        engine.decompress_into(z, scratch, i_out, q_out)
+                    })?;
+                    merged.merge(&stats);
+                    decoded += 1;
+                    Ok::<(), StoreError>(())
+                });
+            if let Some((_, started)) = &shard {
+                let elapsed = started.elapsed().as_nanos() as u64;
+                slot.counters.decodes.fetch_add(decoded, Ordering::Relaxed);
+                slot.counters.fetches.fetch_add(decoded, Ordering::Relaxed);
+                slot.counters.decode_ns.fetch_add(elapsed, Ordering::Relaxed);
+            }
+            result?;
+        }
+        Ok(merged)
+    }
+
     /// Fetches one gate's decoded waveform through the hot set.
     ///
     /// A hit is a shared-lock lookup plus an `Arc` refcount bump — the
@@ -570,6 +649,24 @@ impl Store {
         }
         out.sort();
         out
+    }
+
+    /// Visits every stored `(gate, stream)` pair under shard read
+    /// locks, without cloning a single stream — the export bridge
+    /// serializers use (the `compaqt-io` container writer drains a
+    /// serving store through this). Visit order is unspecified
+    /// (shard-major, hash-map order within a shard); callers needing a
+    /// canonical order must sort what they collect.
+    ///
+    /// Concurrent inserts to a shard not yet visited are observed;
+    /// holding one shard's read lock never blocks writers of another.
+    pub fn for_each_entry(&self, mut f: impl FnMut(&GateId, &CompressedWaveform)) {
+        for slot in &self.shards {
+            let shard = slot.state.read();
+            for (id, entry) in shard.map.iter() {
+                f(id, &entry.z);
+            }
+        }
     }
 
     /// Decoded waveforms currently parked across all hot sets.
@@ -808,6 +905,59 @@ mod tests {
         assert_eq!(s.hot_hits, 1);
         assert_eq!(s.hot_misses, 1);
         assert!(s.hit_rate() > 0.49 && s.hit_rate() < 0.51);
+    }
+
+    #[test]
+    fn fetch_many_is_bit_exact_with_repeated_fetch_into() {
+        let lib = library();
+        let store = Store::new(StoreConfig { shards: 4, hot_capacity: 8 });
+        // Mixed variants so the batch crosses engines as well as shards.
+        for (k, (gate, wf)) in lib.iter().enumerate() {
+            let variant = match k % 3 {
+                0 => Variant::IntDctW { ws: 16 },
+                1 => Variant::DctN,
+                _ => Variant::Delta,
+            };
+            store.insert(gate.clone(), Compressor::new(variant).compress(wf).unwrap()).unwrap();
+        }
+        let ids = store.gates();
+        let mut outs: Vec<(Vec<f64>, Vec<f64>)> = ids.iter().map(|_| Default::default()).collect();
+        let batch_stats = store.fetch_many(&ids, &mut outs).unwrap();
+        let (mut i, mut q) = (Vec::new(), Vec::new());
+        let mut merged = EngineStats::default();
+        for (id, (bi, bq)) in ids.iter().zip(&outs) {
+            let stats = store.fetch_into(id, &mut i, &mut q).unwrap();
+            merged.merge(&stats);
+            assert_eq!(&i, bi, "{id}: I channel");
+            assert_eq!(&q, bq, "{id}: Q channel");
+        }
+        assert_eq!(batch_stats, merged, "batch stats are the per-gate merge");
+        assert_eq!(store.stats().fetches, 2 * ids.len() as u64);
+    }
+
+    #[test]
+    fn fetch_many_reports_missing_gates() {
+        let store = store();
+        let mut ids = store.gates();
+        ids.push(GateId::single(GateKind::X, 99));
+        let mut outs: Vec<(Vec<f64>, Vec<f64>)> = ids.iter().map(|_| Default::default()).collect();
+        assert!(matches!(store.fetch_many(&ids, &mut outs), Err(StoreError::UnknownGate(_))));
+        // Empty batches are a no-op, not an error.
+        assert_eq!(store.fetch_many(&[], &mut []).unwrap(), EngineStats::default());
+    }
+
+    #[test]
+    fn for_each_entry_visits_every_stream_once() {
+        let lib = library();
+        let store = store();
+        let mut seen = Vec::new();
+        store.for_each_entry(|gate, z| {
+            assert!(!z.name.is_empty());
+            seen.push(gate.clone());
+        });
+        seen.sort();
+        assert_eq!(seen, store.gates());
+        assert_eq!(seen.len(), lib.len());
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the
+//! checksum every container index entry records for its payload bytes.
+//!
+//! Table-driven, one table built at compile time. The polynomial and
+//! bit order match zlib/PNG/`crc32fast`, so containers can be verified
+//! by standard tooling.
+
+/// The reflected IEEE 802.3 polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut n = 0;
+    while n < 256 {
+        let mut c = n as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[n] = c;
+        n += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// The CRC-32 of `data` (init `0xFFFFFFFF`, final xor `0xFFFFFFFF`).
+///
+/// # Example
+///
+/// ```
+/// // The standard check vector.
+/// assert_eq!(compaqt_io::crc32::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in data {
+        c = TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn single_bit_damage_changes_the_sum() {
+        let data = vec![0xA5u8; 64];
+        let clean = crc32(&data);
+        for k in 0..data.len() {
+            for bit in 0..8 {
+                let mut mangled = data.clone();
+                mangled[k] ^= 1 << bit;
+                assert_ne!(crc32(&mangled), clean, "flip at byte {k} bit {bit} undetected");
+            }
+        }
+    }
+}

@@ -1,0 +1,510 @@
+//! Shared wire codecs for the container's building blocks: gate ids,
+//! variant tags, channel data and the three stream payload encodings.
+//!
+//! Everything is little-endian and bounds-checked on the way in: parse
+//! helpers verify the bytes they are about to consume *exist* before
+//! consuming them, and verify every count they are about to size a
+//! buffer from is covered by remaining input — a lying length field
+//! costs the attacker at least as many payload bytes as the allocation
+//! it requests, so memory stays linear in the input.
+
+use crate::ContainerError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use compaqt_core::adaptive::{AdaptiveCompressed, Segment};
+use compaqt_core::compress::{ChannelData, CompressedWaveform, Variant};
+use compaqt_core::overlap::OverlapCompressed;
+use compaqt_dsp::fixed::Q15;
+use compaqt_dsp::rle::CodedWord;
+use compaqt_pulse::library::{GateId, GateKind};
+
+/// Fixed header size: magic + version + reserved + rate bits + count +
+/// index bytes + payload bytes + index CRC-32.
+pub(crate) const HEADER_BYTES: usize = 4 + 2 + 2 + 8 + 4 + 8 + 8 + 4;
+
+/// Smallest possible index entry: a no-qubit built-in gate (2 bytes)
+/// plus codec/variant tags (4) plus offset/len/crc (16).
+pub(crate) const MIN_ENTRY_BYTES: u64 = 22;
+
+/// What kind of compressed stream an entry's payload holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PayloadKind {
+    /// A plain [`CompressedWaveform`] — the only kind the serving
+    /// [`Store`](compaqt_core::store::Store) can hold.
+    Plain,
+    /// An [`OverlapCompressed`] lapped-window stream.
+    Overlap,
+    /// An [`AdaptiveCompressed`] IDCT-bypass segment list.
+    Adaptive,
+}
+
+impl PayloadKind {
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            PayloadKind::Plain => 0,
+            PayloadKind::Overlap => 1,
+            PayloadKind::Adaptive => 2,
+        }
+    }
+
+    pub(crate) fn from_tag(tag: u8) -> Option<PayloadKind> {
+        match tag {
+            0 => Some(PayloadKind::Plain),
+            1 => Some(PayloadKind::Overlap),
+            2 => Some(PayloadKind::Adaptive),
+            _ => None,
+        }
+    }
+}
+
+/// Fails with [`ContainerError::Truncated`] unless `n` more bytes
+/// remain.
+pub(crate) fn need(buf: &Bytes, n: usize) -> Result<(), ContainerError> {
+    if buf.remaining() < n {
+        Err(ContainerError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------- gates
+
+fn kind_tag(kind: &GateKind) -> u8 {
+    match kind {
+        GateKind::X => 0,
+        GateKind::Sx => 1,
+        GateKind::Cx => 2,
+        GateKind::PhasedXz => 3,
+        GateKind::Fsim => 4,
+        GateKind::ISwap => 5,
+        GateKind::Measure => 6,
+        GateKind::Custom(_) => 7,
+    }
+}
+
+pub(crate) fn put_gate(buf: &mut BytesMut, id: &GateId) -> Result<(), ContainerError> {
+    buf.put_u8(kind_tag(&id.kind));
+    if let GateKind::Custom(name) = &id.kind {
+        if name.len() > usize::from(u16::MAX) {
+            return Err(ContainerError::Unrepresentable("custom gate name longer than 64 KiB"));
+        }
+        buf.put_u16_le(name.len() as u16);
+        buf.put_slice(name.as_bytes());
+    }
+    if id.qubits.len() > usize::from(u8::MAX) {
+        return Err(ContainerError::Unrepresentable("more than 255 qubits on one gate"));
+    }
+    buf.put_u8(id.qubits.len() as u8);
+    for &q in &id.qubits {
+        buf.put_u16_le(q);
+    }
+    Ok(())
+}
+
+pub(crate) fn take_gate(buf: &mut Bytes) -> Result<GateId, ContainerError> {
+    need(buf, 1)?;
+    let kind = match buf.get_u8() {
+        0 => GateKind::X,
+        1 => GateKind::Sx,
+        2 => GateKind::Cx,
+        3 => GateKind::PhasedXz,
+        4 => GateKind::Fsim,
+        5 => GateKind::ISwap,
+        6 => GateKind::Measure,
+        7 => {
+            need(buf, 2)?;
+            let len = usize::from(buf.get_u16_le());
+            need(buf, len)?;
+            let name = std::str::from_utf8(&buf[..len])
+                .map_err(|_| ContainerError::IndexInvalid("custom gate name is not UTF-8"))?
+                .to_string();
+            buf.advance(len);
+            GateKind::Custom(name)
+        }
+        _ => return Err(ContainerError::IndexInvalid("unknown gate kind tag")),
+    };
+    need(buf, 1)?;
+    let nq = usize::from(buf.get_u8());
+    need(buf, 2 * nq)?;
+    let qubits = (0..nq).map(|_| buf.get_u16_le()).collect();
+    Ok(GateId { kind, qubits })
+}
+
+// -------------------------------------------------------------- variants
+
+pub(crate) fn encode_variant(v: Variant) -> Result<(u8, u16), ContainerError> {
+    let ws16 = |ws: usize| {
+        u16::try_from(ws).map_err(|_| ContainerError::Unrepresentable("window size beyond u16"))
+    };
+    Ok(match v {
+        Variant::Delta => (0, 0),
+        Variant::DctN => (1, 0),
+        Variant::DctW { ws } => (2, ws16(ws)?),
+        Variant::IntDctW { ws } => (3, ws16(ws)?),
+    })
+}
+
+/// Decodes a variant tag pair, rejecting non-canonical forms (a window
+/// size on a non-windowed variant) so every variant has exactly one
+/// byte representation.
+pub(crate) fn decode_variant(tag: u8, ws: u16) -> Result<Variant, &'static str> {
+    match (tag, ws) {
+        (0, 0) => Ok(Variant::Delta),
+        (1, 0) => Ok(Variant::DctN),
+        (0 | 1, _) => Err("window size on a non-windowed variant"),
+        (2, _) => Ok(Variant::DctW { ws: usize::from(ws) }),
+        (3, _) => Ok(Variant::IntDctW { ws: usize::from(ws) }),
+        _ => Err("unknown variant tag"),
+    }
+}
+
+// ------------------------------------------------------------ sample rate
+
+pub(crate) fn check_rate(bits: u64, what: &'static str) -> Result<f64, ContainerError> {
+    let rate = f64::from_bits(bits);
+    if rate.is_finite() && rate > 0.0 {
+        Ok(rate)
+    } else {
+        Err(ContainerError::PayloadInvalid(what))
+    }
+}
+
+// -------------------------------------------------------------- channels
+
+/// Spare-capacity pools for reused channel slots.
+///
+/// When a parse reshapes a slot to a *different* [`ChannelData`]
+/// variant — a mixed-variant container served through one
+/// [`ContainerScratch`](crate::ContainerScratch) does this constantly —
+/// the displaced buffers park here instead of dropping their capacity,
+/// so alternating shapes stays allocation-free once every pool is warm
+/// (the out-of-crate twin of the encoder's spare-window reuse). Pool
+/// sizes are bounded by the shape diversity of one slot, not by the
+/// container.
+#[derive(Debug, Default)]
+pub(crate) struct SlotSpares {
+    /// Spare per-window word lists.
+    words: Vec<Vec<CodedWord>>,
+    /// Spare outer window vectors (emptied, capacity kept).
+    outers: Vec<Vec<Vec<CodedWord>>>,
+    /// Spare `i16` sample/delta buffers.
+    i16s: Vec<Vec<i16>>,
+}
+
+/// Parks a displaced channel value's buffers in the pools.
+fn park(old: ChannelData, spares: &mut SlotSpares) {
+    match old {
+        ChannelData::Windows(mut outer) => {
+            spares.words.append(&mut outer);
+            spares.outers.push(outer);
+        }
+        ChannelData::Delta { deltas, .. } => spares.i16s.push(deltas),
+        ChannelData::Raw(samples) => spares.i16s.push(samples),
+    }
+}
+
+/// Reshapes a channel slot into `Windows` with `n` cleared word lists,
+/// parking/retrieving every displaced buffer through `spares` so a
+/// reused slot keeps all its capacity across waveforms of different
+/// window counts *and* different channel shapes.
+fn windows_slot<'a>(
+    ch: &'a mut ChannelData,
+    n: usize,
+    spares: &mut SlotSpares,
+) -> &'a mut Vec<Vec<CodedWord>> {
+    if !matches!(ch, ChannelData::Windows(_)) {
+        let fresh = ChannelData::Windows(spares.outers.pop().unwrap_or_default());
+        park(std::mem::replace(ch, fresh), spares);
+    }
+    let ChannelData::Windows(windows) = ch else { unreachable!("just normalized to Windows") };
+    while windows.len() > n {
+        spares.words.push(windows.pop().expect("len checked"));
+    }
+    while windows.len() < n {
+        windows.push(spares.words.pop().unwrap_or_default());
+    }
+    for w in windows.iter_mut() {
+        w.clear();
+    }
+    windows
+}
+
+/// Reshapes a channel slot into `Raw`, returning its cleared buffer.
+fn raw_slot<'a>(ch: &'a mut ChannelData, spares: &mut SlotSpares) -> &'a mut Vec<i16> {
+    if !matches!(ch, ChannelData::Raw(_)) {
+        let fresh = ChannelData::Raw(spares.i16s.pop().unwrap_or_default());
+        park(std::mem::replace(ch, fresh), spares);
+    }
+    let ChannelData::Raw(samples) = ch else { unreachable!("just normalized to Raw") };
+    samples.clear();
+    samples
+}
+
+/// Reshapes a channel slot into `Delta`, setting the header fields and
+/// returning its cleared delta buffer.
+fn delta_slot<'a>(
+    ch: &'a mut ChannelData,
+    base: i16,
+    bits: u32,
+    spares: &mut SlotSpares,
+) -> &'a mut Vec<i16> {
+    if !matches!(ch, ChannelData::Delta { .. }) {
+        let fresh =
+            ChannelData::Delta { base, bits, deltas: spares.i16s.pop().unwrap_or_default() };
+        park(std::mem::replace(ch, fresh), spares);
+    }
+    let ChannelData::Delta { base: b, bits: w, deltas } = ch else {
+        unreachable!("just normalized to Delta")
+    };
+    *b = base;
+    *w = bits;
+    deltas.clear();
+    deltas
+}
+
+/// A count field, width-checked: oversized values are a typed
+/// [`ContainerError::Unrepresentable`] error, never a silent `as`
+/// truncation (which would emit a CRC-consistent container that lies
+/// about its own contents).
+pub(crate) fn checked_u32(n: usize, what: &'static str) -> Result<u32, ContainerError> {
+    u32::try_from(n).map_err(|_| ContainerError::Unrepresentable(what))
+}
+
+pub(crate) fn put_channel(buf: &mut BytesMut, channel: &ChannelData) -> Result<(), ContainerError> {
+    match channel {
+        ChannelData::Windows(windows) => {
+            buf.put_u8(0);
+            buf.put_u32_le(checked_u32(windows.len(), "more than 2^32 windows in a channel")?);
+            for win in windows {
+                let len = u16::try_from(win.len()).map_err(|_| {
+                    ContainerError::Unrepresentable("more than 65535 words in one window")
+                })?;
+                buf.put_u16_le(len);
+                for w in win {
+                    buf.put_u16_le(w.pack());
+                }
+            }
+        }
+        ChannelData::Delta { base, bits, deltas } => {
+            buf.put_u8(1);
+            buf.put_i16_le(*base);
+            buf.put_u8(*bits as u8);
+            buf.put_u32_le(checked_u32(deltas.len(), "more than 2^32 deltas in a channel")?);
+            for &d in deltas {
+                buf.put_i16_le(d);
+            }
+        }
+        ChannelData::Raw(samples) => {
+            buf.put_u8(2);
+            buf.put_u32_le(checked_u32(samples.len(), "more than 2^32 raw samples in a channel")?);
+            for &s in samples {
+                buf.put_i16_le(s);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parses one channel into a reused slot. Counts are covered-by-input
+/// checked *before* the slot is resized from them: `n` windows need at
+/// least `2n` bytes of word-length fields, `n` deltas/samples need `2n`
+/// bytes of words.
+pub(crate) fn take_channel_into(
+    buf: &mut Bytes,
+    ch: &mut ChannelData,
+    spares: &mut SlotSpares,
+) -> Result<(), ContainerError> {
+    need(buf, 1)?;
+    match buf.get_u8() {
+        0 => {
+            need(buf, 4)?;
+            let n_windows = buf.get_u32_le() as usize;
+            need(buf, n_windows.checked_mul(2).ok_or(ContainerError::Truncated)?)?;
+            let windows = windows_slot(ch, n_windows, spares);
+            for win in windows.iter_mut() {
+                need(buf, 2)?;
+                let len = usize::from(buf.get_u16_le());
+                need(buf, 2 * len)?;
+                win.extend((0..len).map(|_| CodedWord::unpack(buf.get_u16_le())));
+            }
+            Ok(())
+        }
+        1 => {
+            need(buf, 2 + 1 + 4)?;
+            let base = buf.get_i16_le();
+            let bits = u32::from(buf.get_u8());
+            let n = buf.get_u32_le() as usize;
+            need(buf, n.checked_mul(2).ok_or(ContainerError::Truncated)?)?;
+            let deltas = delta_slot(ch, base, bits, spares);
+            deltas.extend((0..n).map(|_| buf.get_i16_le()));
+            Ok(())
+        }
+        2 => {
+            need(buf, 4)?;
+            let n = buf.get_u32_le() as usize;
+            need(buf, n.checked_mul(2).ok_or(ContainerError::Truncated)?)?;
+            let samples = raw_slot(ch, spares);
+            samples.extend((0..n).map(|_| buf.get_i16_le()));
+            Ok(())
+        }
+        _ => Err(ContainerError::PayloadInvalid("unknown channel kind")),
+    }
+}
+
+// ----------------------------------------------------- stream name field
+
+fn put_name(buf: &mut BytesMut, name: &str) -> Result<(), ContainerError> {
+    if name.len() > usize::from(u16::MAX) {
+        return Err(ContainerError::Unrepresentable("waveform name longer than 64 KiB"));
+    }
+    buf.put_u16_le(name.len() as u16);
+    buf.put_slice(name.as_bytes());
+    Ok(())
+}
+
+fn take_name_into(buf: &mut Bytes, out: &mut String) -> Result<(), ContainerError> {
+    need(buf, 2)?;
+    let len = usize::from(buf.get_u16_le());
+    need(buf, len)?;
+    let name = std::str::from_utf8(&buf[..len])
+        .map_err(|_| ContainerError::PayloadInvalid("waveform name is not UTF-8"))?;
+    out.clear();
+    out.push_str(name);
+    buf.advance(len);
+    Ok(())
+}
+
+// ------------------------------------------------------- plain payloads
+
+pub(crate) fn put_plain(buf: &mut BytesMut, z: &CompressedWaveform) -> Result<(), ContainerError> {
+    put_name(buf, &z.name)?;
+    let (tag, ws) = encode_variant(z.variant)?;
+    buf.put_u8(tag);
+    buf.put_u16_le(ws);
+    buf.put_u32_le(checked_u32(z.n_samples, "more than 2^32 samples in a waveform")?);
+    buf.put_u64_le(z.sample_rate_gs.to_bits());
+    put_channel(buf, &z.i)?;
+    put_channel(buf, &z.q)?;
+    Ok(())
+}
+
+/// Parses a plain payload into a reused stream slot — the
+/// steady-state-allocation-free half of the random-access decode path.
+pub(crate) fn take_plain_into(
+    buf: &mut Bytes,
+    slot: &mut CompressedWaveform,
+    spares: &mut SlotSpares,
+) -> Result<(), ContainerError> {
+    take_name_into(buf, &mut slot.name)?;
+    need(buf, 1 + 2 + 4 + 8)?;
+    let tag = buf.get_u8();
+    let ws = buf.get_u16_le();
+    slot.variant = decode_variant(tag, ws).map_err(ContainerError::PayloadInvalid)?;
+    slot.n_samples = buf.get_u32_le() as usize;
+    if slot.n_samples == 0 {
+        return Err(ContainerError::PayloadInvalid("zero sample count"));
+    }
+    slot.sample_rate_gs = check_rate(buf.get_u64_le(), "sample rate is not positive finite")?;
+    take_channel_into(buf, &mut slot.i, spares)?;
+    take_channel_into(buf, &mut slot.q, spares)?;
+    Ok(())
+}
+
+// ----------------------------------------------------- overlap payloads
+
+pub(crate) fn put_overlap(buf: &mut BytesMut, z: &OverlapCompressed) -> Result<(), ContainerError> {
+    put_name(buf, &z.name)?;
+    if z.ws > usize::from(u16::MAX) {
+        return Err(ContainerError::Unrepresentable("overlap window size beyond u16"));
+    }
+    buf.put_u16_le(z.ws as u16);
+    buf.put_u32_le(checked_u32(z.n_samples, "more than 2^32 samples in a waveform")?);
+    buf.put_u64_le(z.sample_rate_gs.to_bits());
+    put_channel(buf, &z.i)?;
+    put_channel(buf, &z.q)?;
+    Ok(())
+}
+
+pub(crate) fn take_overlap(buf: &mut Bytes) -> Result<OverlapCompressed, ContainerError> {
+    let mut z = OverlapCompressed::empty();
+    take_name_into(buf, &mut z.name)?;
+    need(buf, 2 + 4 + 8)?;
+    z.ws = usize::from(buf.get_u16_le());
+    z.n_samples = buf.get_u32_le() as usize;
+    if z.n_samples == 0 {
+        return Err(ContainerError::PayloadInvalid("zero sample count"));
+    }
+    z.sample_rate_gs = check_rate(buf.get_u64_le(), "sample rate is not positive finite")?;
+    let mut spares = SlotSpares::default();
+    take_channel_into(buf, &mut z.i, &mut spares)?;
+    take_channel_into(buf, &mut z.q, &mut spares)?;
+    Ok(z)
+}
+
+// ---------------------------------------------------- adaptive payloads
+
+pub(crate) fn put_adaptive(
+    buf: &mut BytesMut,
+    z: &AdaptiveCompressed,
+) -> Result<(), ContainerError> {
+    put_name(buf, &z.name)?;
+    let (tag, ws) = encode_variant(z.variant)?;
+    buf.put_u8(tag);
+    buf.put_u16_le(ws);
+    buf.put_u32_le(checked_u32(z.n_samples, "more than 2^32 samples in a waveform")?);
+    buf.put_u64_le(z.sample_rate_gs.to_bits());
+    buf.put_u32_le(checked_u32(z.segments.len(), "more than 2^32 adaptive segments")?);
+    for seg in &z.segments {
+        match seg {
+            Segment::Windows(ramp) => {
+                buf.put_u8(0);
+                put_plain(buf, ramp)?;
+            }
+            Segment::Constant { i_value, q_value, len } => {
+                buf.put_u8(1);
+                buf.put_i16_le(i_value.raw());
+                buf.put_i16_le(q_value.raw());
+                buf.put_u32_le(checked_u32(*len, "plateau run beyond 2^32 samples")?);
+            }
+        }
+    }
+    Ok(())
+}
+
+pub(crate) fn take_adaptive(buf: &mut Bytes) -> Result<AdaptiveCompressed, ContainerError> {
+    let mut name = String::new();
+    take_name_into(buf, &mut name)?;
+    need(buf, 1 + 2 + 4 + 8 + 4)?;
+    let tag = buf.get_u8();
+    let ws = buf.get_u16_le();
+    let variant = decode_variant(tag, ws).map_err(ContainerError::PayloadInvalid)?;
+    let n_samples = buf.get_u32_le() as usize;
+    if n_samples == 0 {
+        return Err(ContainerError::PayloadInvalid("zero sample count"));
+    }
+    let sample_rate_gs = check_rate(buf.get_u64_le(), "sample rate is not positive finite")?;
+    let n_segments = buf.get_u32_le() as usize;
+    // Every segment costs at least one tag byte, so the claim is
+    // covered by input before it sizes anything.
+    need(buf, n_segments)?;
+    let mut segments = Vec::with_capacity(n_segments);
+    let mut spares = SlotSpares::default();
+    for _ in 0..n_segments {
+        need(buf, 1)?;
+        match buf.get_u8() {
+            0 => {
+                let mut ramp = CompressedWaveform::empty();
+                take_plain_into(buf, &mut ramp, &mut spares)?;
+                segments.push(Segment::Windows(ramp));
+            }
+            1 => {
+                need(buf, 2 + 2 + 4)?;
+                let i_value = Q15::from_raw(buf.get_i16_le());
+                let q_value = Q15::from_raw(buf.get_i16_le());
+                let len = buf.get_u32_le() as usize;
+                segments.push(Segment::Constant { i_value, q_value, len });
+            }
+            _ => return Err(ContainerError::PayloadInvalid("unknown segment tag")),
+        }
+    }
+    Ok(AdaptiveCompressed { name, n_samples, sample_rate_gs, variant, segments })
+}

@@ -171,6 +171,29 @@ impl PulseLibrary {
         self.entries.iter().map(|(id, wf)| (id, wf))
     }
 
+    /// Iterates over `(gate, waveform)` pairs in sorted gate order
+    /// ([`GateId`]'s `Ord`: kind, then qubit list) — the deterministic
+    /// listing persisted formats and cross-process tooling key on,
+    /// independent of the library's insertion history.
+    pub fn iter_sorted(&self) -> impl Iterator<Item = (&GateId, &Waveform)> {
+        let mut order: Vec<usize> = (0..self.entries.len()).collect();
+        order.sort_by(|&a, &b| self.entries[a].0.cmp(&self.entries[b].0));
+        order.into_iter().map(|k| {
+            let (id, wf) = &self.entries[k];
+            (id, wf)
+        })
+    }
+
+    /// The DAC sample rate shared by every waveform, if the library is
+    /// rate-uniform (`None` when empty or mixed-rate). Persisted
+    /// container headers record this library-level rate so a loader can
+    /// size DAC staging before parsing a single entry.
+    pub fn uniform_sample_rate_gs(&self) -> Option<f64> {
+        let mut rates = self.entries.iter().map(|(_, wf)| wf.sample_rate_gs());
+        let first = rates.next()?;
+        rates.all(|r| r == first).then_some(first)
+    }
+
     /// Total uncompressed storage in bytes at the given packed sample size.
     pub fn total_storage_bytes(&self, sample_bits: u32) -> usize {
         self.entries.iter().map(|(_, wf)| wf.storage_bytes(sample_bits)).sum()
@@ -260,6 +283,41 @@ mod tests {
         lib.insert(GateId::single(GateKind::Sx, 0), wf(10));
         assert_eq!(lib.of_kind(&GateKind::X).count(), 2);
         assert_eq!(lib.of_kind(&GateKind::Measure).count(), 0);
+    }
+
+    #[test]
+    fn iter_sorted_is_insertion_order_independent() {
+        let mut a = PulseLibrary::new();
+        let mut b = PulseLibrary::new();
+        let ids = [
+            GateId::pair(GateKind::Cx, 1, 0),
+            GateId::single(GateKind::X, 2),
+            GateId::single(GateKind::X, 0),
+        ];
+        for id in &ids {
+            a.insert(id.clone(), wf(8));
+        }
+        for id in ids.iter().rev() {
+            b.insert(id.clone(), wf(8));
+        }
+        let la: Vec<&GateId> = a.iter_sorted().map(|(id, _)| id).collect();
+        let lb: Vec<&GateId> = b.iter_sorted().map(|(id, _)| id).collect();
+        assert_eq!(la, lb);
+        assert!(la.windows(2).all(|w| w[0] < w[1]), "strictly ascending");
+    }
+
+    #[test]
+    fn uniform_sample_rate_detection() {
+        let mut lib = PulseLibrary::new();
+        assert_eq!(lib.uniform_sample_rate_gs(), None, "empty library has no rate");
+        lib.insert(GateId::single(GateKind::X, 0), wf(8));
+        lib.insert(GateId::single(GateKind::X, 1), wf(16));
+        assert_eq!(lib.uniform_sample_rate_gs(), Some(4.54));
+        lib.insert(
+            GateId::single(GateKind::Measure, 0),
+            Waveform::from_real("m", vec![0.1; 8], 2.0),
+        );
+        assert_eq!(lib.uniform_sample_rate_gs(), None, "mixed rates");
     }
 
     #[test]

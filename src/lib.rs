@@ -14,13 +14,15 @@
 //! store the compressed stream, and decompress in hardware right before the
 //! DAC — trading cheap logic for scarce memory bandwidth.
 //!
-//! This facade crate re-exports the five subsystem crates:
+//! This facade crate re-exports the six subsystem crates:
 //!
 //! * [`dsp`] — transforms, run-length coding, fixed point ([`compaqt_dsp`]).
 //! * [`pulse`] — waveform shapes, synthetic device calibrations, pulse
 //!   libraries, memory-demand models ([`compaqt_pulse`]).
 //! * [`core`] — the compression compiler, compressed banked waveform
 //!   memory and the hardware decompression-engine model ([`compaqt_core`]).
+//! * [`io`] — the versioned zero-copy "CWL" container format that ships
+//!   compressed libraries between processes and hosts ([`compaqt_io`]).
 //! * [`quantum`] — pulse-to-unitary simulation, randomized benchmarking,
 //!   benchmark circuits and scheduling ([`compaqt_quantum`]).
 //! * [`hw`] — RFSoC and cryogenic-ASIC hardware models ([`compaqt_hw`]).
@@ -53,5 +55,6 @@
 pub use compaqt_core as core;
 pub use compaqt_dsp as dsp;
 pub use compaqt_hw as hw;
+pub use compaqt_io as io;
 pub use compaqt_pulse as pulse;
 pub use compaqt_quantum as quantum;

@@ -1,0 +1,251 @@
+//! Hostile-container robustness: a `Reader` fed attacker-controlled
+//! bytes must return a typed [`ContainerError`] — never panic, never
+//! overflow, and never size an allocation from an unverified claim.
+//!
+//! The mangler attacks every structural layer:
+//!
+//! 1. **arbitrary garbage** — random buffers through the full
+//!    validator;
+//! 2. **bit flips on a real container** — anywhere in header, index or
+//!    payload; index and payload flips are caught by their CRC-32s, and
+//!    the rare header flip that still validates (e.g. the rate bits)
+//!    must leave a reader that *serves* without panicking;
+//! 3. **truncation** — every prefix of a real container is rejected;
+//! 4. **metadata lies** — length fields, offsets, counts and section
+//!    sizes rewritten to claim what the bytes cannot back, including
+//!    overlap and out-of-bounds layouts and absurd entry counts that
+//!    would buy multi-gigabyte allocations if trusted;
+//! 5. **CRC damage and version skew** — payload flips surface as
+//!    [`ContainerError::CrcMismatch`], future versions as
+//!    [`ContainerError::VersionSkew`].
+
+use compaqt::core::compress::{Compressor, Variant};
+use compaqt::core::store::StoreConfig;
+use compaqt::io::{write_library, ContainerError, ContainerScratch, Reader};
+use compaqt::pulse::device::Device;
+use compaqt::pulse::vendor::Vendor;
+use proptest::prelude::*;
+
+/// Header layout offsets (see the `compaqt-io` crate docs).
+const VERSION_AT: usize = 4;
+const COUNT_AT: usize = 16;
+const INDEX_BYTES_AT: usize = 20;
+const PAYLOAD_BYTES_AT: usize = 28;
+const INDEX_CRC_AT: usize = 36;
+const HEADER_BYTES: usize = 40;
+
+/// Rewrites the header's index CRC to match the (mangled) index bytes,
+/// modelling a *consistent* forger — the structural checks underneath
+/// the checksum are what's under test then.
+fn fix_index_crc(bytes: &mut [u8]) {
+    let index_bytes =
+        u64::from_le_bytes(bytes[INDEX_BYTES_AT..INDEX_BYTES_AT + 8].try_into().unwrap()) as usize;
+    let crc = compaqt::io::crc32::crc32(&bytes[HEADER_BYTES..HEADER_BYTES + index_bytes]);
+    bytes[INDEX_CRC_AT..INDEX_CRC_AT + 4].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// The clean container under attack, built once — at amplified case
+/// counts the time goes to mangling, not to recompressing the same
+/// library thousands of times.
+fn container_bytes() -> Vec<u8> {
+    static BYTES: std::sync::OnceLock<Vec<u8>> = std::sync::OnceLock::new();
+    BYTES
+        .get_or_init(|| {
+            let lib = Device::synthesize(Vendor::Ibm, 2, 0x5EED).pulse_library();
+            write_library(&lib, &Compressor::new(Variant::IntDctW { ws: 16 })).unwrap().to_vec()
+        })
+        .clone()
+}
+
+fn patch_u32(bytes: &mut [u8], at: usize, v: u32) {
+    bytes[at..at + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+fn patch_u64(bytes: &mut [u8], at: usize, v: u64) {
+    bytes[at..at + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Exercises a reader that happened to validate: every entry must list,
+/// read and decode (or error) without panicking, and the store bridge
+/// must stay total as well.
+fn drive_survivor(reader: &Reader) {
+    let mut scratch = ContainerScratch::new();
+    let (mut i, mut q) = (Vec::new(), Vec::new());
+    for entry in reader.entries() {
+        let _ = entry.payload().len();
+        if let Ok(stream) = entry.read() {
+            let _ = stream.decompress();
+        }
+        let gate = entry.gate().clone();
+        assert!(reader.find(&gate).is_some(), "listed entries must be findable");
+        let _ = reader.fetch_into(&gate, &mut scratch, &mut i, &mut q);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Arbitrary bytes never panic the validator.
+    #[test]
+    fn arbitrary_garbage_never_panics(
+        garbage in proptest::collection::vec(proptest::num::u8::ANY, 0..320),
+    ) {
+        // Validation is vanishingly unlikely — but a survivor must
+        // still be total.
+        if let Ok(reader) = Reader::from_vec(garbage) {
+            drive_survivor(&reader);
+        }
+    }
+
+    /// A single bit flip anywhere in a real container either fails
+    /// validation with a typed error or leaves a reader that serves
+    /// without panicking.
+    #[test]
+    fn bit_flips_never_panic(
+        pos in proptest::num::usize::ANY,
+        bit in 0u32..8,
+    ) {
+        let mut bytes = container_bytes();
+        let k = pos % bytes.len();
+        bytes[k] ^= 1 << bit;
+        if let Ok(reader) = Reader::from_vec(bytes) {
+            drive_survivor(&reader);
+            let _ = reader.into_store(StoreConfig::default());
+        }
+    }
+
+    /// Every truncation of a real container is rejected with a typed
+    /// error (never accepted, never a panic).
+    #[test]
+    fn truncations_are_always_rejected(cut in proptest::num::usize::ANY) {
+        let bytes = container_bytes();
+        let cut = cut % bytes.len();
+        let err = Reader::from_vec(bytes[..cut].to_vec())
+            .expect_err("a truncated container must not validate");
+        prop_assert!(matches!(
+            err,
+            ContainerError::Truncated
+                | ContainerError::IndexInvalid(_)
+                | ContainerError::CrcMismatch { .. }
+        ));
+    }
+
+    /// Any rewrite of an index byte is caught by the header's index
+    /// CRC-32 — a damaged index must never validate, because a flipped
+    /// gate field would otherwise silently remap an intact payload to
+    /// the wrong gate. A *consistent* forger who also fixes the index
+    /// CRC still faces the structural checks (and must then serve
+    /// totally if it survives them).
+    #[test]
+    fn index_rewrites_are_rejected_or_survive_totally(
+        at in proptest::num::usize::ANY,
+        value in proptest::num::u8::ANY,
+    ) {
+        let mut bytes = container_bytes();
+        let index_bytes =
+            u64::from_le_bytes(bytes[INDEX_BYTES_AT..INDEX_BYTES_AT + 8].try_into().unwrap());
+        let at = HEADER_BYTES + at % index_bytes as usize;
+        let changed = bytes[at] != value;
+        bytes[at] = value;
+        match Reader::from_vec(bytes.clone()) {
+            Ok(reader) => {
+                prop_assert!(!changed, "a changed index byte must fail the index checksum");
+                drive_survivor(&reader);
+            }
+            Err(e) => {
+                if changed {
+                    prop_assert_eq!(e, ContainerError::IndexCrcMismatch);
+                }
+            }
+        }
+        // Consistent forger: fix the checksum, keep the mangled bytes.
+        fix_index_crc(&mut bytes);
+        if let Ok(reader) = Reader::from_vec(bytes) {
+            drive_survivor(&reader);
+        }
+    }
+}
+
+/// Deliberate metadata lies, each pinned to a typed rejection.
+#[test]
+fn metadata_lies_are_rejected() {
+    let clean = container_bytes();
+
+    // Version skew.
+    let mut bad = clean.clone();
+    bad[VERSION_AT] = 0xFE;
+    assert_eq!(Reader::from_vec(bad).unwrap_err(), ContainerError::VersionSkew { found: 0xFE });
+
+    // Entry count inflated to 4 billion: must be rejected *before* any
+    // index storage is sized from it (a trusting reader would try to
+    // reserve ~100 GiB here).
+    let mut bad = clean.clone();
+    patch_u32(&mut bad, COUNT_AT, u32::MAX);
+    assert!(matches!(Reader::from_vec(bad).unwrap_err(), ContainerError::IndexInvalid(_)));
+
+    // Section sizes that do not add up to the file.
+    let mut bad = clean.clone();
+    patch_u64(&mut bad, INDEX_BYTES_AT, u64::MAX / 2);
+    assert_eq!(Reader::from_vec(bad).unwrap_err(), ContainerError::Truncated);
+    let mut bad = clean.clone();
+    patch_u64(&mut bad, PAYLOAD_BYTES_AT, 0);
+    assert!(matches!(Reader::from_vec(bad).unwrap_err(), ContainerError::IndexInvalid(_)));
+}
+
+/// Offset/length lies inside the index: overlap, gaps and
+/// out-of-bounds ranges are all structural errors, and payload damage
+/// behind an intact index is a per-gate CRC mismatch.
+#[test]
+fn layout_lies_and_crc_damage_are_rejected() {
+    let clean = container_bytes();
+    let index_bytes =
+        u64::from_le_bytes(clean[INDEX_BYTES_AT..INDEX_BYTES_AT + 8].try_into().unwrap()) as usize;
+
+    // The first index entry is a no-custom-name gate:
+    //   kind:u8 nq:u8 qubit:u16 codec:u8 vtag:u8 ws:u16 → offset next.
+    let nq = clean[HEADER_BYTES + 1] as usize;
+    let first_offset_at = HEADER_BYTES + 2 + 2 * nq + 4;
+
+    // Without fixing the header's index CRC, any index rewrite is a
+    // checksum mismatch before structure is even looked at.
+    let mut bad = clean.clone();
+    patch_u64(&mut bad, first_offset_at, 2);
+    assert_eq!(Reader::from_vec(bad).unwrap_err(), ContainerError::IndexCrcMismatch);
+
+    // Consistent forgers (index CRC recomputed) face the structural
+    // checks. Offset pushed forward: the first range now overlaps the
+    // second (and leaves a gap at zero) — contiguity catches both.
+    let mut bad = clean.clone();
+    patch_u64(&mut bad, first_offset_at, 2);
+    fix_index_crc(&mut bad);
+    assert!(matches!(Reader::from_vec(bad).unwrap_err(), ContainerError::IndexInvalid(_)));
+
+    // Length inflated: every later range shifts out of place and the
+    // section sum no longer closes.
+    let mut bad = clean.clone();
+    let len_at = first_offset_at + 8;
+    let len = u32::from_le_bytes(clean[len_at..len_at + 4].try_into().unwrap());
+    patch_u32(&mut bad, len_at, len + 2);
+    fix_index_crc(&mut bad);
+    assert!(matches!(Reader::from_vec(bad).unwrap_err(), ContainerError::IndexInvalid(_)));
+
+    // Length inflated past the whole payload section: out of bounds.
+    let mut bad = clean.clone();
+    patch_u32(&mut bad, len_at, u32::MAX);
+    fix_index_crc(&mut bad);
+    assert!(matches!(Reader::from_vec(bad).unwrap_err(), ContainerError::IndexInvalid(_)));
+
+    // The attack the index checksum exists for: rewrite the first
+    // entry's qubit id so an intact, payload-CRC-valid pulse would be
+    // served under the wrong gate. The index CRC refuses it.
+    let mut bad = clean.clone();
+    bad[HEADER_BYTES + 2] = 9; // X(q0) → X(q9), payloads untouched
+    assert_eq!(Reader::from_vec(bad).unwrap_err(), ContainerError::IndexCrcMismatch);
+
+    // Payload flip behind an intact index: CRC catches it and names
+    // the damaged gate.
+    let mut bad = clean.clone();
+    let payload_base = HEADER_BYTES + index_bytes;
+    bad[payload_base + 3] ^= 0x40;
+    assert!(matches!(Reader::from_vec(bad).unwrap_err(), ContainerError::CrcMismatch { .. }));
+}

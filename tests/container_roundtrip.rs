@@ -1,0 +1,202 @@
+//! Container round-trip properties: write → read → decode must be
+//! bit-identical to the in-memory decode for every stream kind the
+//! format can hold, and the bytes themselves must be a pure function of
+//! the library contents (same library ⇒ identical file, whatever order
+//! it was staged in).
+//!
+//! Three layers are pinned:
+//!
+//! 1. **stream round-trip** — the parsed payload `==` the original
+//!    compressed value (field-exact, not just sample-exact), for plain
+//!    variants across WS 8–64, `DCT-N`, `Delta`, overlapped and
+//!    adaptive streams;
+//! 2. **decode agreement** — `Reader::fetch_into` and a
+//!    `Store::from_reader`-loaded store produce the same samples as
+//!    decoding the never-serialized stream;
+//! 3. **determinism** — container bytes are identical across add
+//!    orders and across writer entry points (`Writer` vs
+//!    `write_library` vs `write_store`).
+
+use compaqt::core::adaptive::AdaptiveCompressor;
+use compaqt::core::compress::{CompressedWaveform, Compressor, Variant};
+use compaqt::core::engine::{DecodeScratch, DecompressionEngine};
+use compaqt::core::overlap::OverlapCompressor;
+use compaqt::core::store::{Store, StoreConfig};
+use compaqt::io::{
+    write_library, write_report, write_store, ContainerScratch, FromContainer, Reader,
+    StreamPayload, Writer,
+};
+use compaqt::pulse::device::Device;
+use compaqt::pulse::library::{GateId, GateKind};
+use compaqt::pulse::shapes::{Drag, GaussianSquare, PulseShape};
+use compaqt::pulse::vendor::Vendor;
+use compaqt::pulse::waveform::Waveform;
+use proptest::prelude::*;
+
+/// The plain variants the container must carry losslessly.
+fn plain_variants() -> [Variant; 10] {
+    [
+        Variant::Delta,
+        Variant::DctN,
+        Variant::DctW { ws: 8 },
+        Variant::DctW { ws: 16 },
+        Variant::DctW { ws: 32 },
+        Variant::DctW { ws: 64 },
+        Variant::IntDctW { ws: 8 },
+        Variant::IntDctW { ws: 16 },
+        Variant::IntDctW { ws: 32 },
+        Variant::IntDctW { ws: 64 },
+    ]
+}
+
+fn ramp_pulse(n: usize, amp: f64) -> Waveform {
+    Drag::new(n, amp, n as f64 / 4.0, 0.2).to_waveform("X(q0)", 4.54)
+}
+
+fn flat_pulse(n: usize, amp: f64) -> Waveform {
+    GaussianSquare::new(n, amp, 40.0, (3 * n) / 4).to_waveform("CX(q0,q1)", 4.54)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Plain streams of every variant survive the container bit-exactly
+    /// and decode to the same samples through every serving path.
+    #[test]
+    fn plain_streams_round_trip_bit_exactly(
+        variant_idx in 0usize..10,
+        n in 70usize..420,
+        amp in 0.15f64..0.85,
+    ) {
+        let variant = plain_variants()[variant_idx];
+        let wf = ramp_pulse(n, amp);
+        let z = Compressor::new(variant).compress(&wf).unwrap();
+        let gate = GateId::single(GateKind::X, 0);
+        let mut writer = Writer::new();
+        writer.add(&gate, &z).unwrap();
+        let reader = Reader::new(writer.finish().unwrap()).unwrap();
+
+        // Field-exact stream round-trip.
+        let StreamPayload::Plain(back) = reader.find(&gate).unwrap().read().unwrap() else {
+            panic!("plain entry read back as a different kind");
+        };
+        prop_assert_eq!(&back, &z, "stream must round-trip field-exactly");
+
+        // Decode agreement: in-memory engine vs container fetch vs store.
+        let engine = DecompressionEngine::for_variant(variant).unwrap();
+        let mut scratch = DecodeScratch::new();
+        let (mut i0, mut q0) = (Vec::new(), Vec::new());
+        engine.decompress_into(&z, &mut scratch, &mut i0, &mut q0).unwrap();
+
+        let mut cscratch = ContainerScratch::new();
+        let (mut i1, mut q1) = (Vec::new(), Vec::new());
+        reader.fetch_into(&gate, &mut cscratch, &mut i1, &mut q1).unwrap();
+        prop_assert_eq!(&i0, &i1, "reader I decode must be bit-identical");
+        prop_assert_eq!(&q0, &q1, "reader Q decode must be bit-identical");
+
+        let store = Store::from_reader(&reader, StoreConfig::default()).unwrap();
+        let (mut i2, mut q2) = (Vec::new(), Vec::new());
+        store.fetch_into(&gate, &mut i2, &mut q2).unwrap();
+        prop_assert_eq!(&i0, &i2, "store I decode must be bit-identical");
+        prop_assert_eq!(&q0, &q2, "store Q decode must be bit-identical");
+    }
+
+    /// Overlapped and adaptive streams round-trip field-exactly and
+    /// decode identically to the never-serialized value.
+    #[test]
+    fn overlap_and_adaptive_round_trip(
+        ws_idx in 0usize..4,
+        n in 300usize..900,
+        amp in 0.2f64..0.8,
+    ) {
+        let ws = [8usize, 16, 32, 64][ws_idx];
+        let ramp = ramp_pulse(n / 2, amp);
+        let flat = flat_pulse(n, amp);
+        let lapped = OverlapCompressor::new(ws).unwrap().compress(&ramp).unwrap();
+        let adaptive = AdaptiveCompressor::new(Variant::IntDctW { ws: 16 })
+            .compress(&flat)
+            .unwrap();
+
+        let mut writer = Writer::new();
+        let g_overlap = GateId::single(GateKind::X, 1);
+        let g_adaptive = GateId::pair(GateKind::Cx, 0, 1);
+        writer.add_overlap(&g_overlap, &lapped).unwrap();
+        writer.add_adaptive(&g_adaptive, &adaptive).unwrap();
+        let reader = Reader::new(writer.finish().unwrap()).unwrap();
+
+        let StreamPayload::Overlap(back) = reader.find(&g_overlap).unwrap().read().unwrap() else {
+            panic!("overlap entry read back as a different kind");
+        };
+        prop_assert_eq!(&back, &lapped);
+        let direct = lapped.decompress().unwrap();
+        let roundtrip = back.decompress().unwrap();
+        prop_assert_eq!(direct.i(), roundtrip.i(), "lapped decode must be bit-identical");
+        prop_assert_eq!(direct.q(), roundtrip.q());
+
+        let StreamPayload::Adaptive(back) = reader.find(&g_adaptive).unwrap().read().unwrap()
+        else {
+            panic!("adaptive entry read back as a different kind");
+        };
+        prop_assert_eq!(&back, &adaptive);
+        let (direct, direct_stats) = adaptive.decompress().unwrap();
+        let (roundtrip, roundtrip_stats) = back.decompress().unwrap();
+        prop_assert_eq!(direct.i(), roundtrip.i(), "adaptive decode must be bit-identical");
+        prop_assert_eq!(direct.q(), roundtrip.q());
+        prop_assert_eq!(direct_stats, roundtrip_stats, "engine accounting agrees");
+    }
+}
+
+/// The same library produces identical container bytes through every
+/// writer entry point and every staging order.
+#[test]
+fn container_bytes_are_deterministic() {
+    let lib = Device::synthesize(Vendor::Google, 4, 0xD17E).pulse_library();
+    let compressor = Compressor::new(Variant::IntDctW { ws: 16 });
+
+    let direct = write_library(&lib, &compressor).unwrap();
+
+    // Same streams staged in reverse order.
+    let entries: Vec<(GateId, CompressedWaveform)> =
+        lib.iter().map(|(g, wf)| (g.clone(), compressor.compress(wf).unwrap())).collect();
+    let mut reversed = Writer::new();
+    for (g, z) in entries.iter().rev() {
+        reversed.add(g, z).unwrap();
+    }
+    assert_eq!(direct.as_ref(), reversed.finish().unwrap().as_ref(), "order independence");
+
+    // Through the compile-side report.
+    let report = compaqt::core::stats::compress_library(&lib, &compressor).unwrap();
+    assert_eq!(direct.as_ref(), write_report(&report).unwrap().as_ref(), "report path");
+
+    // Through a serving store (hash-map iteration order is arbitrary —
+    // the canonical sort must erase it).
+    let store = Store::from_library(&lib, &compressor).unwrap();
+    assert_eq!(direct.as_ref(), write_store(&store).unwrap().as_ref(), "store path");
+
+    // And a full write → load → write cycle is a fixed point.
+    let reader = Reader::new(direct.clone()).unwrap();
+    let reloaded = reader.into_store(StoreConfig::default()).unwrap();
+    assert_eq!(direct.as_ref(), write_store(&reloaded).unwrap().as_ref(), "reload fixed point");
+}
+
+/// A store loaded from a container serves every gate of a full device
+/// library with samples identical to a store that never left memory.
+#[test]
+fn container_loaded_store_matches_in_memory_store() {
+    let lib = Device::synthesize(Vendor::Ibm, 5, 0x10AD).pulse_library();
+    let compressor = Compressor::new(Variant::IntDctW { ws: 16 });
+    let in_memory = Store::from_library(&lib, &compressor).unwrap();
+    let bytes = write_store(&in_memory).unwrap();
+    let loaded = Reader::new(bytes).unwrap().into_store(StoreConfig::default()).unwrap();
+    assert_eq!(loaded.len(), in_memory.len());
+
+    let ids = in_memory.gates();
+    let mut outs: Vec<(Vec<f64>, Vec<f64>)> = ids.iter().map(|_| Default::default()).collect();
+    loaded.fetch_many(&ids, &mut outs).unwrap();
+    let (mut i, mut q) = (Vec::new(), Vec::new());
+    for (gate, (li, lq)) in ids.iter().zip(&outs) {
+        in_memory.fetch_into(gate, &mut i, &mut q).unwrap();
+        assert_eq!(&i, li, "{gate}: I channel");
+        assert_eq!(&q, lq, "{gate}: Q channel");
+    }
+}

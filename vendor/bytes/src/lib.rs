@@ -1,12 +1,16 @@
 //! Offline stub of the `bytes` crate.
 //!
-//! Implements exactly the subset `compaqt-core::bitstream` uses —
-//! [`Bytes`], [`BytesMut`], and the little-endian [`Buf`]/[`BufMut`]
-//! accessors — over a plain `Vec<u8>` with an `Arc` for cheap slicing.
-//! Semantics match the real crate for this subset: `get_*` panics on
-//! underflow (callers bounds-check with `remaining()` first), `freeze`
-//! converts a mutable buffer into an immutable handle, and `slice`
-//! produces zero-copy views.
+//! Implements exactly the subset the workspace uses —
+//! `compaqt-core::bitstream`'s little-endian [`Buf`]/[`BufMut`]
+//! accessors plus the slice/deref APIs `compaqt-io`'s zero-copy
+//! container reader leans on — over a plain `Vec<u8>` with an `Arc` for
+//! cheap slicing. Semantics match the real crate for this subset:
+//! `get_*` panics on underflow (callers bounds-check with `remaining()`
+//! first), `freeze` converts a mutable buffer into an immutable handle,
+//! `slice` produces zero-copy views sharing one backing allocation, and
+//! [`Bytes`] derefs to `[u8]` for borrowed reads. This is an API
+//! *subset* only — extend it here before leaning on further `bytes`
+//! surface.
 
 use std::sync::Arc;
 
@@ -14,6 +18,12 @@ use std::sync::Arc;
 pub trait Buf {
     /// Bytes left between the cursor and the end of the buffer.
     fn remaining(&self) -> usize;
+    /// Advances the cursor by `cnt` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `cnt` bytes remain.
+    fn advance(&mut self, cnt: usize);
     /// Copies out the next `n` bytes and advances.
     fn copy_to_bytes(&mut self, n: usize) -> Bytes;
     /// Reads one byte and advances.
@@ -26,6 +36,8 @@ pub trait Buf {
     }
     /// Reads a little-endian `u32` and advances.
     fn get_u32_le(&mut self) -> u32;
+    /// Reads a little-endian `u64` and advances.
+    fn get_u64_le(&mut self) -> u64;
 }
 
 /// Write access to a growable byte buffer (little-endian helpers only).
@@ -40,6 +52,8 @@ pub trait BufMut {
     }
     /// Appends a little-endian `u32`.
     fn put_u32_le(&mut self, v: u32);
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
     /// Appends a byte slice.
     fn put_slice(&mut self, src: &[u8]);
 }
@@ -82,14 +96,23 @@ impl Bytes {
         &self.data[self.start..self.end]
     }
 
-    fn advance(&mut self, n: usize) {
-        assert!(n <= self.len(), "buffer underflow");
-        self.start += n;
+    /// A new buffer holding a copy of `data` (the real crate's
+    /// constructor for borrowed input).
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes::from(data.to_vec())
     }
 
     /// The unread bytes as a fresh `Vec`.
     pub fn to_vec(&self) -> Vec<u8> {
         self.bytes().to_vec()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.bytes()
     }
 }
 
@@ -109,6 +132,11 @@ impl AsRef<[u8]> for Bytes {
 impl Buf for Bytes {
     fn remaining(&self) -> usize {
         self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "buffer underflow");
+        self.start += cnt;
     }
 
     fn copy_to_bytes(&mut self, n: usize) -> Bytes {
@@ -137,6 +165,14 @@ impl Buf for Bytes {
         let b = self.bytes();
         let v = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);
         self.advance(4);
+        v
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        assert!(self.len() >= 8, "buffer underflow");
+        let b = self.bytes();
+        let v = u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]);
+        self.advance(8);
         v
     }
 }
@@ -187,6 +223,10 @@ impl BufMut for BytesMut {
         self.data.extend_from_slice(&v.to_le_bytes());
     }
 
+    fn put_u64_le(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
     fn put_slice(&mut self, src: &[u8]) {
         self.data.extend_from_slice(src);
     }
@@ -226,5 +266,24 @@ mod tests {
     fn underflow_panics() {
         let mut b: Bytes = vec![1].into();
         b.get_u32_le();
+    }
+
+    #[test]
+    fn u64_round_trip_and_advance() {
+        let mut b = BytesMut::new();
+        b.put_u64_le(0x0123_4567_89AB_CDEF);
+        b.put_u8(9);
+        let mut r = b.freeze();
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        r.advance(1);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn deref_and_copy_from_slice_view_the_unread_bytes() {
+        let mut b = Bytes::copy_from_slice(&[1, 2, 3, 4]);
+        b.get_u8();
+        assert_eq!(&b[..], &[2, 3, 4]);
+        assert_eq!(b.first(), Some(&2));
     }
 }

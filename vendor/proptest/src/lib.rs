@@ -13,7 +13,9 @@
 //! Differences from real proptest: cases are generated from a
 //! deterministic per-test seed (derived from the test name) instead of
 //! OS entropy, and failing cases are *not* shrunk — the failing values
-//! are reported as-is. Both trades favour reproducibility in CI.
+//! are reported as-is. Both trades favour reproducibility in CI. A
+//! `PROPTEST_CASES` environment variable raises (never lowers) the case
+//! count, so stress jobs can amplify hostile-input suites.
 
 pub mod strategy {
     //! Value-generation strategies.
@@ -252,10 +254,19 @@ pub mod test_runner {
     /// Drives `case` until `config.cases` cases pass, panicking on the
     /// first failure. Rejected cases (via `prop_assume!`) are retried up
     /// to a 20x attempt budget.
+    ///
+    /// A `PROPTEST_CASES` environment variable *raises* (never lowers)
+    /// the case count past the per-test config — CI stress jobs use it
+    /// to amplify the hostile-input suites without touching test code.
     pub fn run<F>(config: ProptestConfig, name: &str, mut case: F)
     where
         F: FnMut(&mut TestRng) -> TestCaseResult,
     {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .map_or(config.cases, |env| env.max(config.cases));
+        let config = ProptestConfig { cases };
         let mut rng = TestRng::for_test(name);
         let mut passed = 0u32;
         let mut attempts = 0u32;
