@@ -8,10 +8,17 @@
 //! * `decompress_engine/*` vs `decompress_into/*` — the historical
 //!   allocating decode (fresh `Vec` per pipeline stage per window, dense
 //!   integer IDCT) against the plan/buffer-reuse path (caller-owned
-//!   `DecodeScratch` + output buffers, sparse fused IDCT kernel);
+//!   `DecodeScratch` + output buffers; density-routed between the sparse
+//!   fused IDCT kernel and the batched SIMD inverse);
 //! * `compress/*` vs `compress_into/*` — the allocating compressor
 //!   (fresh scratch, fresh plans, fresh output per call) against the
-//!   encode twin (caller-owned `EncodeScratch` + reused output stream).
+//!   encode twin (caller-owned `EncodeScratch` + reused output stream,
+//!   batched SoA forward kernels).
+//!
+//! The `intdct_kernel` group pairs each per-window kernel with its
+//! `*_batched_*` SoA row (64 windows per call, runtime-dispatched SIMD);
+//! the batched rows are gated to meet or beat the per-window rows on
+//! elements/s in the same run.
 //!
 //! The serving path is measured too: `store_fetch/cold_fetch_into`
 //! (sharded-store streaming fetch, decodes every call) vs
@@ -29,6 +36,7 @@ use compaqt_core::batch;
 use compaqt_core::compress::{CompressedWaveform, Compressor, Variant};
 use compaqt_core::engine::{DecodeScratch, DecompressionEngine, EncodeScratch, EngineStats};
 use compaqt_core::store::Store;
+use compaqt_dsp::batched::BatchedIntDctPlan;
 use compaqt_dsp::intdct::IntDct;
 use compaqt_pulse::device::Device;
 use compaqt_pulse::shapes::{Drag, GaussianSquare, PulseShape};
@@ -74,6 +82,35 @@ fn bench_intdct_kernel(c: &mut Criterion) {
                 black_box(out[0])
             })
         });
+        // Batched SoA kernels: the same transform over BATCH independent
+        // windows per call through the runtime-dispatched SIMD backend.
+        // Gated below against the per-window rows of the *same run*, so
+        // the comparison is immune to machine-speed drift between runs.
+        const BATCH: usize = 64;
+        let mut plan = BatchedIntDctPlan::from_transform(t.clone());
+        let xs: Vec<compaqt_dsp::fixed::Q15> = (0..ws * BATCH)
+            .map(|i| compaqt_dsp::fixed::Q15::from_f64(0.4 * (i as f64 * 0.37).sin()))
+            .collect();
+        let mut fwd_b = vec![0i32; ws * BATCH];
+        group.throughput(Throughput::Elements((ws * BATCH) as u64));
+        group.bench_function(format!("forward_batched_ws{ws}"), |b| {
+            b.iter(|| {
+                plan.forward_batched_into(black_box(&xs), black_box(&mut fwd_b));
+                black_box(fwd_b[0])
+            })
+        });
+        if ws == 16 {
+            // Dense coefficient windows: the regime the decode path
+            // routes to the batched inverse.
+            let dense: Vec<i32> = (0..BATCH).flat_map(|_| y.iter().copied()).collect();
+            let mut out_b = vec![0.0f64; ws * BATCH];
+            group.bench_function(format!("inverse_batched_ws{ws}"), |b| {
+                b.iter(|| {
+                    plan.inverse_f64_batched_into(black_box(&dense), 2, black_box(&mut out_b));
+                    black_box(out_b[0])
+                })
+            });
+        }
     }
     group.finish();
 }
@@ -342,6 +379,34 @@ fn main() {
     } else {
         println!("no committed encode_speedup_ws8 baseline; encode gate skipped");
     }
+    // Batched-kernel floor: the SoA batched rows must at least match the
+    // per-window rows on elements/s. Both sides come from the same run,
+    // so the gate is immune to machine-speed drift between runs and
+    // cannot ratchet.
+    let per_second = |group: &str, name: &str| {
+        criterion
+            .results()
+            .iter()
+            .find(|r| r.group == group && r.name == name)
+            .and_then(|r| r.per_second())
+    };
+    let mut kernel_floor = |batched: String, scalar: String| {
+        if let (Some(b), Some(s)) =
+            (per_second("intdct_kernel", &batched), per_second("intdct_kernel", &scalar))
+        {
+            if b < s {
+                failures.push(format!(
+                    "{batched} {:.1} Melem/s fell below per-window {scalar} {:.1} Melem/s",
+                    b / 1e6,
+                    s / 1e6
+                ));
+            }
+        }
+    };
+    for ws in [8usize, 16, 32] {
+        kernel_floor(format!("forward_batched_ws{ws}"), format!("forward_ws{ws}"));
+    }
+    kernel_floor("inverse_batched_ws16".to_string(), "inverse_ws16".to_string());
     if !failures.is_empty() {
         for f in &failures {
             eprintln!("BENCH GATE FAILED: {f}");
@@ -349,7 +414,10 @@ fn main() {
         eprintln!("BENCH_codec.json left untouched (committed baseline preserved)");
         std::process::exit(1);
     }
-    println!("bench gates passed (decode >= 3x, encode within jitter margin of baseline)");
+    println!(
+        "bench gates passed (decode >= 3x, encode within jitter margin, \
+         batched kernels >= per-window)"
+    );
     match committed_enc8 {
         Some(baseline) if enc8 < baseline => println!(
             "encode_speedup_ws8 {enc8:.2}x is below the committed {baseline:.2}x \

@@ -17,9 +17,12 @@
 //!
 //! The encoder follows the allocating-vs-reuse convention:
 //! [`AdaptiveCompressor::compress`] wraps
-//! [`AdaptiveCompressor::compress_with`], which threads a caller-owned
-//! [`crate::engine::EncodeScratch`] through the ramp segments and
-//! encodes them from sub-slices without intermediate waveform copies;
+//! [`AdaptiveCompressor::compress_with`], which wraps
+//! [`AdaptiveCompressor::compress_into`] — the innermost form threads a
+//! caller-owned [`crate::engine::EncodeScratch`] through the ramp
+//! segments, encodes them from sub-slices without intermediate waveform
+//! copies, and refills a reused [`AdaptiveCompressed`] slot segment by
+//! segment so a warm re-encode allocates nothing;
 //! [`AdaptiveCompressed::decompress_with`] is the decode twin.
 
 use crate::compress::{CompressedWaveform, Compressor, Variant};
@@ -64,6 +67,18 @@ pub struct AdaptiveCompressed {
 }
 
 impl AdaptiveCompressed {
+    /// An empty slot for [`AdaptiveCompressor::compress_into`] to fill.
+    /// The variant placeholder is overwritten on the first fill.
+    pub fn empty() -> Self {
+        AdaptiveCompressed {
+            name: String::new(),
+            n_samples: 0,
+            sample_rate_gs: 0.0,
+            variant: Variant::Delta,
+            segments: Vec::new(),
+        }
+    }
+
     /// Compression ratio including the plateau codewords. Saturating,
     /// so hostile sample-count claims cannot overflow the accounting.
     pub fn ratio(&self) -> CompressionRatio {
@@ -313,6 +328,34 @@ impl AdaptiveCompressor {
         wf: &Waveform,
         scratch: &mut crate::engine::EncodeScratch,
     ) -> Result<AdaptiveCompressed, CompressError> {
+        let mut out = AdaptiveCompressed::empty();
+        self.compress_into(wf, scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Compresses a flat-top waveform into a reused output slot — the
+    /// fully buffer-reusing form that [`AdaptiveCompressor::compress_with`]
+    /// wraps, bit-exact with it. Segment slots are matched in playback
+    /// order: a ramp reuses the [`Segment::Windows`] stream already
+    /// sitting at its index (via the windowed encoder's slot reuse),
+    /// the plateau overwrites its slot in place, and stale trailing
+    /// segments are
+    /// truncated. Re-encoding waveforms of a stable segment layout
+    /// (e.g. a calibration loop re-fitting the same flat-top pulses)
+    /// therefore allocates nothing once `out` and `scratch` are warm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError::NoPlateau`] if the waveform has no plateau
+    /// of at least the configured minimum length (in which case `out` is
+    /// left untouched). On mid-encode errors `out` holds a valid but
+    /// unspecified mixture of old and new segments.
+    pub fn compress_into(
+        &self,
+        wf: &Waveform,
+        scratch: &mut crate::engine::EncodeScratch,
+        out: &mut AdaptiveCompressed,
+    ) -> Result<(), CompressError> {
         let ws = self.inner.variant().window_size().expect("validated in new()");
         let (start, len) = wf.flat_top_plateau(self.min_plateau).ok_or(CompressError::NoPlateau)?;
         // Align the plateau cut points to window boundaries so the ramp
@@ -323,40 +366,64 @@ impl AdaptiveCompressor {
         if plateau_end <= head_end {
             return Err(CompressError::NoPlateau);
         }
-        let ramp = |name: &str,
-                    range: std::ops::Range<usize>,
-                    scratch: &mut crate::engine::EncodeScratch|
-         -> Result<Segment, CompressError> {
-            let mut z = crate::compress::CompressedWaveform::empty();
+        out.name.clear();
+        out.name.push_str(wf.name());
+        out.n_samples = wf.len();
+        out.sample_rate_gs = wf.sample_rate_gs();
+        out.variant = self.inner.variant();
+        let mut idx = 0;
+        if head_end > 0 {
+            let z = windows_slot(&mut out.segments, idx);
             self.inner.compress_slices_into(
-                name,
-                &wf.i()[range.clone()],
-                &wf.q()[range],
+                "head",
+                &wf.i()[..head_end],
+                &wf.q()[..head_end],
                 wf.sample_rate_gs(),
                 scratch,
-                &mut z,
+                z,
             )?;
-            Ok(Segment::Windows(z))
-        };
-        let mut segments = Vec::new();
-        if head_end > 0 {
-            segments.push(ramp("head", 0..head_end, scratch)?);
+            idx += 1;
         }
-        segments.push(Segment::Constant {
+        let plateau = Segment::Constant {
             i_value: Q15::from_f64(wf.i()[head_end]),
             q_value: Q15::from_f64(wf.q()[head_end]),
             len: plateau_end - head_end,
-        });
-        if plateau_end < wf.len() {
-            segments.push(ramp("tail", plateau_end..wf.len(), scratch)?);
+        };
+        if let Some(slot) = out.segments.get_mut(idx) {
+            *slot = plateau;
+        } else {
+            out.segments.push(plateau);
         }
-        Ok(AdaptiveCompressed {
-            name: wf.name().to_string(),
-            n_samples: wf.len(),
-            sample_rate_gs: wf.sample_rate_gs(),
-            variant: self.inner.variant(),
-            segments,
-        })
+        idx += 1;
+        if plateau_end < wf.len() {
+            let z = windows_slot(&mut out.segments, idx);
+            self.inner.compress_slices_into(
+                "tail",
+                &wf.i()[plateau_end..],
+                &wf.q()[plateau_end..],
+                wf.sample_rate_gs(),
+                scratch,
+                z,
+            )?;
+            idx += 1;
+        }
+        out.segments.truncate(idx);
+        Ok(())
+    }
+}
+
+/// Returns the [`Segment::Windows`] stream at `idx`, converting or
+/// growing the slot as needed so an existing compressed stream's buffers
+/// are reused whenever the segment layout is stable across fills.
+fn windows_slot(segments: &mut Vec<Segment>, idx: usize) -> &mut CompressedWaveform {
+    if idx >= segments.len() {
+        segments.push(Segment::Windows(CompressedWaveform::empty()));
+    } else if !matches!(segments[idx], Segment::Windows(_)) {
+        segments[idx] = Segment::Windows(CompressedWaveform::empty());
+    }
+    match &mut segments[idx] {
+        Segment::Windows(z) => z,
+        Segment::Constant { .. } => unreachable!("slot converted to Windows above"),
     }
 }
 
@@ -419,6 +486,38 @@ mod tests {
         assert_eq!(alloc.i(), &i[..]);
         assert_eq!(alloc.q(), &q[..]);
         assert_eq!(alloc_stats, stats);
+    }
+
+    #[test]
+    fn compress_into_reused_slot_matches_allocating_path() {
+        let wf = flat_top();
+        let zc = AdaptiveCompressor::new(Variant::IntDctW { ws: 16 });
+        let fresh = zc.compress(&wf).unwrap();
+        let mut scratch = crate::engine::EncodeScratch::new();
+        let mut slot = AdaptiveCompressed::empty();
+        // Dirty the slot with a different layout first, then refill: the
+        // stale trailing segments must be truncated and the result must be
+        // identical to the allocating path.
+        let small = AdaptiveCompressor::new(Variant::IntDctW { ws: 8 });
+        small.compress_into(&wf, &mut scratch, &mut slot).unwrap();
+        for _ in 0..3 {
+            zc.compress_into(&wf, &mut scratch, &mut slot).unwrap();
+            assert_eq!(fresh, slot);
+        }
+    }
+
+    #[test]
+    fn compress_into_leaves_slot_untouched_on_no_plateau() {
+        let wf = flat_top();
+        let zc = AdaptiveCompressor::new(Variant::IntDctW { ws: 16 });
+        let mut scratch = crate::engine::EncodeScratch::new();
+        let mut slot = AdaptiveCompressed::empty();
+        zc.compress_into(&wf, &mut scratch, &mut slot).unwrap();
+        let before = slot.clone();
+        let gauss = compaqt_pulse::shapes::Gaussian::new(160, 0.5, 40.0).to_waveform("G", 4.54);
+        let err = zc.compress_into(&gauss, &mut scratch, &mut slot).unwrap_err();
+        assert_eq!(err, CompressError::NoPlateau);
+        assert_eq!(before, slot);
     }
 
     #[test]

@@ -564,6 +564,13 @@ fn float_full_into(
 /// `ws`-chunk per window to `coeffs`. The tail window is zero-padded,
 /// matching [`compaqt_dsp::window::split`] with [`PadMode::Zero`].
 ///
+/// All windows of the channel are staged flat and transformed by one
+/// call to the SoA-batched forward kernel
+/// ([`compaqt_dsp::batched::BatchedDct`]) — bit-identical to the
+/// per-window [`compaqt_dsp::dct::Dct::forward_into`] it replaced.
+/// Thresholding and quantization are elementwise, so they run over the
+/// flat coefficient buffer unchanged.
+///
 /// [`PadMode::Zero`]: compaqt_dsp::window::PadMode::Zero
 fn float_windows_into(
     samples: &[f64],
@@ -573,29 +580,31 @@ fn float_windows_into(
     out: &mut Vec<i32>,
 ) {
     let scale = f64::from(1u32 << float_coeff_scale_bits(ws));
-    out.reserve(samples.len().div_ceil(ws) * ws);
-    // Take the staging buffers so the cached transform can stay borrowed
-    // across the whole loop (one lookup, not one per window).
-    let mut window = std::mem::take(&mut scratch.window);
+    let padded = samples.len().div_ceil(ws) * ws;
+    // Take the staging buffers so the cached batched plan can stay
+    // borrowed across the transform (one lookup per channel).
+    let mut f_stage = std::mem::take(&mut scratch.f_stage);
     let mut fcoeffs = std::mem::take(&mut scratch.fcoeffs);
-    window.resize(ws, 0.0);
-    fcoeffs.resize(ws, 0.0);
-    let dct = scratch.dct(ws);
-    for chunk in samples.chunks(ws) {
-        window[..chunk.len()].copy_from_slice(chunk);
-        window[chunk.len()..].fill(0.0);
-        dct.forward_into(&window, &mut fcoeffs);
-        compaqt_dsp::threshold::apply_threshold(&mut fcoeffs, threshold);
-        out.extend(
-            fcoeffs.iter().map(|&c| ((c * scale).round() as i32).clamp(MIN_COEFF, MAX_COEFF)),
-        );
-    }
-    scratch.window = window;
+    f_stage.clear();
+    f_stage.resize(padded, 0.0);
+    f_stage[..samples.len()].copy_from_slice(samples);
+    fcoeffs.resize(padded, 0.0);
+    scratch.batched_dct(ws).forward_batched_into(&f_stage, &mut fcoeffs[..padded]);
+    compaqt_dsp::threshold::apply_threshold(&mut fcoeffs[..padded], threshold);
+    out.extend(
+        fcoeffs[..padded].iter().map(|&c| ((c * scale).round() as i32).clamp(MIN_COEFF, MAX_COEFF)),
+    );
+    scratch.f_stage = f_stage;
     scratch.fcoeffs = fcoeffs;
 }
 
 /// Windowed integer transform of one channel, appending one quantized
 /// `ws`-chunk per window to `coeffs`.
+///
+/// Like [`float_windows_into`], the whole channel is staged as flat
+/// Q1.15 windows and transformed by one SoA-batched forward call
+/// ([`compaqt_dsp::batched::BatchedIntDctPlan`]), bit-identical to the
+/// per-window [`compaqt_dsp::intdct::IntDct::forward_into`].
 fn int_windows_into(
     samples: &[f64],
     ws: usize,
@@ -603,27 +612,27 @@ fn int_windows_into(
     scratch: &mut EncodeScratch,
     out: &mut Vec<i32>,
 ) -> Result<(), CompressError> {
-    scratch.int_plan(ws)?;
-    out.reserve(samples.len().div_ceil(ws) * ws);
-    // Take the staging buffers so the cached plan can stay borrowed
-    // across the whole loop (one lookup per channel, not per window).
-    let mut qwindow = std::mem::take(&mut scratch.qwindow);
-    let mut icoeffs = std::mem::take(&mut scratch.icoeffs);
-    qwindow.resize(ws, Q15::ZERO);
-    icoeffs.resize(ws, 0);
-    let plan = scratch.int_plans.iter().find(|p| p.len() == ws).expect("cached above");
-    for chunk in samples.chunks(ws) {
-        for (q, &v) in qwindow[..chunk.len()].iter_mut().zip(chunk) {
-            *q = Q15::from_f64(v);
-        }
-        qwindow[chunk.len()..].fill(Q15::ZERO);
-        plan.forward_into(&qwindow, &mut icoeffs);
-        compaqt_dsp::threshold::apply_threshold_int(&mut icoeffs, thr);
-        // Quantize to the 15-bit storage word (tag bit + DC headroom).
-        out.extend(icoeffs.iter().map(|&c| int_store_quantize(c).clamp(MIN_COEFF, MAX_COEFF)));
+    let padded = samples.len().div_ceil(ws) * ws;
+    // Take the staging buffer so the cached batched plan can stay
+    // borrowed across the transform (one lookup per channel).
+    let mut q_stage = std::mem::take(&mut scratch.q_stage);
+    q_stage.clear();
+    q_stage.resize(padded, Q15::ZERO);
+    for (q, &v) in q_stage.iter_mut().zip(samples) {
+        *q = Q15::from_f64(v);
     }
-    scratch.qwindow = qwindow;
-    scratch.icoeffs = icoeffs;
+    let start = out.len();
+    let result = scratch.batched_int_plan(ws).map(|plan| {
+        out.resize(start + padded, 0);
+        plan.forward_batched_into(&q_stage, &mut out[start..]);
+    });
+    scratch.q_stage = q_stage;
+    result?;
+    compaqt_dsp::threshold::apply_threshold_int(&mut out[start..], thr);
+    // Quantize to the 15-bit storage word (tag bit + DC headroom).
+    for c in &mut out[start..] {
+        *c = int_store_quantize(*c).clamp(MIN_COEFF, MAX_COEFF);
+    }
     Ok(())
 }
 

@@ -25,8 +25,10 @@
 //!   After the first decode warms the buffers, steady-state decoding of a
 //!   whole pulse library performs **zero heap allocations per window**
 //!   (the `alloc_regression` integration test enforces this), and the
-//!   integer IDCT runs a sparse fused kernel
-//!   ([`compaqt_dsp::intdct::IntDct::inverse_f64_into`]).
+//!   integer IDCT runs as one SoA-batched inverse per channel
+//!   ([`compaqt_dsp::batched::BatchedIntDctPlan`]) through the
+//!   runtime-dispatched SIMD kernels, bit-identical to the per-window
+//!   reference ([`compaqt_dsp::intdct::IntDct::inverse_f64_into`]).
 //!
 //! Both paths are bit-exact with each other — the round-trip property
 //! tests assert `==` on every sample, so figures computed through either
@@ -45,10 +47,11 @@
 
 use crate::compress::{ChannelData, CompressedWaveform, Variant};
 use crate::CompressError;
+use compaqt_dsp::batched::{BatchedDct, BatchedIntDctPlan};
 use compaqt_dsp::dct::Dct;
 use compaqt_dsp::fixed::Q15;
 use compaqt_dsp::intdct::IntDct;
-use compaqt_dsp::plan::{DctPlanCache, IntDctPlan};
+use compaqt_dsp::plan::DctPlanCache;
 use compaqt_dsp::rle::{CodedWord, RleDecoder};
 use compaqt_pulse::waveform::Waveform;
 use serde::{Deserialize, Serialize};
@@ -140,6 +143,12 @@ pub struct DecodeScratch {
     fcoeffs: Vec<f64>,
     /// Windowed IDCT output staging (overlap-add decoding).
     time: Vec<f64>,
+    /// Flat RLE-expanded coefficient staging for the batched integer
+    /// inverse (one window-sized chunk per transform window).
+    batch_coeffs: Vec<i32>,
+    /// Cached batched integer inverse plans, one per distinct window size
+    /// (at most the five supported sizes, so no eviction is needed).
+    batched: Vec<BatchedIntDctPlan>,
     /// Bounded `DCT-N` inverse plans, keyed by transform length.
     plans: DctPlanCache,
 }
@@ -153,6 +162,20 @@ impl DecodeScratch {
     /// The cached `DCT-N` plans (keyed by transform length, bounded).
     pub fn plan_cache(&self) -> &DctPlanCache {
         &self.plans
+    }
+
+    /// The cached batched integer inverse plan for `t`'s window size
+    /// (built from a clone of `t` on first use), split-borrowed together
+    /// with the flat coefficient staging buffer it consumes so the
+    /// two-pass batched decode can hold both mutably at once.
+    pub(crate) fn batched_int(&mut self, t: &IntDct) -> (&mut BatchedIntDctPlan, &mut Vec<i32>) {
+        let ws = t.len();
+        if !self.batched.iter().any(|p| p.len() == ws) {
+            self.batched.push(BatchedIntDctPlan::from_transform(t.clone()));
+        }
+        let plan =
+            self.batched.iter_mut().find(|p| p.len() == ws).expect("inserted above if missing");
+        (plan, &mut self.batch_coeffs)
     }
 
     /// Splits out the (coeff, float-coeff, time) staging buffers at one
@@ -180,8 +203,9 @@ impl DecodeScratch {
 /// * the flat per-channel quantized coefficient windows that I/Q
 ///   equalization consumes,
 /// * cached transforms — a bounded keyed [`DctPlanCache`] for full-length
-///   `DCT-N` forwards plus one cached [`Dct`]/[`IntDctPlan`] per windowed
-///   size (at most the four supported sizes, so no eviction is needed).
+///   `DCT-N` forwards plus one cached batched plan
+///   ([`BatchedDct`]/[`BatchedIntDctPlan`]) per windowed size (at most
+///   the five supported sizes, so no eviction is needed).
 ///
 /// With a reused scratch and a reused output stream
 /// ([`crate::compress::Compressor::compress_into`]), steady-state
@@ -210,8 +234,6 @@ impl DecodeScratch {
 pub struct EncodeScratch {
     /// Float window staging (transform input, zero-padded tail).
     pub(crate) window: Vec<f64>,
-    /// Q1.15 window staging for the integer transform.
-    pub(crate) qwindow: Vec<Q15>,
     /// Float transform/threshold output for the current window.
     pub(crate) fcoeffs: Vec<f64>,
     /// Integer transform/threshold output for the current window.
@@ -225,12 +247,17 @@ pub struct EncodeScratch {
     /// Spare per-window word lists, parked here when a reused output
     /// slot shrinks so their capacity survives mixed-size libraries.
     pub(crate) spare_windows: Vec<Vec<CodedWord>>,
+    /// Flat Q1.15 staging for the batched integer forward: every window
+    /// of one channel, zero-padded tail included.
+    pub(crate) q_stage: Vec<Q15>,
+    /// Flat float staging for the batched float forward.
+    pub(crate) f_stage: Vec<f64>,
     /// Bounded `DCT-N` forward plans, keyed by waveform length.
     pub(crate) plans: DctPlanCache,
-    /// Cached windowed float transforms, one per distinct window size.
-    pub(crate) dcts: Vec<Dct>,
-    /// Cached integer transform plans, one per distinct window size.
-    pub(crate) int_plans: Vec<IntDctPlan>,
+    /// Cached batched integer forward plans, one per window size.
+    pub(crate) batched_int: Vec<BatchedIntDctPlan>,
+    /// Cached batched float forward plans, one per window size.
+    pub(crate) batched_dcts: Vec<BatchedDct>,
 }
 
 impl EncodeScratch {
@@ -244,29 +271,33 @@ impl EncodeScratch {
         &self.plans
     }
 
-    /// The cached windowed float transform for window size `ws`, built on
-    /// first use. At most one transform per supported size is retained.
-    pub(crate) fn dct(&mut self, ws: usize) -> &Dct {
-        if let Some(idx) = self.dcts.iter().position(|d| d.len() == ws) {
-            &self.dcts[idx]
-        } else {
-            self.dcts.push(Dct::new(ws));
-            self.dcts.last().expect("just pushed")
-        }
-    }
-
-    /// The cached integer transform plan for window size `ws`.
+    /// The cached batched integer forward plan for window size `ws`.
     ///
     /// # Errors
     ///
     /// Returns [`CompressError::UnsupportedWindow`] for unsupported sizes.
-    pub(crate) fn int_plan(&mut self, ws: usize) -> Result<&IntDctPlan, CompressError> {
-        if let Some(idx) = self.int_plans.iter().position(|p| p.len() == ws) {
-            Ok(&self.int_plans[idx])
+    pub(crate) fn batched_int_plan(
+        &mut self,
+        ws: usize,
+    ) -> Result<&mut BatchedIntDctPlan, CompressError> {
+        if let Some(idx) = self.batched_int.iter().position(|p| p.len() == ws) {
+            Ok(&mut self.batched_int[idx])
         } else {
-            let plan = IntDctPlan::new(ws).map_err(|e| CompressError::UnsupportedWindow(e.size))?;
-            self.int_plans.push(plan);
-            Ok(self.int_plans.last().expect("just pushed"))
+            let plan =
+                BatchedIntDctPlan::new(ws).map_err(|e| CompressError::UnsupportedWindow(e.size))?;
+            self.batched_int.push(plan);
+            Ok(self.batched_int.last_mut().expect("just pushed"))
+        }
+    }
+
+    /// The cached batched float forward plan for window size `ws`, built
+    /// on first use.
+    pub(crate) fn batched_dct(&mut self, ws: usize) -> &mut BatchedDct {
+        if let Some(idx) = self.batched_dcts.iter().position(|p| p.len() == ws) {
+            &mut self.batched_dcts[idx]
+        } else {
+            self.batched_dcts.push(BatchedDct::new(ws));
+            self.batched_dcts.last_mut().expect("just pushed")
         }
     }
 
@@ -489,25 +520,74 @@ impl DecompressionEngine {
                         },
                     )?;
                 out.resize(total, 0.0);
-                let mut pos = base;
-                for words in windows {
-                    stats.memory_words_read += words.len();
-                    stats.rle_codewords +=
-                        words.iter().filter(|w| matches!(w, CodedWord::Rle(_))).count();
-                    let dst = &mut out[pos..pos + window];
-                    if let InverseStage::Integer(t) = &self.stage {
-                        fused_int_window(t, words, dst)?;
+                let produced = total - base;
+                if let InverseStage::Integer(t) = &self.stage {
+                    // Both integer decode kernels below are bit-exact
+                    // with each other, so picking one is purely a
+                    // throughput decision. Sparse streams — the common
+                    // case; real pulses keep ~3 stored words per
+                    // 16-sample window — win with the fused per-window
+                    // kernel, whose cost scales with the stored words.
+                    // Dense streams win with the SoA-batched SIMD
+                    // inverse, whose cost is flat per sample. Average
+                    // fill of at least half the window flips to batched.
+                    let total_words: usize = windows.iter().map(Vec::len).sum();
+                    if total_words.saturating_mul(2) >= produced {
+                        // Batched integer decode: pass 1 expands every
+                        // window's codewords into the flat staging buffer
+                        // (one window-sized chunk each), pass 2 runs a
+                        // single SoA-batched inverse over the whole
+                        // channel through the runtime-dispatched SIMD
+                        // kernels.
+                        let (plan, staging) = scratch.batched_int(t);
+                        staging.resize(produced, 0);
+                        for (words, cdst) in windows.iter().zip(staging.chunks_exact_mut(window)) {
+                            stats.memory_words_read += words.len();
+                            stats.rle_codewords +=
+                                words.iter().filter(|w| matches!(w, CodedWord::Rle(_))).count();
+                            decoder.decode_window_into(words, cdst)?;
+                            stats.idct_windows += 1;
+                            stats.cycles += words.len() as u64 + 1;
+                        }
+                        plan.inverse_f64_batched_into(
+                            staging,
+                            crate::compress::INT_STORE_SHIFT,
+                            &mut out[base..total],
+                        );
                     } else {
+                        let mut pos = base;
+                        for words in windows {
+                            stats.memory_words_read += words.len();
+                            stats.rle_codewords +=
+                                words.iter().filter(|w| matches!(w, CodedWord::Rle(_))).count();
+                            fused_int_window(
+                                t,
+                                words,
+                                &mut scratch.coeffs,
+                                &mut out[pos..pos + window],
+                            )?;
+                            stats.idct_windows += 1;
+                            stats.cycles += words.len() as u64 + 1;
+                            pos += window;
+                        }
+                    }
+                } else {
+                    let mut pos = base;
+                    for words in windows {
+                        stats.memory_words_read += words.len();
+                        stats.rle_codewords +=
+                            words.iter().filter(|w| matches!(w, CodedWord::Rle(_))).count();
+                        let dst = &mut out[pos..pos + window];
                         scratch.coeffs.resize(window, 0);
                         decoder.decode_window_into(words, &mut scratch.coeffs)?;
                         self.inverse_into(scratch, window, dst);
+                        stats.idct_windows += 1;
+                        stats.cycles += words.len() as u64 + 1;
+                        pos += window;
                     }
-                    stats.idct_windows += 1;
-                    stats.cycles += words.len() as u64 + 1;
-                    pos += window;
                 }
-                stats.output_samples += n_samples.min(pos - base);
-                out.truncate(base + n_samples.min(pos - base));
+                stats.output_samples += n_samples.min(produced);
+                out.truncate(base + n_samples.min(produced));
                 Ok(())
             }
         }
@@ -518,9 +598,10 @@ impl DecompressionEngine {
         match &self.stage {
             InverseStage::Integer(_) => {
                 // decode_channel_into routes every integer window through
-                // fused_int_window; keeping a second integer kernel here
-                // would invite silent divergence between the two.
-                unreachable!("integer windows are decoded by fused_int_window")
+                // fused_int_window or the batched SoA inverse; keeping a
+                // third integer kernel here would invite silent
+                // divergence between them.
+                unreachable!("integer windows are decoded by the fused or batched kernels")
             }
             InverseStage::Float { dct, scale } => {
                 scratch.fcoeffs.resize(window, 0.0);
@@ -645,8 +726,10 @@ fn check_window_claims(windows: &[Vec<CodedWord>], window: usize) -> Result<(), 
 /// Fused RLE-decode + integer IDCT for one window: coefficient words
 /// accumulate their basis row directly (zero-run codewords advance the
 /// position without touching the accumulators — the RLE buffer stage of
-/// Figure 10 collapses away). This is the inner loop of the
-/// zero-allocation int-DCT-W decode path.
+/// Figure 10 collapses away). This is the sparse-stream inner loop of
+/// the zero-allocation int-DCT-W decode path; dense streams take the
+/// SoA-batched inverse instead (see
+/// [`DecompressionEngine::decode_channel_into`]).
 ///
 /// Accumulators are `i32` on the stack: the worst case
 /// `sum_k |T[k][i]| * |coeff| * 2^INT_STORE_SHIFT` is
@@ -657,16 +740,22 @@ fn check_window_claims(windows: &[Vec<CodedWord>], window: usize) -> Result<(), 
 ///
 /// Windows carrying repeat-previous codewords (possible in hand-built
 /// streams, never emitted by the windowed compressor) fall back to the
-/// materializing decoder to preserve exact RLE semantics.
-fn fused_int_window(t: &IntDct, words: &[CodedWord], dst: &mut [f64]) -> Result<(), CompressError> {
+/// materializing decoder through the caller's `coeffs` staging buffer to
+/// preserve exact RLE semantics.
+fn fused_int_window(
+    t: &IntDct,
+    words: &[CodedWord],
+    coeffs: &mut Vec<i32>,
+    dst: &mut [f64],
+) -> Result<(), CompressError> {
     use compaqt_dsp::rle::{RleCodeword, RleError};
     let window = dst.len();
     if words.iter().any(|w| matches!(w, CodedWord::Rle(RleCodeword { repeat_previous: true, .. })))
     {
         // Rare general case: materialize the coefficient window.
-        let mut coeffs = vec![0i32; window];
-        RleDecoder::new().decode_window_into(words, &mut coeffs)?;
-        t.inverse_f64_into(&coeffs, crate::compress::INT_STORE_SHIFT, dst);
+        coeffs.resize(window, 0);
+        RleDecoder::new().decode_window_into(words, coeffs)?;
+        t.inverse_f64_into(coeffs, crate::compress::INT_STORE_SHIFT, dst);
         return Ok(());
     }
     let mut acc = [0i32; 64];

@@ -63,6 +63,12 @@ impl Dct {
         self.n
     }
 
+    /// Basis matrix row `k` (`basis[k*n..][..n]`), for the batched SoA
+    /// forward kernel in [`crate::batched`].
+    pub(crate) fn basis_row(&self, k: usize) -> &[f64] {
+        &self.basis[k * self.n..(k + 1) * self.n]
+    }
+
     /// Returns `true` if this is the (degenerate) 0-point transform.
     ///
     /// Always `false`: construction requires `n > 0`.

@@ -328,6 +328,13 @@ impl IntDct {
         self.butterfly.is_some()
     }
 
+    /// The factorized kernel, when the matrix admits one — shared with the
+    /// batched SoA plans in [`crate::batched`] so both drive the identical
+    /// flowgraph constants.
+    pub(crate) fn butterfly(&self) -> Option<&IntButterflyPlan> {
+        self.butterfly.as_ref()
+    }
+
     /// Inverse integer DCT: transposed matrix multiply plus a right shift.
     ///
     /// This is the arithmetic the hardware IDCT engine performs (Figure 10,

@@ -31,6 +31,11 @@
 //! * [`plan`] — reusable transform plans ([`plan::DctPlan`],
 //!   [`plan::IntDctPlan`]) with caller-provided output buffers, plus the
 //!   bounded keyed [`plan::DctPlanCache`] for mixed-length workloads.
+//! * [`batched`] — structure-of-arrays batch transforms
+//!   ([`batched::BatchedIntDctPlan`], [`batched::BatchedDct`]) that
+//!   process many windows per call through runtime-dispatched
+//!   SSE2/AVX2 kernels with a mandatory scalar fallback, bit-identical
+//!   to the per-window kernels.
 //!
 //! # Plans and buffer reuse
 //!
@@ -75,6 +80,7 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod batched;
 pub mod csd;
 pub mod dct;
 pub mod fastdct;
@@ -87,6 +93,7 @@ pub mod rle;
 pub mod threshold;
 pub mod window;
 
+pub use batched::{BatchedDct, BatchedIntDctPlan, KernelTier};
 pub use dct::{dct2, dct3, Dct};
 pub use fixed::Q15;
 pub use intdct::IntDct;

@@ -281,6 +281,26 @@ impl IntButterflyPlan {
         self.n
     }
 
+    /// The dense odd-rotator bank of recursion level `level`: a row-major
+    /// `half x half` block with `half = n >> (level + 1)`, row `k` holding
+    /// the first half of matrix row `2k+1` at that level. Exposed for the
+    /// batched SoA kernels in [`crate::batched`], which replay the exact
+    /// flowgraph across a whole window batch.
+    pub(crate) fn rows_at(&self, level: usize) -> &[i32] {
+        let half = self.n >> (level + 1);
+        &self.odd[self.level_off[level]..self.level_off[level] + half * half]
+    }
+
+    /// Number of butterfly recursion levels (`log2 n`).
+    pub(crate) fn level_count(&self) -> usize {
+        self.level_off.len()
+    }
+
+    /// The 1x1 base-case gain `T[0][0]`.
+    pub(crate) fn dc_gain(&self) -> i32 {
+        self.dc
+    }
+
     /// Always `false`: zero-length plans are rejected at construction.
     pub fn is_empty(&self) -> bool {
         false

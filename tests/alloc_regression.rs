@@ -164,6 +164,45 @@ fn steady_state_library_codec_allocates_nothing() {
         "shared-slot compression across mixed-size waveforms must not allocate, saw {delta}"
     );
 
+    // ---- Adaptive encode: flat-top waveforms re-encoded into reused
+    // `AdaptiveCompressed` slots. The segment layout (head ramp /
+    // plateau / tail ramp) is stable across refills, so every ramp
+    // stream and the segment list itself must be reused — the adaptive
+    // path inherits the same zero-allocation guarantee as the plain
+    // windowed encoder it wraps.
+    use compaqt::core::adaptive::{AdaptiveCompressed, AdaptiveCompressor};
+    use compaqt::pulse::shapes::{GaussianSquare, PulseShape};
+    let flat_tops: Vec<_> = (0..8)
+        .map(|k| {
+            GaussianSquare::new(454 + 16 * k, 0.3 + 0.02 * k as f64, 12.0, 300 + 8 * k)
+                .to_waveform("flat", 4.54)
+        })
+        .collect();
+    let adaptive = AdaptiveCompressor::new(Variant::IntDctW { ws: 16 });
+    let mut aslots: Vec<AdaptiveCompressed> =
+        flat_tops.iter().map(|_| AdaptiveCompressed::empty()).collect();
+    for _ in 0..2 {
+        for (wf, slot) in flat_tops.iter().zip(&mut aslots) {
+            adaptive.compress_into(wf, &mut enc, slot).unwrap();
+        }
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut plateau_samples = 0usize;
+    for _ in 0..10 {
+        for (wf, slot) in flat_tops.iter().zip(&mut aslots) {
+            adaptive.compress_into(wf, &mut enc, slot).unwrap();
+            plateau_samples += (slot.bypass_fraction() * slot.n_samples as f64) as usize;
+        }
+    }
+    let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert!(plateau_samples > 0);
+    assert_eq!(
+        delta,
+        0,
+        "steady-state adaptive compression of {} flat-tops x 10 passes must not allocate, saw {delta}",
+        flat_tops.len()
+    );
+
     // ---- Factorized forward kernel: the butterfly path that now backs
     // every integer encode must itself be allocation-free in steady
     // state — plan construction (matrix + butterfly tables) is the one

@@ -11,6 +11,15 @@
 //! on the coefficient streams in both directions, and closes the loop
 //! with round-trip composition checks.
 
+//!
+//! The batched structure-of-arrays kernels ([`BatchedIntDctPlan`],
+//! [`BatchedDct`]) extend the same contract across windows: transforming
+//! N concatenated windows in one call must be bit-identical to N
+//! per-window calls, on every SIMD tier the machine can run, for every
+//! batch size including ragged tails past the internal chunk width.
+
+use compaqt::dsp::batched::{BatchedDct, BatchedIntDctPlan, KernelTier, MAX_BATCH_CHUNK};
+use compaqt::dsp::dct::Dct;
 use compaqt::dsp::fixed::Q15;
 use compaqt::dsp::intdct::{IntDct, SUPPORTED_SIZES};
 use compaqt::dsp::plan::IntDctPlan;
@@ -81,8 +90,198 @@ fn factorized_inverse_is_bit_exact_on_hostile_coefficients() {
     }
 }
 
+/// Every SIMD tier the running machine can execute, scalar first. Under
+/// `COMPAQT_FORCE_SCALAR` (the CI fallback leg) this collapses to just
+/// `Scalar`, so the suite exercises exactly the kernels dispatch could
+/// pick — never a tier the CPU would fault on.
+fn runnable_tiers() -> Vec<KernelTier> {
+    let mut tiers = vec![KernelTier::Scalar];
+    match KernelTier::detected() {
+        KernelTier::Avx2 => tiers.extend([KernelTier::Sse2, KernelTier::Avx2]),
+        KernelTier::Sse2 => tiers.push(KernelTier::Sse2),
+        KernelTier::Scalar => {}
+    }
+    tiers
+}
+
+/// Batch sizes that hit the interesting internal shapes: a single
+/// window, a partial chunk, exactly one full chunk, and a ragged tail
+/// past the chunk width.
+const BATCH_SIZES: [usize; 4] = [1, 3, MAX_BATCH_CHUNK, MAX_BATCH_CHUNK + 5];
+
+#[test]
+fn batched_forward_is_bit_exact_on_hostile_windows_across_tiers() {
+    for ws in EQUIV_SIZES {
+        let plan = IntDctPlan::new(ws).unwrap();
+        let mut expected = vec![0i32; ws];
+        for (name, x) in hostile_windows(ws) {
+            plan.forward_into(&x, &mut expected);
+            for batch in BATCH_SIZES {
+                let windows: Vec<Q15> = x.iter().copied().cycle().take(ws * batch).collect();
+                let mut out = vec![0i32; ws * batch];
+                for tier in runnable_tiers() {
+                    let mut bp = BatchedIntDctPlan::with_tier(IntDct::new(ws).unwrap(), tier);
+                    bp.forward_batched_into(&windows, &mut out);
+                    for (w, got) in out.chunks_exact(ws).enumerate() {
+                        assert_eq!(
+                            got, expected,
+                            "ws={ws} case {name} batch={batch} tier={tier:?} window={w}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_inverse_is_bit_exact_on_hostile_coefficients_across_tiers() {
+    for ws in EQUIV_SIZES {
+        let t = IntDct::new(ws).unwrap();
+        let hostile: [Vec<i32>; 3] = [
+            vec![i32::MAX; ws],
+            (0..ws).map(|k| if k % 2 == 0 { i32::MAX } else { i32::MIN }).collect(),
+            (0..ws).map(|k| if k == ws - 1 { i32::MIN } else { 0 }).collect(),
+        ];
+        let mut expected = vec![Q15::ZERO; ws];
+        for y in &hostile {
+            t.inverse_into(y, &mut expected);
+            for batch in BATCH_SIZES {
+                let coeffs: Vec<i32> = y.iter().copied().cycle().take(ws * batch).collect();
+                let mut out = vec![Q15::ZERO; ws * batch];
+                for tier in runnable_tiers() {
+                    let mut bp = BatchedIntDctPlan::with_tier(t.clone(), tier);
+                    bp.inverse_batched_into(&coeffs, &mut out);
+                    for (w, got) in out.chunks_exact(ws).enumerate() {
+                        assert_eq!(got, expected, "ws={ws} batch={batch} tier={tier:?} window={w}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn force_scalar_plan_agrees_with_detected_dispatch() {
+    // `from_transform` picks up whatever `KernelTier::detected()` chose
+    // for this process (honoring COMPAQT_FORCE_SCALAR); pinning Scalar
+    // explicitly must produce the same bits — the dispatch decision can
+    // never change results, only speed.
+    for ws in EQUIV_SIZES {
+        let t = IntDct::new(ws).unwrap();
+        let batch = MAX_BATCH_CHUNK + 1;
+        let windows: Vec<Q15> =
+            (0..ws * batch).map(|i| Q15::from_f64(0.8 * ((i as f64) * 0.61).sin())).collect();
+        let mut scalar_out = vec![0i32; ws * batch];
+        let mut dispatch_out = vec![0i32; ws * batch];
+        BatchedIntDctPlan::with_tier(t.clone(), KernelTier::Scalar)
+            .forward_batched_into(&windows, &mut scalar_out);
+        let mut dispatched = BatchedIntDctPlan::from_transform(t);
+        assert_eq!(dispatched.tier(), KernelTier::detected());
+        dispatched.forward_batched_into(&windows, &mut dispatch_out);
+        assert_eq!(scalar_out, dispatch_out, "ws={ws}");
+        let mut scalar_back = vec![Q15::ZERO; ws * batch];
+        let mut dispatch_back = vec![Q15::ZERO; ws * batch];
+        BatchedIntDctPlan::with_tier(IntDct::new(ws).unwrap(), KernelTier::Scalar)
+            .inverse_batched_into(&scalar_out, &mut scalar_back);
+        dispatched.inverse_batched_into(&dispatch_out, &mut dispatch_back);
+        assert_eq!(scalar_back, dispatch_back, "ws={ws} inverse");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn batched_forward_matches_per_window_and_oracle_on_random_batches(
+        raw in proptest::collection::vec(proptest::num::i16::ANY, 64 * (MAX_BATCH_CHUNK + 5)),
+        batch in 1usize..=MAX_BATCH_CHUNK + 5,
+    ) {
+        for ws in EQUIV_SIZES {
+            let windows: Vec<Q15> =
+                raw[..ws * batch].iter().map(|&r| Q15::from_raw(r)).collect();
+            let plan = IntDctPlan::new(ws).unwrap();
+            let mut per_window = vec![0i32; ws * batch];
+            let mut oracle = vec![0i32; ws * batch];
+            for (x, (f, o)) in windows.chunks_exact(ws).zip(
+                per_window.chunks_exact_mut(ws).zip(oracle.chunks_exact_mut(ws)),
+            ) {
+                plan.forward_into(x, f);
+                plan.forward_matrix_into(x, o);
+            }
+            prop_assert_eq!(&per_window, &oracle, "ws={} per-window vs oracle", ws);
+            let mut batched = vec![0i32; ws * batch];
+            for tier in runnable_tiers() {
+                let mut bp = BatchedIntDctPlan::with_tier(IntDct::new(ws).unwrap(), tier);
+                bp.forward_batched_into(&windows, &mut batched);
+                prop_assert_eq!(&batched, &per_window, "ws={} batch={} tier={:?}", ws, batch, tier);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_inverses_match_per_window_on_random_batches(
+        raw in proptest::collection::vec(proptest::num::i32::ANY, 64 * (MAX_BATCH_CHUNK + 5)),
+        batch in 1usize..=MAX_BATCH_CHUNK + 5,
+    ) {
+        for ws in EQUIV_SIZES {
+            let coeffs = &raw[..ws * batch];
+            let t = IntDct::new(ws).unwrap();
+            let mut per_window = vec![Q15::ZERO; ws * batch];
+            let mut per_window_f64 = vec![0.0f64; ws * batch];
+            for (y, (q, f)) in coeffs.chunks_exact(ws).zip(
+                per_window.chunks_exact_mut(ws).zip(per_window_f64.chunks_exact_mut(ws)),
+            ) {
+                t.inverse_into(y, q);
+                t.inverse_f64_into(y, 2, f);
+            }
+            let mut batched_q = vec![Q15::ZERO; ws * batch];
+            let mut batched_f = vec![0.0f64; ws * batch];
+            for tier in runnable_tiers() {
+                let mut bp = BatchedIntDctPlan::with_tier(t.clone(), tier);
+                bp.inverse_batched_into(coeffs, &mut batched_q);
+                prop_assert_eq!(&batched_q, &per_window, "ws={} batch={} tier={:?}", ws, batch, tier);
+                bp.inverse_f64_batched_into(coeffs, 2, &mut batched_f);
+                let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+                prop_assert_eq!(
+                    bits(&batched_f),
+                    bits(&per_window_f64),
+                    "ws={} batch={} tier={:?} f64",
+                    ws, batch, tier
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_float_forward_matches_per_window_bitwise(
+        raw in proptest::collection::vec(-1.0f64..1.0, 64 * (MAX_BATCH_CHUNK + 5)),
+        batch in 1usize..=MAX_BATCH_CHUNK + 5,
+    ) {
+        // The f64 twin preserves each lane's accumulation order, so even
+        // floating point stays *bitwise* identical to the per-window
+        // kernel — checked via to_bits, which -0.0 == 0.0 would hide.
+        for ws in EQUIV_SIZES {
+            let samples = &raw[..ws * batch];
+            let dct = Dct::new(ws);
+            let mut per_window = vec![0.0f64; ws * batch];
+            for (x, o) in samples.chunks_exact(ws).zip(per_window.chunks_exact_mut(ws)) {
+                dct.forward_into(x, o);
+            }
+            let mut batched = vec![0.0f64; ws * batch];
+            for tier in runnable_tiers() {
+                let mut bp = BatchedDct::with_tier(Dct::new(ws), tier);
+                bp.forward_batched_into(samples, &mut batched);
+                let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+                prop_assert_eq!(
+                    bits(&batched),
+                    bits(&per_window),
+                    "ws={} batch={} tier={:?}",
+                    ws, batch, tier
+                );
+            }
+        }
+    }
 
     #[test]
     fn forward_kernels_agree_on_random_windows(raw in proptest::collection::vec(proptest::num::i16::ANY, 64)) {
