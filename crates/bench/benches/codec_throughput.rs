@@ -30,7 +30,10 @@
 //! The run writes `BENCH_codec.json` at the repository root with every
 //! measurement plus the headline `decode_speedup_ws16` ratio, which the
 //! PR acceptance gate tracks (target: >= 3x), and the matching
-//! `encode_speedup_*` ratios for the compress side.
+//! `encode_speedup_*` ratios for the compress side. A `scenario_matrix`
+//! array adds informational per-device ratio/fidelity rows from the
+//! registry fleet (each row round-trip-verified bit-exact before it is
+//! emitted); none of those rows are gated.
 
 use compaqt_core::batch;
 use compaqt_core::compress::{CompressedWaveform, Compressor, Variant};
@@ -342,6 +345,32 @@ fn main() {
             r.name,
             r.ns_per_iter,
             if k + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+
+    // Informational per-device rows from the registry-driven scenario
+    // matrix (no gate): every fleet device except the 433-qubit lattice,
+    // compressed at the paper's design point and round-trip-verified
+    // bit-exact before a row is emitted.
+    let fleet: Vec<_> =
+        compaqt_pulse::registry::fleet().into_iter().filter(|s| s.n_qubits() <= 127).collect();
+    let rows = compaqt_io::run_fleet(&fleet, &compaqt_io::ScenarioVariant::smoke_matrix())
+        .expect("fleet scenario matrix must round-trip bit-exactly");
+    json.push_str("  \"scenario_matrix\": [\n");
+    for (k, row) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"device\": \"{}\", \"qubits\": {}, \"variant\": \"{}\", \
+             \"gates\": {}, \"container_bytes\": {}, \"ratio\": {:.3}, \
+             \"mean_mse\": {:.3e}}}{}\n",
+            row.device,
+            row.qubits,
+            row.variant,
+            row.gates,
+            row.container_bytes,
+            row.ratio,
+            row.mean_mse,
+            if k + 1 == rows.len() { "" } else { "," }
         ));
     }
     json.push_str("  ]\n}\n");

@@ -87,10 +87,12 @@
 pub mod crc32;
 mod format;
 pub mod reader;
+pub mod scenario;
 pub mod writer;
 
 pub use format::PayloadKind;
 pub use reader::{ContainerScratch, Entry, FromContainer, Reader, StreamPayload};
+pub use scenario::{run_device, run_fleet, ScenarioError, ScenarioRow, ScenarioVariant};
 pub use writer::{write_library, write_report, write_store, Writer};
 
 use compaqt_core::CompressError;

@@ -100,12 +100,31 @@ impl Device {
         seed: u64,
         edges: &[(usize, usize)],
     ) -> Self {
+        Device::synthesize_configured(vendor.params(), n, seed, edges)
+    }
+
+    /// Synthesizes a machine from an explicit parameter set and coupling
+    /// map — the fully configured entry point the declarative
+    /// [`crate::registry`] builds through. `params` may differ from a
+    /// stock [`Vendor::params`] set (e.g. a `sample-rate` override);
+    /// calibration draws depend only on `(params, n, seed, edges)`, so a
+    /// stock parameter set reproduces [`Device::synthesize_with_edges`]
+    /// bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or an edge references a qubit out of range.
+    pub fn synthesize_configured(
+        params: VendorParams,
+        n: usize,
+        seed: u64,
+        edges: &[(usize, usize)],
+    ) -> Self {
         assert!(n > 0, "device needs at least one qubit");
         assert!(
             edges.iter().all(|&(a, b)| a < n && b < n),
             "coupling edge references a qubit out of range"
         );
-        let params = vendor.params();
         let mut rng = StdRng::seed_from_u64(seed);
         let qubits: Vec<QubitCalibration> = (0..n)
             .map(|q| {
@@ -156,21 +175,19 @@ impl Device {
     ///
     /// Panics for unknown machine names.
     pub fn named_machine(name: &str) -> Self {
-        let (n, seed) = match name {
-            "bogota" => (5, 0xB060),
-            "lima" => (5, 0x117A),
-            "guadalupe" => (16, 0x60AD),
-            "toronto" => (27, 0x7040),
-            "montreal" => (27, 0xE041),
-            "mumbai" => (27, 0x3BA1),
-            "hanoi" => (27, 0x4A01),
-            "brooklyn" => (65, 0xB400),
-            "washington" => (127, 0x3A50),
-            other => panic!("unknown machine name: {other}"),
-        };
-        let mut d = Device::synthesize(Vendor::Ibm, n, seed);
-        d.name = format!("ibm_{name}");
-        d
+        // Named lookups and declarative descriptions share one code path:
+        // the builtin registry carries the historical (qubits, seed)
+        // pairs, so this route is bit-compatible with the old hand-built
+        // table.
+        let spec = crate::registry::Registry::builtin()
+            .get(&format!("ibm_{name}"))
+            .unwrap_or_else(|| panic!("unknown machine name: {name}"));
+        spec.build_device().expect("named machines are transmon specs")
+    }
+
+    /// Renames the device (registry-built devices carry their spec name).
+    pub(crate) fn set_name(&mut self, name: &str) {
+        self.name = name.to_string();
     }
 
     /// Device name.

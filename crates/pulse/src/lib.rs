@@ -21,6 +21,9 @@
 //! * [`library`] — the pulse library (waveform memory image) of a device.
 //! * [`memory_model`] — the Section III capacity/bandwidth demand equations.
 //! * [`exotic`] — complex multi-qubit and fluxonium gate pulses (Table IX).
+//! * [`registry`] — declarative device descriptions (parsed from a simple
+//!   text format) plus generators for a realistic fleet, so the whole
+//!   pipeline can be driven per device instead of from one fixture.
 //!
 //! # Role in the COMPAQT pipeline
 //!
@@ -55,6 +58,7 @@ pub mod exotic;
 pub mod fdm;
 pub mod library;
 pub mod memory_model;
+pub mod registry;
 pub mod shapes;
 pub mod topology;
 pub mod vendor;
@@ -62,5 +66,6 @@ pub mod waveform;
 
 pub use device::Device;
 pub use library::{GateId, PulseLibrary};
+pub use registry::{DeviceSpec, Registry, RegistryError};
 pub use vendor::{Vendor, VendorParams};
 pub use waveform::Waveform;

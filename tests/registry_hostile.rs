@@ -1,0 +1,176 @@
+//! Hostile-registry robustness: [`Registry::parse_bytes`] fed
+//! attacker-controlled text must return a typed [`RegistryError`] —
+//! never panic, never overflow, and never build a spec that fails its
+//! own validation.
+//!
+//! The mangler attacks every layer of the text format:
+//!
+//! 1. **arbitrary garbage** — random byte buffers (usually not even
+//!    UTF-8) through the full parser;
+//! 2. **bit flips on clean registry text** — the canonical built-in
+//!    fleet serialization with one bit damaged anywhere;
+//! 3. **truncation** — every prefix of the clean text;
+//! 4. **structured lies** — duplicate keys, duplicate devices, absurd
+//!    counts that would size allocations if trusted, keys on device
+//!    classes that must reject them;
+//! 5. **splices** — random line-level shuffles of real directives.
+
+use compaqt::pulse::registry::{Registry, RegistryError, MAX_QUBITS};
+use proptest::prelude::*;
+
+/// The clean text under attack, rendered once from the built-in fleet —
+/// at amplified case counts the time goes to mangling, not to
+/// re-serializing the same registry thousands of times.
+fn clean_text() -> &'static str {
+    static TEXT: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+    TEXT.get_or_init(|| Registry::builtin().to_text())
+}
+
+/// A parse outcome is acceptable iff it is `Ok` or a typed error; this
+/// helper exists so every proptest drives the same total-function
+/// contract, including the round-trip of survivors.
+fn parse_is_total(bytes: &[u8]) {
+    if let Ok(reg) = Registry::parse_bytes(bytes) {
+        // A surviving registry must be internally consistent: every
+        // entry validates, is findable by name, and re-serializes to
+        // text that parses back to the same registry.
+        for spec in reg.iter() {
+            spec.validate().expect("a parsed spec must validate");
+            assert_eq!(reg.get(&spec.name), Some(spec));
+        }
+        let reparsed = Registry::parse(&reg.to_text()).expect("canonical text must parse");
+        assert_eq!(reparsed.len(), reg.len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary bytes never panic the parser.
+    #[test]
+    fn arbitrary_garbage_never_panics(
+        garbage in proptest::collection::vec(proptest::num::u8::ANY, 0..512),
+    ) {
+        parse_is_total(&garbage);
+    }
+
+    /// A single bit flip anywhere in clean registry text either parses
+    /// (the flip landed in a name or comment) or fails typed.
+    #[test]
+    fn bit_flips_never_panic(pos in proptest::num::usize::ANY, bit in 0u32..8) {
+        let mut bytes = clean_text().as_bytes().to_vec();
+        let k = pos % bytes.len();
+        bytes[k] ^= 1 << bit;
+        parse_is_total(&bytes);
+    }
+
+    /// Every truncation of the clean text is total: either the cut fell
+    /// on a device boundary (still parses) or the parser reports the
+    /// torn structure as a typed error.
+    #[test]
+    fn truncations_never_panic(cut in proptest::num::usize::ANY) {
+        let bytes = clean_text().as_bytes();
+        parse_is_total(&bytes[..cut % bytes.len()]);
+    }
+
+    /// Random line-level splices of real directives — devices inside
+    /// devices, strays outside any block, reordered keys — are total.
+    #[test]
+    fn line_splices_never_panic(
+        picks in proptest::collection::vec(proptest::num::usize::ANY, 1..40),
+    ) {
+        let lines: Vec<&str> = clean_text().lines().collect();
+        let spliced: Vec<&str> = picks.iter().map(|&p| lines[p % lines.len()]).collect();
+        parse_is_total(spliced.join("\n").as_bytes());
+    }
+
+    /// Absurd numeric claims are rejected with a typed count/value error
+    /// before anything is sized from them.
+    #[test]
+    fn overflow_counts_are_typed_errors(count in proptest::num::u64::ANY) {
+        prop_assume!(count > MAX_QUBITS as u64);
+        let text = format!("device huge\nqubits {count}\nend\n");
+        let err = Registry::parse(&text).expect_err("an absurd qubit count must not parse");
+        prop_assert!(matches!(
+            err,
+            RegistryError::CountOutOfRange { .. } | RegistryError::InvalidValue { .. }
+        ), "got {err:?}");
+    }
+
+    /// Duplicating any key-value line inside a device block is a typed
+    /// duplicate-key error, wherever the line lands.
+    #[test]
+    fn duplicate_keys_are_typed_errors(device_ix in proptest::num::usize::ANY) {
+        let text = clean_text();
+        let blocks: Vec<&str> = text.split("\n\n").collect();
+        let block = blocks[device_ix % blocks.len()].trim();
+        // Duplicate the first key line (the line after `device <name>`).
+        let mut lines: Vec<&str> = block.lines().collect();
+        prop_assume!(lines.len() > 2);
+        let dup = lines[1];
+        lines.insert(2, dup);
+        let err = Registry::parse(&lines.join("\n"))
+            .expect_err("a duplicated key must not parse");
+        prop_assert!(
+            matches!(err, RegistryError::DuplicateKey { .. }),
+            "expected DuplicateKey, got {err:?}"
+        );
+    }
+}
+
+/// Deliberate structural lies, each pinned to its typed rejection.
+#[test]
+fn structural_lies_are_rejected() {
+    // Not UTF-8.
+    assert_eq!(Registry::parse_bytes(&[0x64, 0xFF, 0xFE]).unwrap_err(), RegistryError::NotUtf8);
+
+    // Key-value junk outside any device block.
+    let err = Registry::parse("qubits 5\n").unwrap_err();
+    assert!(matches!(err, RegistryError::JunkOutsideDevice { line: 1 }), "{err:?}");
+
+    // A device block opened inside another.
+    let err = Registry::parse("device a\ndevice b\nend\nend\n").unwrap_err();
+    assert!(matches!(err, RegistryError::NestedDevice { line: 2 }), "{err:?}");
+
+    // `end` with no open block.
+    let err = Registry::parse("end\n").unwrap_err();
+    assert!(matches!(err, RegistryError::StrayEnd { line: 1 }), "{err:?}");
+
+    // A block the text never closes.
+    let err = Registry::parse("device a\nqubits 3\n").unwrap_err();
+    assert!(matches!(err, RegistryError::UnterminatedDevice { .. }), "{err:?}");
+
+    // The same device declared twice (reported where the second block
+    // completes and tries to register).
+    let err = Registry::parse("device a\nqubits 3\nend\ndevice a\nqubits 3\nend\n").unwrap_err();
+    assert!(matches!(err, RegistryError::DuplicateDevice { line: 6, .. }), "{err:?}");
+
+    // A key the grammar does not know.
+    let err = Registry::parse("device a\ncolor red\nend\n").unwrap_err();
+    assert!(matches!(err, RegistryError::UnknownKey { line: 2, .. }), "{err:?}");
+
+    // A value the key cannot hold.
+    let err = Registry::parse("device a\nqubits banana\nend\n").unwrap_err();
+    assert!(matches!(err, RegistryError::InvalidValue { line: 2, .. }), "{err:?}");
+
+    // A transmon device with no way to resolve its qubit count.
+    let err = Registry::parse("device a\nend\n").unwrap_err();
+    assert!(matches!(err, RegistryError::MissingField { .. }), "{err:?}");
+
+    // Exotic devices own their qubit count; declaring one is a lie.
+    let err = Registry::parse("device a\nclass exotic\nqubits 9\nend\n").unwrap_err();
+    assert!(matches!(err, RegistryError::KeyNotAllowed { line: 3, .. }), "{err:?}");
+
+    // Surface patches derive (2d-1)^2 qubits; contradicting it is a lie.
+    let err = Registry::parse("device a\ntopology surface:3\nqubits 7\nend\n").unwrap_err();
+    assert!(matches!(err, RegistryError::SurfaceSizeMismatch { .. }), "{err:?}");
+}
+
+/// The clean fleet text itself parses back bit-for-bit: the hostile
+/// suite is attacking a baseline that genuinely round-trips.
+#[test]
+fn clean_text_round_trips() {
+    let reg = Registry::parse(clean_text()).unwrap();
+    assert_eq!(&reg, Registry::builtin());
+    assert_eq!(reg.to_text(), clean_text());
+}

@@ -1,0 +1,197 @@
+//! The registry-driven scenario matrix: every built-in fleet device is
+//! compressed with every codec variant, round-tripped through a CWL
+//! container (and the serving [`Store`](compaqt::core::store::Store) for
+//! plain streams), and verified bit-exact — the CI acceptance gate for
+//! the declarative device registry.
+//!
+//! Debug-profile (`cargo test -q`) runs cover the small fleet devices
+//! with the full variant matrix and the large ones with the one-variant
+//! smoke matrix; the `#[ignore]`d tests extend full-matrix coverage to
+//! the 65/127/433-qubit devices and run in the release-profile
+//! `scenario-matrix` CI job via `--include-ignored`.
+
+use compaqt::io::{run_device, run_fleet, ScenarioRow, ScenarioVariant};
+use compaqt::pulse::device::Device;
+use compaqt::pulse::registry::{self, surface_qubits, DeviceSpec, Registry, TopologyKind};
+use compaqt::pulse::topology::Topology;
+use compaqt::pulse::vendor::Vendor;
+use compaqt::quantum::surface::SurfacePatch;
+use proptest::prelude::*;
+
+/// Looks a device up in the built-in registry (panicking with the name
+/// on a miss, so a renamed fleet entry fails loudly here).
+fn builtin(name: &str) -> &'static DeviceSpec {
+    Registry::builtin().get(name).unwrap_or_else(|| panic!("no builtin device {name}"))
+}
+
+/// Asserts the invariants every returned row already implies, plus the
+/// cross-row sanity the matrix is meant to demonstrate.
+fn check_rows(rows: &[ScenarioRow], expected_variants: usize) {
+    assert_eq!(rows.len(), expected_variants);
+    for row in rows {
+        assert!(row.gates > 0, "{}: empty library", row.device);
+        assert!(row.container_bytes > 0, "{}: empty container", row.device);
+        assert!(
+            row.ratio > 1.0,
+            "{} / {}: ratio {} is expansion",
+            row.device,
+            row.variant,
+            row.ratio
+        );
+        assert!(row.mean_mse.is_finite() && row.mean_mse >= 0.0);
+        if let Some(rate) = row.store_hit_rate {
+            // The store pass re-fetches every gate: second round must hit.
+            assert!(rate >= 0.5, "{} / {}: hit rate {rate}", row.device, row.variant);
+        }
+    }
+}
+
+#[test]
+fn builtin_fleet_meets_acceptance_floor() {
+    let fleet = registry::fleet();
+    assert!(fleet.len() >= 6, "fleet has only {} devices", fleet.len());
+
+    let big_heavy_hex =
+        fleet.iter().filter(|s| s.topology == TopologyKind::HeavyHex && s.n_qubits() >= 65).count();
+    assert!(big_heavy_hex >= 2, "only {big_heavy_hex} heavy-hex devices at >= 65 qubits");
+
+    let surface =
+        fleet.iter().filter(|s| matches!(s.topology, TopologyKind::Surface { .. })).count();
+    assert!(surface >= 1, "no surface-code patch in the fleet");
+
+    // Every fleet device is registered and validates.
+    for spec in &fleet {
+        assert_eq!(builtin(&spec.name), spec);
+        spec.validate().unwrap();
+    }
+}
+
+#[test]
+fn small_fleet_devices_pass_the_full_matrix() {
+    let variants = ScenarioVariant::full_matrix();
+    for name in ["hex-27", "exotic-tableix"] {
+        let rows = run_device(builtin(name), &variants).unwrap_or_else(|e| panic!("{name}: {e}"));
+        check_rows(&rows, variants.len());
+    }
+}
+
+#[test]
+fn remaining_fleet_devices_pass_the_smoke_matrix() {
+    // Debug-profile coverage of every other fleet device; the ignored
+    // release-CI tests below re-run these with the full matrix.
+    let variants = ScenarioVariant::smoke_matrix();
+    let specs = ["surface-d3", "sycamore-53", "hex-65", "hex-127", "surface-d5"].map(builtin);
+    let rows = run_fleet(specs, &variants).unwrap();
+    check_rows(&rows, specs.len() * variants.len());
+    // More qubits, more gates — the matrix actually scales with the
+    // device, rather than re-running one fixture under new names.
+    assert!(rows[2].gates < rows[3].gates, "hex-65 vs hex-127 gate counts");
+}
+
+/// Release-profile CI coverage: the full variant matrix on the rest of
+/// the fleet — the mid-size devices, the large heavy-hex lattices and
+/// the distance-5 surface patch.
+#[test]
+#[ignore = "full matrix on large devices; run via --include-ignored in release CI"]
+fn large_fleet_devices_pass_the_full_matrix() {
+    let variants = ScenarioVariant::full_matrix();
+    for name in ["surface-d3", "sycamore-53", "hex-65", "hex-127", "surface-d5"] {
+        let rows = run_device(builtin(name), &variants).unwrap_or_else(|e| panic!("{name}: {e}"));
+        check_rows(&rows, variants.len());
+    }
+}
+
+/// Release-profile CI coverage: the 433-qubit Osprey-scale device.
+#[test]
+#[ignore = "433-qubit device; run via --include-ignored in release CI"]
+fn osprey_scale_device_passes_the_smoke_matrix() {
+    let rows = run_device(builtin("hex-433"), &ScenarioVariant::smoke_matrix()).unwrap();
+    check_rows(&rows, 1);
+    assert_eq!(rows[0].qubits, 433);
+}
+
+#[test]
+fn surface_topology_matches_the_quantum_crate_patch() {
+    // The registry sizes surface patches as (2d-1)^2 grid lattices; the
+    // quantum crate builds the same unrotated patch from stabilizers.
+    // Both views must agree on qubit count and on the coupling graph.
+    for d in [3usize, 5] {
+        let patch = SurfacePatch::unrotated(d);
+        let kind = TopologyKind::Surface { distance: d };
+        assert_eq!(surface_qubits(d), patch.n_qubits);
+
+        let mut registry_edges: Vec<(usize, usize)> =
+            kind.edges(patch.n_qubits).into_iter().map(|(a, b)| (a.min(b), a.max(b))).collect();
+        registry_edges.sort_unstable();
+
+        let mut patch_edges: Vec<(usize, usize)> = patch
+            .stabilizers
+            .iter()
+            .flat_map(|s| s.data.iter().map(move |&q| (s.ancilla.min(q), s.ancilla.max(q))))
+            .collect();
+        patch_edges.sort_unstable();
+        patch_edges.dedup();
+
+        assert_eq!(registry_edges, patch_edges, "distance-{d} coupling graphs differ");
+    }
+}
+
+#[test]
+fn named_machines_stay_bit_compatible_with_direct_synthesis() {
+    // `Device::named_machine` now routes through the registry; the
+    // calibrated libraries must stay bit-identical to the historical
+    // direct-synthesis path for every registered machine.
+    for spec in registry::named_machines() {
+        let via_registry = Device::named_machine(spec.name.trim_start_matches("ibm_"));
+        let direct = Device::synthesize(Vendor::Ibm, spec.n_qubits(), spec.seed);
+        let (a, b) = (via_registry.pulse_library(), direct.pulse_library());
+        assert_eq!(a.len(), b.len(), "{}: gate counts differ", spec.name);
+        for (gate, wf) in a.iter_sorted() {
+            let other = b.get(gate).unwrap_or_else(|| panic!("{}: {gate} missing", spec.name));
+            let same = wf.i().iter().zip(other.i()).all(|(x, y)| x.to_bits() == y.to_bits())
+                && wf.q().iter().zip(other.q()).all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same, "{}: {gate} waveform changed", spec.name);
+        }
+    }
+}
+
+#[test]
+fn heavy_hex_couplings_include_the_chain() {
+    // The replay suite walks nearest-neighbour CX chains; this is the
+    // topological fact that makes those circuits legal on the fleet's
+    // heavy-hex devices.
+    for n in [27usize, 65] {
+        let edges = Topology::HeavyHex.edges(n);
+        for i in 1..n {
+            assert!(
+                edges.contains(&(i - 1, i)),
+                "heavy-hex({n}) is missing chain edge ({}, {i})",
+                i - 1
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Randomly sized small devices pass a randomly chosen matrix cell —
+    /// the matrix is not tuned to the fleet's specific sizes. Case count
+    /// is amplified by `PROPTEST_CASES` in the scenario-matrix CI job.
+    #[test]
+    fn random_small_devices_round_trip(
+        qubits in 2usize..6,
+        seed in proptest::num::u64::ANY,
+        vendor_ibm in 0u8..2,
+        cell in 0usize..8,
+    ) {
+        let vendor = if vendor_ibm == 0 { Vendor::Ibm } else { Vendor::Google };
+        let spec = DeviceSpec::transmon("prop-dev", vendor, TopologyKind::Line, qubits, seed);
+        spec.validate().unwrap();
+        let variants = ScenarioVariant::full_matrix();
+        let variant = variants[cell % variants.len()];
+        let rows = run_device(&spec, &[variant]).unwrap();
+        prop_assert_eq!(rows.len(), 1);
+        prop_assert!(rows[0].ratio > 1.0);
+    }
+}
