@@ -25,7 +25,10 @@
 //! `store_fetch/hot_fetch_cached` (decoded-LRU hit, no IDCT) — the
 //! runtime single-gate workload the store exists for. The `container_io`
 //! group adds informational serialize/validate/serve rows for the CWL
-//! persistence layer (`compaqt-io`); none of them are gated.
+//! persistence layer (`compaqt-io`), and the `serve` group measures the
+//! wire daemon's loopback fetch/ping round trips (surfaced as the
+//! informational `serve_fetch_roundtrip_ns` / `serve_fetches_per_sec`
+//! headline fields); none of them are gated.
 //!
 //! The run writes `BENCH_codec.json` at the repository root with every
 //! measurement plus the headline `decode_speedup_ws16` ratio, which the
@@ -293,6 +296,37 @@ fn bench_container_io(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_serve(c: &mut Criterion) {
+    // Wire serving path (informational rows, no gate): one blocking
+    // client fetching the representative long pulse over loopback TCP.
+    // A round trip covers frame encode + CRC on the client, a kernel
+    // round trip, the server's shard read + stream serialization, and
+    // the client-side parse + decode — the paper's deployment loop with
+    // a real socket in the middle.
+    let device = Device::named_machine("guadalupe");
+    let lib = device.pulse_library();
+    let compressor = Compressor::new(Variant::IntDctW { ws: 16 });
+    let store = std::sync::Arc::new(Store::from_library(&lib, &compressor).unwrap());
+    let handle = compaqt_io::serve::serve(store, "127.0.0.1:0").expect("bind loopback");
+    let mut client = compaqt_io::serve::Client::connect(handle.local_addr()).expect("connect");
+    let (gate, wf) =
+        lib.iter().max_by_key(|(_, wf)| wf.len()).expect("guadalupe library is non-empty");
+    let mut group = c.benchmark_group("serve");
+    group.throughput(Throughput::Elements(2 * wf.len() as u64));
+    let (mut i, mut q) = (Vec::new(), Vec::new());
+    group.bench_function("fetch_roundtrip", |b| {
+        b.iter(|| {
+            let stats = client.fetch_into(black_box(gate), &mut i, &mut q).unwrap();
+            black_box(stats.output_samples)
+        })
+    });
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("ping_roundtrip", |b| b.iter(|| client.ping().unwrap()));
+    group.finish();
+    drop(client);
+    handle.shutdown();
+}
+
 fn main() {
     let mut criterion = Criterion::default();
     bench_intdct_kernel(&mut criterion);
@@ -301,6 +335,7 @@ fn main() {
     bench_library_compile(&mut criterion);
     bench_store_fetch(&mut criterion);
     bench_container_io(&mut criterion);
+    bench_serve(&mut criterion);
     criterion.final_summary();
 
     // Headline ratio the acceptance gate tracks.
@@ -326,12 +361,20 @@ fn main() {
     println!("\ndecode_speedup_ws16: {ws16:.2}x   decode_speedup_ws8: {ws8:.2}x");
     println!("encode_speedup_ws16: {enc16:.2}x   encode_speedup_ws8: {enc8:.2}x");
 
+    // Informational wire-serving headline (no gate): the loopback TCP
+    // fetch round trip and the single-connection fetch rate it implies.
+    let serve_ns = ns("serve", "fetch_roundtrip").unwrap_or(f64::NAN);
+    let serve_fps = if serve_ns > 0.0 { 1e9 / serve_ns } else { f64::NAN };
+    println!("serve_fetch_roundtrip_ns: {serve_ns:.0}   serve_fetches_per_sec: {serve_fps:.0}");
+
     // Baseline file with every measurement plus the headline ratios.
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"decode_speedup_ws16\": {ws16:.3},\n"));
     json.push_str(&format!("  \"decode_speedup_ws8\": {ws8:.3},\n"));
     json.push_str(&format!("  \"encode_speedup_ws16\": {enc16:.3},\n"));
     json.push_str(&format!("  \"encode_speedup_ws8\": {enc8:.3},\n"));
+    json.push_str(&format!("  \"serve_fetch_roundtrip_ns\": {serve_ns:.1},\n"));
+    json.push_str(&format!("  \"serve_fetches_per_sec\": {serve_fps:.1},\n"));
     json.push_str("  \"benchmarks\": [\n");
     let results = criterion.results();
     for (k, r) in results.iter().enumerate() {

@@ -24,13 +24,16 @@
 //!   threads decode with at most N scratches ever built and **zero heap
 //!   allocations** per steady-state [`Store::fetch_into`] (enforced in
 //!   the `alloc_regression` integration test).
-//! * **Hot set** — a bounded per-shard LRU of *decoded* waveforms.
-//!   [`Store::fetch_cached`] returns an `Arc<Waveform>` clone on a hit,
-//!   skipping the RLE + IDCT entirely — the win for calibration-critical
-//!   gates fetched over and over. Recency is an atomic stamp per entry,
-//!   so hits ride the shared read lock (no writer serialization), and
-//!   the recency clock and fetch counters are shard-local, so readers
-//!   on different shards share no atomic cache line at all.
+//! * **Hot set** — a bounded LRU of *decoded* waveforms, globally
+//!   budgeted by [`StoreConfig::hot_capacity`] (an honest store-wide
+//!   bound: `hot_len() <= hot_capacity` always, however unevenly the
+//!   gates hash). [`Store::fetch_cached`] returns an `Arc<Waveform>`
+//!   clone on a hit, skipping the RLE + IDCT entirely — the win for
+//!   calibration-critical gates fetched over and over. Recency is an
+//!   atomic stamp per entry, so hits ride the shared read lock (no
+//!   writer serialization), and the recency clock and fetch counters
+//!   are shard-local, so readers on different shards share no atomic
+//!   cache line at all.
 //! * **Engine registry** — one shared [`DecompressionEngine`] per
 //!   variant, built at insert time, shared `&self` by all readers.
 //!
@@ -77,19 +80,28 @@ use compaqt_pulse::waveform::Waveform;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 /// Sizing knobs for a [`Store`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StoreConfig {
-    /// Number of shards; rounded up to a power of two, minimum 1.
-    /// More shards = less writer/reader contention, slightly more memory.
+    /// Number of shards. **Silently rounded up** to the next power of
+    /// two, minimum 1 (so `shards: 5` builds an 8-shard store) — shard
+    /// routing is a mask over [`GateId::stable_hash`], which requires a
+    /// power-of-two count. The effective value is observable via
+    /// [`Store::shard_count`], and the rounding is pinned by test so a
+    /// refactor cannot change it (that would silently reshuffle every
+    /// gate's shard). More shards = less writer/reader contention,
+    /// slightly more memory.
     pub shards: usize,
-    /// Total decoded waveforms kept hot across all shards (split evenly,
-    /// rounded up). `0` disables the hot set: [`Store::fetch_cached`]
-    /// then decodes on every call.
+    /// Total decoded waveforms kept hot across **all** shards — an
+    /// honest global bound: `Store::hot_len() <= hot_capacity` holds at
+    /// all times, however unevenly the gates hash (a fully skewed
+    /// working set may occupy the entire budget inside one shard). `0`
+    /// disables the hot set: [`Store::fetch_cached`] then decodes on
+    /// every call.
     pub hot_capacity: usize,
 }
 
@@ -232,19 +244,6 @@ impl ShardSlot {
     fn tick(&self) -> u64 {
         self.clock.fetch_add(1, Ordering::Relaxed) + 1
     }
-
-    /// Drops the hot-set copy of `id` from `shard` (which must be this
-    /// slot's locked state), counting the invalidation. The single
-    /// eviction-accounting site shared by insert/invalidate/remove.
-    fn drop_hot(&self, shard: &mut Shard, id: &GateId) -> bool {
-        if let Some(pos) = shard.hot.iter().position(|e| &e.id == id) {
-            shard.hot.swap_remove(pos);
-            self.counters.invalidations.fetch_add(1, Ordering::Relaxed);
-            true
-        } else {
-            false
-        }
-    }
 }
 
 /// A sharded concurrent `GateId → CompressedWaveform` store with pooled
@@ -258,8 +257,12 @@ pub struct Store {
     shards: Vec<ShardSlot>,
     /// `shards.len() - 1`; shard count is a power of two.
     shard_mask: u64,
-    /// Hot-set slots per shard (0 disables caching).
-    hot_per_shard: usize,
+    /// Global hot-set budget (0 disables caching).
+    hot_capacity: usize,
+    /// Hot-budget slots in use: parked entries plus in-flight
+    /// reservations. Reservation happens *before* a miss parks its
+    /// decode, so parked entries can never exceed `hot_capacity`.
+    hot_count: AtomicUsize,
     /// One shared engine per variant seen at insert time.
     engines: RwLock<Vec<(Variant, DecompressionEngine)>>,
     /// Bounded checkout pool of decode scratches.
@@ -278,14 +281,14 @@ impl Store {
     /// Creates an empty store with the given sizing.
     pub fn new(config: StoreConfig) -> Self {
         let n_shards = config.shards.max(1).next_power_of_two();
-        let hot_per_shard =
-            if config.hot_capacity == 0 { 0 } else { config.hot_capacity.div_ceil(n_shards) };
         let shards = (0..n_shards)
             .map(|_| ShardSlot {
                 state: RwLock::new(Shard {
                     map: HashMap::new(),
-                    // +1: insert-then-evict never reallocates.
-                    hot: Vec::with_capacity(hot_per_shard + 1),
+                    // Grows on demand: any single shard may hold up to
+                    // the whole global budget under skewed hashing, so
+                    // pre-sizing every shard to it would waste memory.
+                    hot: Vec::new(),
                     next_gen: 0,
                 }),
                 clock: AtomicU64::new(0),
@@ -296,7 +299,8 @@ impl Store {
         Store {
             shards,
             shard_mask: (n_shards - 1) as u64,
-            hot_per_shard,
+            hot_capacity: config.hot_capacity,
+            hot_count: AtomicUsize::new(0),
             engines: RwLock::new(Vec::new()),
             scratches: Mutex::new(Vec::with_capacity(scratch_bound)),
             scratch_bound,
@@ -375,7 +379,7 @@ impl Store {
         self.ensure_engine(z.variant)?;
         let slot = &self.shards[self.shard_index(&id)];
         let mut shard = slot.state.write();
-        slot.drop_hot(&mut shard, &id);
+        self.drop_hot(slot, &mut shard, &id);
         // The generation bump is what keeps a concurrent cached-fetch
         // miss (decoding the *old* stream outside the locks right now)
         // from parking its stale result after we return.
@@ -495,7 +499,12 @@ impl Store {
                     decoded += 1;
                     Ok::<(), StoreError>(())
                 });
-            if let Some((_, started)) = &shard {
+            // Exactly one fetches/decodes increment per gate decoded in
+            // this shard — never per lock acquisition. A shard whose
+            // only routed gates were unknown took the lock but decoded
+            // nothing, and must not book time or counts for it.
+            if decoded > 0 {
+                let (_guard, started) = shard.as_ref().expect("decoded gates imply a locked shard");
                 let elapsed = started.elapsed().as_nanos() as u64;
                 slot.counters.decodes.fetch_add(decoded, Ordering::Relaxed);
                 slot.counters.fetches.fetch_add(decoded, Ordering::Relaxed);
@@ -511,19 +520,24 @@ impl Store {
     /// A hit is a shared-lock lookup plus an `Arc` refcount bump — the
     /// IDCT is skipped entirely. A miss snapshots the compressed stream
     /// (one clone), decodes it **outside every lock** (pooled scratch),
-    /// parks the result in the shard's LRU (evicting the least recently
-    /// used entry if the shard is at capacity) and returns it. The park
-    /// is generation-checked: if the gate was recalibrated while the
-    /// miss was decoding, the now-stale decode is returned to its
-    /// caller (it was the truth when the fetch started) but never
-    /// cached, so [`Store::insert`]'s no-stale-reads guarantee holds.
+    /// parks the result in its shard's hot set and returns it. Parking
+    /// first reserves a slot of the **global** [`StoreConfig::hot_capacity`]
+    /// budget, evicting the least recently used entry (home shard
+    /// preferred) when the budget is exhausted — so `hot_len()` never
+    /// exceeds `hot_capacity`, and a working set skewed onto one shard
+    /// still gets the whole budget. The park is generation-checked: if
+    /// the gate was recalibrated while the miss was decoding, the
+    /// now-stale decode is returned to its caller (it was the truth
+    /// when the fetch started) but never cached, so [`Store::insert`]'s
+    /// no-stale-reads guarantee holds.
     ///
     /// # Errors
     ///
     /// [`StoreError::UnknownGate`] if the gate is absent;
     /// [`StoreError::Codec`] if the stored stream is malformed.
     pub fn fetch_cached(&self, id: &GateId) -> Result<Arc<Waveform>, StoreError> {
-        let slot = &self.shards[self.shard_index(id)];
+        let home = self.shard_index(id);
+        let slot = &self.shards[home];
         // Fast path: shared lock, shard-local recency bump and counters,
         // refcount clone.
         let (z, gen) = {
@@ -556,16 +570,22 @@ impl Store {
         slot.counters.decode_ns.fetch_add(elapsed, Ordering::Relaxed);
         slot.counters.hot_misses.fetch_add(1, Ordering::Relaxed);
         slot.counters.fetches.fetch_add(1, Ordering::Relaxed);
-        if self.hot_per_shard == 0 {
+        if self.hot_capacity == 0 {
             return Ok(decoded);
         }
-        // Park the decode. Another reader may have raced us here; keep
-        // the first entry so every caller converges on one shared
-        // decode.
+        // Park the decode: reserve a global hot-budget slot *before*
+        // taking the home shard's write lock (eviction may lock any one
+        // shard, and no two shard locks are ever held together).
+        self.reserve_hot_slot(home);
         let mut shard = slot.state.write();
+        // Another reader may have raced us here; keep the first entry
+        // so every caller converges on one shared decode.
         if let Some(entry) = shard.hot.iter().find(|e| &e.id == id) {
             entry.last_used.store(slot.tick(), Ordering::Relaxed);
-            return Ok(Arc::clone(&entry.decoded));
+            let shared = Arc::clone(&entry.decoded);
+            drop(shard);
+            self.hot_count.fetch_sub(1, Ordering::Relaxed); // release unused reservation
+            return Ok(shared);
         }
         // The gate may have been recalibrated (or removed) while we
         // were decoding; parking the old decode would then serve stale
@@ -577,19 +597,34 @@ impl Store {
                 decoded: Arc::clone(&decoded),
                 last_used: AtomicU64::new(slot.tick()),
             };
-            shard.hot.push(entry);
-            if shard.hot.len() > self.hot_per_shard {
-                let coldest = shard
-                    .hot
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
-                    .map(|(k, _)| k)
-                    .expect("hot set is non-empty");
-                shard.hot.swap_remove(coldest);
-            }
+            shard.hot.push(entry); // consumes the reservation
+        } else {
+            drop(shard);
+            self.hot_count.fetch_sub(1, Ordering::Relaxed); // release: stale decode, not parked
         }
         Ok(decoded)
+    }
+
+    /// Runs `f` with a borrow of one gate's **compressed** stream,
+    /// under the shard's read lock — the wire-serving fetch path: a
+    /// network tier serializes the stream straight out of the shard
+    /// with no clone and no decode (the *client* decompresses, which
+    /// is the paper's deployment model). Nothing is decoded, so the
+    /// fetch counters are untouched; concurrent readers of the shard
+    /// proceed, and `f` should return quickly (it holds the lock).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownGate`] if the gate is absent.
+    pub fn with_stream<R>(
+        &self,
+        id: &GateId,
+        f: impl FnOnce(&CompressedWaveform) -> R,
+    ) -> Result<R, StoreError> {
+        let slot = &self.shards[self.shard_index(id)];
+        let shard = slot.state.read();
+        let entry = shard.map.get(id).ok_or_else(|| StoreError::UnknownGate(id.clone()))?;
+        Ok(f(&entry.z))
     }
 
     /// Drops the hot-set copy of one gate (the compressed stream stays).
@@ -599,7 +634,7 @@ impl Store {
     pub fn invalidate(&self, id: &GateId) -> bool {
         let slot = &self.shards[self.shard_index(id)];
         let mut shard = slot.state.write();
-        slot.drop_hot(&mut shard, id)
+        self.drop_hot(slot, &mut shard, id)
     }
 
     /// Removes a gate entirely (compressed stream and hot copy),
@@ -607,8 +642,78 @@ impl Store {
     pub fn remove(&self, id: &GateId) -> Option<CompressedWaveform> {
         let slot = &self.shards[self.shard_index(id)];
         let mut shard = slot.state.write();
-        slot.drop_hot(&mut shard, id);
+        self.drop_hot(slot, &mut shard, id);
         shard.map.remove(id).map(|e| e.z)
+    }
+
+    /// Drops the hot-set copy of `id` from `shard` (which must be
+    /// `slot`'s locked state), counting the invalidation and releasing
+    /// the entry's global hot-budget slot. The single removal-accounting
+    /// site shared by insert/invalidate/remove.
+    fn drop_hot(&self, slot: &ShardSlot, shard: &mut Shard, id: &GateId) -> bool {
+        if let Some(pos) = shard.hot.iter().position(|e| &e.id == id) {
+            shard.hot.swap_remove(pos);
+            self.hot_count.fetch_sub(1, Ordering::Relaxed);
+            slot.counters.invalidations.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Reserves one slot of the global hot budget, evicting if it is
+    /// exhausted. Must be called with **no shard lock held** (eviction
+    /// takes one shard write lock at a time, never two), and every
+    /// reservation must later be either consumed by a `hot.push` or
+    /// released with a `hot_count` decrement.
+    fn reserve_hot_slot(&self, home: usize) {
+        loop {
+            let used = self.hot_count.load(Ordering::Relaxed);
+            if used < self.hot_capacity {
+                if self
+                    .hot_count
+                    .compare_exchange(used, used + 1, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    return;
+                }
+                continue; // lost a reservation race; retry
+            }
+            // Budget exhausted: make room. Evicting from the home shard
+            // first means a skewed working set behaves like one LRU over
+            // the full budget instead of thrashing a per-shard slice;
+            // other shards are scanned round-robin only when the home
+            // shard has nothing parked. (Per-shard recency clocks are
+            // not cross-comparable, so the cross-shard victim choice is
+            // positional; eviction is LRU *within* the victim shard.)
+            // Finding nothing is possible when every budget slot is an
+            // in-flight reservation about to park — loop until one
+            // parks (evictable) or is released (budget frees up).
+            self.evict_one(home);
+        }
+    }
+
+    /// Evicts the least recently used entry of the first shard, scanning
+    /// from `home`, that has anything parked. Returns `false` if every
+    /// hot set was empty.
+    fn evict_one(&self, home: usize) -> bool {
+        let n = self.shards.len();
+        for k in 0..n {
+            let slot = &self.shards[(home + k) % n];
+            let mut shard = slot.state.write();
+            let coldest = shard
+                .hot
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(pos, _)| pos);
+            if let Some(pos) = coldest {
+                shard.hot.swap_remove(pos);
+                self.hot_count.fetch_sub(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
     }
 
     /// A snapshot of the fetch counters, summed over all shards.
@@ -859,6 +964,151 @@ mod tests {
         let s = store.shard_index(&id);
         assert!(s < 8);
         assert_eq!(s, store.shard_index(&id), "routing is a pure function of the id");
+    }
+
+    #[test]
+    fn shard_rounding_and_layout_are_pinned() {
+        // `StoreConfig::shards` rounds up to the next power of two
+        // (minimum 1). Pinned so a refactor can't change the effective
+        // count — that would silently reshuffle every gate's shard.
+        for (requested, effective) in
+            [(0, 1), (1, 1), (2, 2), (3, 4), (5, 8), (8, 8), (9, 16), (16, 16), (17, 32)]
+        {
+            let store = Store::new(StoreConfig { shards: requested, hot_capacity: 0 });
+            assert_eq!(store.shard_count(), effective, "shards: {requested}");
+        }
+        // Routing is the stable hash masked by (shards - 1); pin the
+        // formula so the layout itself can't drift either.
+        let store = Store::new(StoreConfig { shards: 8, hot_capacity: 0 });
+        for id in [
+            GateId::single(GateKind::X, 0),
+            GateId::single(GateKind::Sx, 12),
+            GateId::pair(GateKind::Cx, 3, 7),
+            GateId::pair(GateKind::Fsim, 40, 41),
+        ] {
+            assert_eq!(store.shard_index(&id), (id.stable_hash() & 7) as usize, "{id}");
+        }
+    }
+
+    #[test]
+    fn hot_capacity_is_a_global_bound_under_skewed_hashing() {
+        // Route a whole working set into ONE shard of an 8-shard store
+        // whose global budget is 4. The old per-shard split
+        // (div_ceil(4/8) = 1 slot per shard) both inflated the global
+        // bound (8 effective slots) and thrashed skewed traffic (the
+        // busy shard got one slot while seven sat empty). The honest
+        // global budget must (a) never exceed 4 parked decodes and
+        // (b) let the skewed 4-gate working set stay entirely hot.
+        let lib = library();
+        let compressor = Compressor::new(Variant::IntDctW { ws: 16 });
+        let store =
+            Store::from_library_with(&lib, &compressor, StoreConfig { shards: 8, hot_capacity: 4 })
+                .unwrap();
+        let gates = store.gates();
+        // Pick the shard holding the most gates and keep 4 of its gates.
+        let busiest =
+            (0..8).max_by_key(|s| gates.iter().filter(|g| store.shard_index(g) == *s).count());
+        let skewed: Vec<GateId> = gates
+            .iter()
+            .filter(|g| store.shard_index(g) == busiest.unwrap())
+            .take(4)
+            .cloned()
+            .collect();
+        assert!(skewed.len() >= 2, "need a multi-gate single-shard working set");
+
+        for pass in 0..3 {
+            for gate in &skewed {
+                store.fetch_cached(gate).unwrap();
+                assert!(store.hot_len() <= 4, "pass {pass}: global bound violated");
+            }
+        }
+        let stats = store.stats();
+        assert_eq!(stats.hot_misses, skewed.len() as u64, "first pass misses only");
+        assert_eq!(stats.hot_hits, 2 * skewed.len() as u64, "repeat passes must not thrash");
+
+        // Now sweep every gate: evictions happen, the bound still holds.
+        for gate in &gates {
+            store.fetch_cached(gate).unwrap();
+            assert!(store.hot_len() <= 4, "sweep: global bound violated");
+        }
+    }
+
+    #[test]
+    fn counters_ledger_is_exact_across_fetch_paths() {
+        // Single shard so fetch_many processes `ids` in order and the
+        // partial-failure ledger below is deterministic.
+        let lib = library();
+        let compressor = Compressor::new(Variant::IntDctW { ws: 16 });
+        let store = Store::from_library_with(
+            &lib,
+            &compressor,
+            StoreConfig { shards: 1, hot_capacity: 64 },
+        )
+        .unwrap();
+        let ids = store.gates();
+        let k = ids.len() as u64;
+        let mut outs: Vec<(Vec<f64>, Vec<f64>)> = ids.iter().map(|_| Default::default()).collect();
+
+        // One batched call counts one fetch + one decode PER GATE.
+        store.fetch_many(&ids, &mut outs).unwrap();
+        let s = store.stats();
+        assert_eq!((s.fetches, s.decodes, s.hot_hits, s.hot_misses), (k, k, 0, 0));
+
+        // Duplicates in a batch each count: 2k more fetches/decodes.
+        let doubled: Vec<GateId> = ids.iter().chain(ids.iter()).cloned().collect();
+        let mut outs2: Vec<(Vec<f64>, Vec<f64>)> =
+            doubled.iter().map(|_| Default::default()).collect();
+        store.fetch_many(&doubled, &mut outs2).unwrap();
+        let s = store.stats();
+        assert_eq!((s.fetches, s.decodes), (3 * k, 3 * k));
+
+        // A failing batch counts the gates decoded before the failure
+        // and nothing for the unknown gate itself.
+        let missing = GateId::single(GateKind::X, 99);
+        let mut failing = ids.clone();
+        failing.push(missing.clone());
+        let mut outs3: Vec<(Vec<f64>, Vec<f64>)> =
+            failing.iter().map(|_| Default::default()).collect();
+        assert!(store.fetch_many(&failing, &mut outs3).is_err());
+        let s = store.stats();
+        assert_eq!((s.fetches, s.decodes), (4 * k, 4 * k), "prefix decoded before failure");
+
+        // Unknown-first: the shard lock is taken, but nothing may be
+        // booked — neither counts nor decode time.
+        let before = store.stats();
+        let mut failing_first = vec![missing];
+        failing_first.extend(ids.iter().cloned());
+        let mut outs4: Vec<(Vec<f64>, Vec<f64>)> =
+            failing_first.iter().map(|_| Default::default()).collect();
+        assert!(store.fetch_many(&failing_first, &mut outs4).is_err());
+        let s = store.stats();
+        assert_eq!(s, before, "failed-at-first batch books nothing, not even decode_ns");
+
+        // The cached path keeps its own exact ledger alongside.
+        for id in &ids {
+            store.fetch_cached(id).unwrap();
+            store.fetch_cached(id).unwrap();
+        }
+        let s = store.stats();
+        assert_eq!(s.fetches, 4 * k + 2 * k);
+        assert_eq!(s.decodes, 4 * k + k);
+        assert_eq!((s.hot_hits, s.hot_misses), (k, k));
+    }
+
+    #[test]
+    fn with_stream_borrows_without_decoding() {
+        let lib = library();
+        let compressor = Compressor::new(Variant::IntDctW { ws: 16 });
+        let store = Store::from_library(&lib, &compressor).unwrap();
+        let gate = store.gates().remove(0);
+        let expected = compressor.compress(lib.get(&gate).unwrap()).unwrap();
+        let before = store.stats();
+        let (variant, n) = store.with_stream(&gate, |z| (z.variant, z.n_samples)).unwrap();
+        assert_eq!(variant, expected.variant);
+        assert_eq!(n, expected.n_samples);
+        assert_eq!(store.stats(), before, "a stream borrow is not a fetch");
+        let missing = GateId::single(GateKind::X, 99);
+        assert!(matches!(store.with_stream(&missing, |_| ()), Err(StoreError::UnknownGate(_))));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! it requests, so memory stays linear in the input.
 
 use crate::ContainerError;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, BufMut, BytesMut};
 use compaqt_core::adaptive::{AdaptiveCompressed, Segment};
 use compaqt_core::compress::{ChannelData, CompressedWaveform, Variant};
 use compaqt_core::overlap::OverlapCompressed;
@@ -58,7 +58,7 @@ impl PayloadKind {
 
 /// Fails with [`ContainerError::Truncated`] unless `n` more bytes
 /// remain.
-pub(crate) fn need(buf: &Bytes, n: usize) -> Result<(), ContainerError> {
+pub(crate) fn need<B: Buf>(buf: &B, n: usize) -> Result<(), ContainerError> {
     if buf.remaining() < n {
         Err(ContainerError::Truncated)
     } else {
@@ -100,33 +100,51 @@ pub(crate) fn put_gate(buf: &mut BytesMut, id: &GateId) -> Result<(), ContainerE
     Ok(())
 }
 
-pub(crate) fn take_gate(buf: &mut Bytes) -> Result<GateId, ContainerError> {
+pub(crate) fn take_gate<B: Buf + AsRef<[u8]>>(buf: &mut B) -> Result<GateId, ContainerError> {
+    let mut id = GateId { kind: GateKind::X, qubits: Vec::new() };
+    take_gate_into(buf, &mut id)?;
+    Ok(id)
+}
+
+/// Parses a gate id into a reused slot: the qubit list keeps its
+/// capacity, and a custom name refills the slot's existing `String`
+/// when both old and new kinds are custom — the request-parse half of
+/// the wire server's zero-steady-state-allocation fetch path.
+pub(crate) fn take_gate_into<B: Buf + AsRef<[u8]>>(
+    buf: &mut B,
+    slot: &mut GateId,
+) -> Result<(), ContainerError> {
     need(buf, 1)?;
-    let kind = match buf.get_u8() {
-        0 => GateKind::X,
-        1 => GateKind::Sx,
-        2 => GateKind::Cx,
-        3 => GateKind::PhasedXz,
-        4 => GateKind::Fsim,
-        5 => GateKind::ISwap,
-        6 => GateKind::Measure,
+    match buf.get_u8() {
+        0 => slot.kind = GateKind::X,
+        1 => slot.kind = GateKind::Sx,
+        2 => slot.kind = GateKind::Cx,
+        3 => slot.kind = GateKind::PhasedXz,
+        4 => slot.kind = GateKind::Fsim,
+        5 => slot.kind = GateKind::ISwap,
+        6 => slot.kind = GateKind::Measure,
         7 => {
             need(buf, 2)?;
             let len = usize::from(buf.get_u16_le());
             need(buf, len)?;
-            let name = std::str::from_utf8(&buf[..len])
-                .map_err(|_| ContainerError::IndexInvalid("custom gate name is not UTF-8"))?
-                .to_string();
+            let name = std::str::from_utf8(&buf.as_ref()[..len])
+                .map_err(|_| ContainerError::IndexInvalid("custom gate name is not UTF-8"))?;
+            if let GateKind::Custom(existing) = &mut slot.kind {
+                existing.clear();
+                existing.push_str(name);
+            } else {
+                slot.kind = GateKind::Custom(name.to_string());
+            }
             buf.advance(len);
-            GateKind::Custom(name)
         }
         _ => return Err(ContainerError::IndexInvalid("unknown gate kind tag")),
-    };
+    }
     need(buf, 1)?;
     let nq = usize::from(buf.get_u8());
     need(buf, 2 * nq)?;
-    let qubits = (0..nq).map(|_| buf.get_u16_le()).collect();
-    Ok(GateId { kind, qubits })
+    slot.qubits.clear();
+    slot.qubits.extend((0..nq).map(|_| buf.get_u16_le()));
+    Ok(())
 }
 
 // -------------------------------------------------------------- variants
@@ -308,8 +326,8 @@ pub(crate) fn put_channel(buf: &mut BytesMut, channel: &ChannelData) -> Result<(
 /// checked *before* the slot is resized from them: `n` windows need at
 /// least `2n` bytes of word-length fields, `n` deltas/samples need `2n`
 /// bytes of words.
-pub(crate) fn take_channel_into(
-    buf: &mut Bytes,
+pub(crate) fn take_channel_into<B: Buf>(
+    buf: &mut B,
     ch: &mut ChannelData,
     spares: &mut SlotSpares,
 ) -> Result<(), ContainerError> {
@@ -361,11 +379,14 @@ fn put_name(buf: &mut BytesMut, name: &str) -> Result<(), ContainerError> {
     Ok(())
 }
 
-fn take_name_into(buf: &mut Bytes, out: &mut String) -> Result<(), ContainerError> {
+fn take_name_into<B: Buf + AsRef<[u8]>>(
+    buf: &mut B,
+    out: &mut String,
+) -> Result<(), ContainerError> {
     need(buf, 2)?;
     let len = usize::from(buf.get_u16_le());
     need(buf, len)?;
-    let name = std::str::from_utf8(&buf[..len])
+    let name = std::str::from_utf8(&buf.as_ref()[..len])
         .map_err(|_| ContainerError::PayloadInvalid("waveform name is not UTF-8"))?;
     out.clear();
     out.push_str(name);
@@ -389,8 +410,8 @@ pub(crate) fn put_plain(buf: &mut BytesMut, z: &CompressedWaveform) -> Result<()
 
 /// Parses a plain payload into a reused stream slot — the
 /// steady-state-allocation-free half of the random-access decode path.
-pub(crate) fn take_plain_into(
-    buf: &mut Bytes,
+pub(crate) fn take_plain_into<B: Buf + AsRef<[u8]>>(
+    buf: &mut B,
     slot: &mut CompressedWaveform,
     spares: &mut SlotSpares,
 ) -> Result<(), ContainerError> {
@@ -424,7 +445,9 @@ pub(crate) fn put_overlap(buf: &mut BytesMut, z: &OverlapCompressed) -> Result<(
     Ok(())
 }
 
-pub(crate) fn take_overlap(buf: &mut Bytes) -> Result<OverlapCompressed, ContainerError> {
+pub(crate) fn take_overlap<B: Buf + AsRef<[u8]>>(
+    buf: &mut B,
+) -> Result<OverlapCompressed, ContainerError> {
     let mut z = OverlapCompressed::empty();
     take_name_into(buf, &mut z.name)?;
     need(buf, 2 + 4 + 8)?;
@@ -470,7 +493,9 @@ pub(crate) fn put_adaptive(
     Ok(())
 }
 
-pub(crate) fn take_adaptive(buf: &mut Bytes) -> Result<AdaptiveCompressed, ContainerError> {
+pub(crate) fn take_adaptive<B: Buf + AsRef<[u8]>>(
+    buf: &mut B,
+) -> Result<AdaptiveCompressed, ContainerError> {
     let mut name = String::new();
     take_name_into(buf, &mut name)?;
     need(buf, 1 + 2 + 4 + 8 + 4)?;

@@ -88,11 +88,18 @@ pub mod crc32;
 mod format;
 pub mod reader;
 pub mod scenario;
+pub mod serve;
+pub mod wire;
 pub mod writer;
 
 pub use format::PayloadKind;
 pub use reader::{ContainerScratch, Entry, FromContainer, Reader, StreamPayload};
 pub use scenario::{run_device, run_fleet, ScenarioError, ScenarioRow, ScenarioVariant};
+pub use serve::{
+    serve, serve_with, Client, ClientConfig, Responder, ServeConfig, ServeError, ServeStats,
+    ServerHandle,
+};
+pub use wire::{ErrorCode, FrameKind, LibraryDigest, ProtocolError};
 pub use writer::{write_library, write_report, write_store, Writer};
 
 use compaqt_core::CompressError;

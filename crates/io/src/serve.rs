@@ -1,0 +1,911 @@
+//! `compaqt-serve`: a waveform service daemon and its blocking client.
+//!
+//! The deployment tier between a CWL container on disk and a fleet of
+//! controllers: a [`Store`] loaded from a container is shared behind a
+//! TCP listener, and many concurrent controller clients fetch gates
+//! over the [`crate::wire`] protocol. Waveforms travel **compressed**
+//! (the paper's model: the controller decompresses locally), so the
+//! server's per-request work is a shard read lock and a straight
+//! serialization of the stored stream — no decode, no clone.
+//!
+//! # Architecture
+//!
+//! No async runtime is available offline, so the transport is
+//! deliberately boring: `std::net::TcpListener`, one blocking thread
+//! per connection, explicit read/write timeouts, and a connection cap
+//! with graceful [`ErrorCode::Busy`] rejection. The protocol is the
+//! contract — [`Responder`] is a pure request→response state machine
+//! with no transport inside it, so an async transport can replace the
+//! thread-per-connection loop later without touching the wire format
+//! (and the `alloc_regression` suite drives [`Responder`] directly to
+//! pin the fetch path's zero-steady-state-allocation guarantee).
+//!
+//! Per connection, the server keeps one reusable read buffer, one
+//! reusable response buffer and reusable gate-id slots: after warm-up,
+//! serving `FetchGate` / `FetchMany` / `Ping` performs **zero heap
+//! allocations** end to end, mirroring the `_into` convention
+//! everywhere else in the workspace.
+//!
+//! Hostile bytes — bit flips, truncations, length lies, CRC damage,
+//! oversized claims — come back as typed [`ProtocolError`]s: the
+//! connection reports best-effort and closes, the server thread
+//! survives to serve the next client, and nothing panics and nothing
+//! allocates from a lying length field.
+//!
+//! # Example
+//!
+//! ```
+//! use compaqt_core::compress::{Compressor, Variant};
+//! use compaqt_core::store::Store;
+//! use compaqt_io::serve::{serve, Client};
+//! use compaqt_pulse::device::Device;
+//! use compaqt_pulse::vendor::Vendor;
+//! use std::sync::Arc;
+//!
+//! let lib = Device::synthesize(Vendor::Ibm, 2, 0x5E21E).pulse_library();
+//! let compressor = Compressor::new(Variant::IntDctW { ws: 16 });
+//! let store = Arc::new(Store::from_library(&lib, &compressor)?);
+//!
+//! let handle = serve(Arc::clone(&store), "127.0.0.1:0")?;
+//! let mut client = Client::connect(handle.local_addr())?;
+//! client.ping()?;
+//! let (gate, wf) = lib.iter().next().unwrap();
+//! let (mut i, mut q) = (Vec::new(), Vec::new());
+//! client.fetch_into(gate, &mut i, &mut q)?;
+//! assert_eq!(i.len(), wf.len());
+//! drop(client);
+//! handle.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::format::{
+    checked_u32, put_gate, put_plain, take_gate_into, take_plain_into, SlotSpares,
+};
+use crate::wire::{
+    begin_frame, encode_error, encode_fetch_gate, encode_fetch_many, encode_library_digest,
+    encode_list_gates, encode_ping, end_frame, fnv1a64, parse_digest, parse_error,
+    parse_fetch_many, parse_frame, parse_gate_list, ErrorCode, FrameKind, FrameRead, LibraryDigest,
+    ProtocolError, ReadFrameError, DEFAULT_MAX_FRAME_BYTES, FRAME_HEADER_BYTES,
+    FRAME_TRAILER_BYTES,
+};
+use bytes::{Buf, BufMut, BytesMut};
+use compaqt_core::compress::{CompressedWaveform, Variant};
+use compaqt_core::engine::{DecodeScratch, DecompressionEngine, EngineStats};
+use compaqt_core::store::{Store, StoreError};
+use compaqt_core::CompressError;
+use compaqt_pulse::library::{GateId, GateKind};
+use std::fmt;
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Sizing and safety knobs for a server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Concurrent connections served before new ones are rejected with
+    /// a graceful [`ErrorCode::Busy`] frame.
+    pub max_connections: usize,
+    /// Per-connection read timeout (zero = wait forever). An idle or
+    /// stalled client is disconnected when it fires, freeing its slot.
+    pub read_timeout: Duration,
+    /// Per-connection write timeout (zero = wait forever); bounds how
+    /// long a slow-draining client can pin a server thread.
+    pub write_timeout: Duration,
+    /// Cap on accepted request payload sizes; a frame claiming more is
+    /// rejected before any payload byte is buffered.
+    pub max_frame_bytes: u32,
+}
+
+impl Default for ServeConfig {
+    /// 64 connections, 30 s read / 10 s write timeouts, 8 MiB frames.
+    fn default() -> Self {
+        ServeConfig {
+            max_connections: 64,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        }
+    }
+}
+
+/// A point-in-time snapshot of a server's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Connections accepted into service.
+    pub connections_accepted: u64,
+    /// Connections rejected at the cap with a Busy frame.
+    pub connections_rejected_busy: u64,
+    /// Well-formed requests answered (any kind, including app-level
+    /// error responses).
+    pub requests_served: u64,
+    /// Waveform streams served (one per `FetchGate`, one per gate of a
+    /// `FetchMany` — the same per-gate accounting the store's
+    /// [`StoreStats`](compaqt_core::store::StoreStats) uses).
+    pub fetches_served: u64,
+    /// Frames rejected as hostile or damaged ([`ProtocolError`]s).
+    pub protocol_errors: u64,
+}
+
+/// Shared atomic counters behind [`ServeStats`].
+#[derive(Debug, Default)]
+struct ServeCounters {
+    accepted: AtomicU64,
+    busy_rejected: AtomicU64,
+    requests: AtomicU64,
+    fetches: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+impl ServeCounters {
+    fn snapshot(&self) -> ServeStats {
+        ServeStats {
+            connections_accepted: self.accepted.load(Ordering::Relaxed),
+            connections_rejected_busy: self.busy_rejected.load(Ordering::Relaxed),
+            requests_served: self.requests.load(Ordering::Relaxed),
+            fetches_served: self.fetches.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Errors from the client side of a serve conversation.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The transport failed (connect, timeout, reset).
+    Io(std::io::Error),
+    /// The peer violated the wire protocol.
+    Protocol(ProtocolError),
+    /// The server answered with a typed error response.
+    Remote {
+        /// The failure class the server reported.
+        code: ErrorCode,
+        /// The server's human-readable detail (possibly empty).
+        detail: String,
+    },
+    /// A served stream failed to decode locally.
+    Codec(CompressError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "serve transport failed: {e}"),
+            ServeError::Protocol(e) => write!(f, "wire protocol violation: {e}"),
+            ServeError::Remote { code, detail } if detail.is_empty() => {
+                write!(f, "server rejected the request: {code}")
+            }
+            ServeError::Remote { code, detail } => {
+                write!(f, "server rejected the request: {code} ({detail})")
+            }
+            ServeError::Codec(e) => write!(f, "served stream failed to decode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Protocol(e) => Some(e),
+            ServeError::Codec(e) => Some(e),
+            ServeError::Remote { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ServeError {
+    fn from(e: ProtocolError) -> Self {
+        ServeError::Protocol(e)
+    }
+}
+
+impl From<ReadFrameError> for ServeError {
+    fn from(e: ReadFrameError) -> Self {
+        match e {
+            ReadFrameError::Io(e) => ServeError::Io(e),
+            ReadFrameError::Protocol(e) => ServeError::Protocol(e),
+        }
+    }
+}
+
+// ---------------------------------------------------------- responder
+
+/// The transport-free request→response state machine: one per
+/// connection, owning every reusable buffer the response path needs.
+///
+/// Feeding a validated frame to [`Responder::respond`] (or a
+/// pre-parsed kind/payload to [`Responder::handle`]) yields either the
+/// encoded response frame to write back, or a [`ProtocolError`] after
+/// which the transport should report best-effort (via
+/// [`Responder::error_frame`]) and close. In steady state — repeated
+/// `Ping` / `FetchGate` / same-shape `FetchMany` — a responder
+/// performs **zero heap allocations** per request.
+#[derive(Debug)]
+pub struct Responder {
+    /// Response frame under construction (reused).
+    out: BytesMut,
+    /// Reused single-gate parse slot.
+    gate: GateId,
+    /// Reused batch parse slots (grows to the largest batch seen).
+    gates: Vec<GateId>,
+    /// Reused digest entry-encode buffer.
+    digest_buf: BytesMut,
+    /// Streams encoded into responses so far (per-gate granularity).
+    fetches: u64,
+    max_frame_bytes: u32,
+}
+
+impl Responder {
+    /// A fresh responder honoring `config`'s frame cap.
+    pub fn new(config: &ServeConfig) -> Self {
+        Responder {
+            out: BytesMut::new(),
+            gate: GateId { kind: GateKind::X, qubits: Vec::new() },
+            gates: Vec::new(),
+            digest_buf: BytesMut::new(),
+            fetches: 0,
+            max_frame_bytes: config.max_frame_bytes,
+        }
+    }
+
+    /// Waveform streams encoded into responses so far — one per
+    /// `FetchGate`, one per gate of a `FetchMany` batch.
+    pub fn fetches_encoded(&self) -> u64 {
+        self.fetches
+    }
+
+    /// Validates a complete request frame and produces the response
+    /// frame.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ProtocolError`]: the frame (or its payload) cannot be
+    /// trusted and the connection should close after a best-effort
+    /// [`Responder::error_frame`].
+    pub fn respond(&mut self, store: &Store, frame: &[u8]) -> Result<&[u8], ProtocolError> {
+        let (kind, payload) = parse_frame(frame, self.max_frame_bytes)?;
+        // Lifetime juggling: `payload` borrows `frame`, not `self`, so
+        // handing both to `handle` is fine.
+        self.handle_inner(store, kind, payload)
+    }
+
+    /// Produces the response frame for an already-validated frame kind
+    /// and payload (the transport loop path, where
+    /// [`crate::wire::read_frame`] did the framing checks).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ProtocolError`] in the payload; close after reporting.
+    pub fn handle(
+        &mut self,
+        store: &Store,
+        kind: FrameKind,
+        payload: &[u8],
+    ) -> Result<&[u8], ProtocolError> {
+        self.handle_inner(store, kind, payload)
+    }
+
+    fn handle_inner(
+        &mut self,
+        store: &Store,
+        kind: FrameKind,
+        payload: &[u8],
+    ) -> Result<&[u8], ProtocolError> {
+        match kind {
+            FrameKind::Ping => {
+                if payload.len() != 8 {
+                    return Err(ProtocolError::Malformed("ping payload is not one u64 nonce"));
+                }
+                let nonce = u64::from_le_bytes(payload.try_into().expect("length checked"));
+                begin_frame(&mut self.out, FrameKind::Pong);
+                self.out.put_u64_le(nonce);
+                end_frame(&mut self.out);
+                Ok(&self.out)
+            }
+            FrameKind::FetchGate => {
+                let Responder { out, gate, fetches, .. } = self;
+                let mut p = payload;
+                take_gate_into(&mut p, gate)?;
+                if !p.is_empty() {
+                    return Err(ProtocolError::TrailingBytes);
+                }
+                begin_frame(out, FrameKind::Gate);
+                match store.with_stream(gate, |z| put_plain(&mut *out, z)) {
+                    Ok(Ok(())) => {
+                        end_frame(out);
+                        *fetches += 1;
+                        Ok(&*out)
+                    }
+                    Ok(Err(_)) => {
+                        encode_error(out, ErrorCode::Internal, "stored stream is unencodable");
+                        Ok(&*out)
+                    }
+                    Err(StoreError::UnknownGate(_)) => {
+                        encode_error(out, ErrorCode::UnknownGate, "no waveform for that gate");
+                        Ok(&*out)
+                    }
+                    Err(StoreError::Codec(_)) => {
+                        encode_error(out, ErrorCode::Internal, "stored stream failed");
+                        Ok(&*out)
+                    }
+                }
+            }
+            FrameKind::FetchMany => {
+                let Responder { out, gates, fetches, .. } = self;
+                let mut p = payload;
+                let count = parse_fetch_many(&mut p, gates)?;
+                begin_frame(out, FrameKind::GateBatch);
+                out.put_u32_le(count as u32);
+                for gate in &gates[..count] {
+                    match store.with_stream(gate, |z| put_plain(&mut *out, z)) {
+                        Ok(Ok(())) => *fetches += 1,
+                        Ok(Err(_)) => {
+                            encode_error(out, ErrorCode::Internal, "stored stream is unencodable");
+                            return Ok(&*out);
+                        }
+                        Err(StoreError::UnknownGate(_)) => {
+                            // All-or-nothing: a batch naming an absent
+                            // gate gets one typed error, not a partial
+                            // body the client must detect.
+                            encode_error(out, ErrorCode::UnknownGate, "batch names an absent gate");
+                            return Ok(&*out);
+                        }
+                        Err(StoreError::Codec(_)) => {
+                            encode_error(out, ErrorCode::Internal, "stored stream failed");
+                            return Ok(&*out);
+                        }
+                    }
+                }
+                end_frame(out);
+                Ok(&*out)
+            }
+            FrameKind::ListGates => {
+                if !payload.is_empty() {
+                    return Err(ProtocolError::Malformed("list request carries a payload"));
+                }
+                let ids = store.gates();
+                let Responder { out, .. } = self;
+                begin_frame(out, FrameKind::GateList);
+                let count = match checked_u32(ids.len(), "more than 2^32 gates") {
+                    Ok(count) => count,
+                    Err(_) => {
+                        encode_error(out, ErrorCode::Internal, "library exceeds the wire format");
+                        return Ok(&*out);
+                    }
+                };
+                out.put_u32_le(count);
+                for id in &ids {
+                    if put_gate(out, id).is_err() {
+                        encode_error(out, ErrorCode::Internal, "gate id exceeds the wire format");
+                        return Ok(&*out);
+                    }
+                }
+                end_frame(out);
+                Ok(&*out)
+            }
+            FrameKind::LibraryDigest => {
+                if !payload.is_empty() {
+                    return Err(ProtocolError::Malformed("digest request carries a payload"));
+                }
+                let Responder { out, digest_buf, .. } = self;
+                let mut count = 0u64;
+                let mut payload_bytes = 0u64;
+                let mut fingerprint = 0u64;
+                let mut broken = false;
+                store.for_each_entry(|gate, z| {
+                    if broken {
+                        return;
+                    }
+                    digest_buf.clear();
+                    if put_gate(digest_buf, gate).is_err() {
+                        broken = true;
+                        return;
+                    }
+                    let gate_bytes = digest_buf.len() as u64;
+                    if put_plain(digest_buf, z).is_err() {
+                        broken = true;
+                        return;
+                    }
+                    payload_bytes += digest_buf.len() as u64 - gate_bytes;
+                    fingerprint = fingerprint.wrapping_add(fnv1a64(digest_buf));
+                    count += 1;
+                });
+                let gates = u32::try_from(count).ok().filter(|_| !broken);
+                match gates {
+                    Some(gates) => {
+                        begin_frame(out, FrameKind::Digest);
+                        out.put_u32_le(gates);
+                        out.put_u64_le(payload_bytes);
+                        out.put_u64_le(fingerprint);
+                        end_frame(out);
+                    }
+                    None => {
+                        encode_error(out, ErrorCode::Internal, "library exceeds the wire format")
+                    }
+                }
+                Ok(&*out)
+            }
+            // A response kind arriving as a request is a confused or
+            // hostile peer; the framing can't be trusted.
+            _ => Err(ProtocolError::UnexpectedKind(kind.tag())),
+        }
+    }
+
+    /// Encodes a best-effort error frame (for the transport to write
+    /// before closing on a [`ProtocolError`]).
+    pub fn error_frame(&mut self, code: ErrorCode, detail: &str) -> &[u8] {
+        encode_error(&mut self.out, code, detail);
+        &self.out
+    }
+}
+
+// ------------------------------------------------------------- server
+
+/// A running server: the handle owning its accept thread.
+///
+/// Dropping the handle shuts the server down (idempotently); call
+/// [`ServerHandle::shutdown`] to do it explicitly. In-flight
+/// connections drain on their own — they end when their client
+/// disconnects or their read timeout fires.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<ServeCounters>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on (with the OS-assigned
+    /// port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A snapshot of the server's counters.
+    pub fn stats(&self) -> ServeStats {
+        self.counters.snapshot()
+    }
+
+    /// Stops accepting connections and joins the accept thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        let Some(accept) = self.accept.take() else { return };
+        self.shutdown.store(true, Ordering::Release);
+        // Poke the blocking accept() awake so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        let _ = accept.join();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Binds and starts a server over `store` with [`ServeConfig`]
+/// defaults. Bind to port 0 for an OS-assigned port
+/// ([`ServerHandle::local_addr`] reports it).
+///
+/// # Errors
+///
+/// Any bind failure.
+pub fn serve(store: Arc<Store>, addr: impl ToSocketAddrs) -> std::io::Result<ServerHandle> {
+    serve_with(store, addr, ServeConfig::default())
+}
+
+/// [`serve`] with explicit sizing, timeout and cap knobs.
+///
+/// # Errors
+///
+/// Any bind failure.
+pub fn serve_with(
+    store: Arc<Store>,
+    addr: impl ToSocketAddrs,
+    config: ServeConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let counters = Arc::new(ServeCounters::default());
+    let accept = {
+        let shutdown = Arc::clone(&shutdown);
+        let counters = Arc::clone(&counters);
+        std::thread::Builder::new()
+            .name("compaqt-serve-accept".into())
+            .spawn(move || accept_loop(listener, store, config, shutdown, counters))?
+    };
+    Ok(ServerHandle { addr, shutdown, counters, accept: Some(accept) })
+}
+
+/// Decrements the live-connection count when a connection thread ends,
+/// however it ends.
+struct ConnGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    store: Arc<Store>,
+    config: ServeConfig,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<ServeCounters>,
+) {
+    let active = Arc::new(AtomicUsize::new(0));
+    for conn in listener.incoming() {
+        if shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        if active.fetch_add(1, Ordering::AcqRel) >= config.max_connections {
+            active.fetch_sub(1, Ordering::AcqRel);
+            counters.busy_rejected.fetch_add(1, Ordering::Relaxed);
+            reject_busy(stream, &config);
+            continue;
+        }
+        counters.accepted.fetch_add(1, Ordering::Relaxed);
+        let guard = ConnGuard(Arc::clone(&active));
+        let store = Arc::clone(&store);
+        let shutdown = Arc::clone(&shutdown);
+        let counters = Arc::clone(&counters);
+        let spawned =
+            std::thread::Builder::new().name("compaqt-serve-conn".into()).spawn(move || {
+                let _guard = guard;
+                serve_conn(stream, &store, &config, &shutdown, &counters);
+            });
+        // Spawn failure (thread exhaustion) just drops the connection;
+        // the guard moved into the closure only on success, so drop it
+        // here explicitly on failure.
+        drop(spawned);
+    }
+}
+
+/// Tells an over-cap client why it is being turned away, best-effort.
+fn reject_busy(mut stream: TcpStream, config: &ServeConfig) {
+    let _ = stream.set_write_timeout(timeout(config.write_timeout));
+    let mut out = BytesMut::new();
+    encode_error(&mut out, ErrorCode::Busy, "connection cap reached, retry later");
+    let _ = stream.write_all(&out);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// `Duration::ZERO` means "wait forever", which std spells `None`.
+fn timeout(d: Duration) -> Option<Duration> {
+    if d.is_zero() {
+        None
+    } else {
+        Some(d)
+    }
+}
+
+/// One connection's serve loop: read a frame, respond, repeat until
+/// the client leaves, a timeout fires, framing breaks, or the server
+/// shuts down.
+fn serve_conn(
+    mut stream: TcpStream,
+    store: &Store,
+    config: &ServeConfig,
+    shutdown: &AtomicBool,
+    counters: &ServeCounters,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(timeout(config.read_timeout));
+    let _ = stream.set_write_timeout(timeout(config.write_timeout));
+    let mut read_buf = Vec::new();
+    let mut responder = Responder::new(config);
+    let mut fetches_reported = 0u64;
+    while !shutdown.load(Ordering::Acquire) {
+        match crate::wire::read_frame(&mut stream, &mut read_buf, config.max_frame_bytes) {
+            Ok(FrameRead::Eof) => break,
+            Ok(FrameRead::Frame(kind)) => {
+                let payload = &read_buf[FRAME_HEADER_BYTES..read_buf.len() - FRAME_TRAILER_BYTES];
+                match responder.handle(store, kind, payload) {
+                    Ok(frame) => {
+                        if stream.write_all(frame).is_err() {
+                            break;
+                        }
+                        counters.requests.fetch_add(1, Ordering::Relaxed);
+                        let fetched = responder.fetches_encoded();
+                        counters.fetches.fetch_add(fetched - fetches_reported, Ordering::Relaxed);
+                        fetches_reported = fetched;
+                    }
+                    Err(e) => {
+                        // Well-framed but untrustworthy payload: report
+                        // the typed rejection best-effort and close.
+                        counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        let detail = e.to_string();
+                        let _ =
+                            stream.write_all(responder.error_frame(ErrorCode::Malformed, &detail));
+                        break;
+                    }
+                }
+            }
+            Err(ReadFrameError::Protocol(e)) => {
+                // Hostile or damaged framing: same report-and-close.
+                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let detail = e.to_string();
+                let _ = stream.write_all(responder.error_frame(ErrorCode::Malformed, &detail));
+                break;
+            }
+            // Timeouts, resets: nothing to say to the peer.
+            Err(ReadFrameError::Io(_)) => break,
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+// ------------------------------------------------------------- client
+
+/// Connection knobs for a [`Client`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// How long to wait for a response frame (zero = forever).
+    pub read_timeout: Duration,
+    /// How long to wait for a request write (zero = forever).
+    pub write_timeout: Duration,
+    /// Cap on accepted response payload sizes. Larger than the
+    /// server-side default because one `FetchMany` response carries a
+    /// whole batch of streams.
+    pub max_frame_bytes: u32,
+}
+
+impl Default for ClientConfig {
+    /// 10 s timeouts, 64 MiB response frames.
+    fn default() -> Self {
+        ClientConfig {
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            max_frame_bytes: 64 * 1024 * 1024,
+        }
+    }
+}
+
+/// A blocking controller-side client: one TCP connection plus every
+/// reusable buffer the fetch-and-decode path needs, so steady-state
+/// [`Client::fetch_into`] allocates nothing on the client either.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    out: BytesMut,
+    /// Reused parse slot for served streams.
+    slot: CompressedWaveform,
+    spares: SlotSpares,
+    scratch: DecodeScratch,
+    /// One decompression engine per variant seen (built on demand).
+    engines: Vec<(Variant, DecompressionEngine)>,
+    max_frame_bytes: u32,
+    next_nonce: u64,
+}
+
+impl Client {
+    /// Connects with [`ClientConfig`] defaults.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on connect/configure failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ServeError> {
+        Client::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with explicit timeouts and frame cap.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on connect/configure failure.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+    ) -> Result<Client, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(timeout(config.read_timeout))?;
+        stream.set_write_timeout(timeout(config.write_timeout))?;
+        Ok(Client {
+            stream,
+            read_buf: Vec::new(),
+            out: BytesMut::new(),
+            slot: CompressedWaveform::empty(),
+            spares: SlotSpares::default(),
+            scratch: DecodeScratch::default(),
+            engines: Vec::new(),
+            max_frame_bytes: config.max_frame_bytes,
+            next_nonce: 1,
+        })
+    }
+
+    /// Writes the request staged in `self.out` and reads the response
+    /// into `self.read_buf`, unwrapping error responses and checking
+    /// the kind.
+    fn roundtrip(&mut self, expect: FrameKind) -> Result<(), ServeError> {
+        self.stream.write_all(&self.out)?;
+        let kind = match crate::wire::read_frame(
+            &mut self.stream,
+            &mut self.read_buf,
+            self.max_frame_bytes,
+        )? {
+            FrameRead::Frame(kind) => kind,
+            FrameRead::Eof => {
+                return Err(ServeError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )))
+            }
+        };
+        if kind == FrameKind::Error {
+            let (code, detail) = parse_error(self.payload())?;
+            return Err(ServeError::Remote { code, detail });
+        }
+        if kind != expect {
+            return Err(ServeError::Protocol(ProtocolError::UnexpectedKind(kind.tag())));
+        }
+        Ok(())
+    }
+
+    /// The last response's payload bytes.
+    fn payload(&self) -> &[u8] {
+        &self.read_buf[FRAME_HEADER_BYTES..self.read_buf.len() - FRAME_TRAILER_BYTES]
+    }
+
+    /// Round-trips a nonce, verifying liveness and protocol agreement.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol or server-reported failures.
+    pub fn ping(&mut self) -> Result<(), ServeError> {
+        let nonce = self.next_nonce;
+        self.next_nonce = self.next_nonce.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        encode_ping(&mut self.out, nonce);
+        self.roundtrip(FrameKind::Pong)?;
+        let mut payload = self.payload();
+        if payload.len() != 8 || payload.get_u64_le() != nonce {
+            return Err(ServeError::Protocol(ProtocolError::Malformed(
+                "pong did not echo the ping nonce",
+            )));
+        }
+        Ok(())
+    }
+
+    /// Fetches one gate's stream and decodes it into caller-owned
+    /// buffers (cleared and refilled) — the wire twin of
+    /// [`Store::fetch_into`], bit-identical to it, and zero-allocation
+    /// in steady state on both ends.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, server-reported (unknown gate) or local
+    /// decode failures.
+    pub fn fetch_into(
+        &mut self,
+        gate: &GateId,
+        i_out: &mut Vec<f64>,
+        q_out: &mut Vec<f64>,
+    ) -> Result<EngineStats, ServeError> {
+        encode_fetch_gate(&mut self.out, gate).map_err(ProtocolError::from)?;
+        self.roundtrip(FrameKind::Gate)?;
+        let Client { read_buf, slot, spares, engines, scratch, .. } = self;
+        let mut payload = &read_buf[FRAME_HEADER_BYTES..read_buf.len() - FRAME_TRAILER_BYTES];
+        take_plain_into(&mut payload, slot, spares).map_err(ProtocolError::from)?;
+        if !payload.is_empty() {
+            return Err(ServeError::Protocol(ProtocolError::TrailingBytes));
+        }
+        let engine = Client::engine_for(engines, slot.variant)?;
+        engine.decompress_into(slot, scratch, i_out, q_out).map_err(ServeError::Codec)
+    }
+
+    /// Fetches one gate's **compressed** stream, owned — for callers
+    /// that want to stage or re-serve it rather than decode now.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol or server-reported failures.
+    pub fn fetch(&mut self, gate: &GateId) -> Result<CompressedWaveform, ServeError> {
+        encode_fetch_gate(&mut self.out, gate).map_err(ProtocolError::from)?;
+        self.roundtrip(FrameKind::Gate)?;
+        let Client { read_buf, slot, spares, .. } = self;
+        let mut payload = &read_buf[FRAME_HEADER_BYTES..read_buf.len() - FRAME_TRAILER_BYTES];
+        take_plain_into(&mut payload, slot, spares).map_err(ProtocolError::from)?;
+        if !payload.is_empty() {
+            return Err(ServeError::Protocol(ProtocolError::TrailingBytes));
+        }
+        Ok(slot.clone())
+    }
+
+    /// Fetches a batch of gates in one round trip, decoding each into
+    /// its caller-owned buffer pair (`outs[k]` receives `gates[k]`) —
+    /// the wire twin of [`Store::fetch_many`], with the same merged
+    /// stats and the same per-gate accounting.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, server-reported or local decode failures;
+    /// on error `outs` is unspecified.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gates` and `outs` have different lengths.
+    pub fn fetch_many_into(
+        &mut self,
+        gates: &[GateId],
+        outs: &mut [(Vec<f64>, Vec<f64>)],
+    ) -> Result<EngineStats, ServeError> {
+        assert_eq!(gates.len(), outs.len(), "one output buffer pair per requested gate");
+        encode_fetch_many(&mut self.out, gates).map_err(ProtocolError::from)?;
+        self.roundtrip(FrameKind::GateBatch)?;
+        let Client { read_buf, slot, spares, engines, scratch, .. } = self;
+        let mut payload = &read_buf[FRAME_HEADER_BYTES..read_buf.len() - FRAME_TRAILER_BYTES];
+        if payload.remaining() < 4 {
+            return Err(ServeError::Protocol(ProtocolError::Truncated));
+        }
+        let count = payload.get_u32_le() as usize;
+        if count != gates.len() {
+            return Err(ServeError::Protocol(ProtocolError::Malformed(
+                "batch response count does not match the request",
+            )));
+        }
+        let mut merged = EngineStats::default();
+        for (i_out, q_out) in outs.iter_mut() {
+            take_plain_into(&mut payload, slot, spares).map_err(ProtocolError::from)?;
+            let engine = Client::engine_for(engines, slot.variant)?;
+            let stats =
+                engine.decompress_into(slot, scratch, i_out, q_out).map_err(ServeError::Codec)?;
+            merged.merge(&stats);
+        }
+        if !payload.is_empty() {
+            return Err(ServeError::Protocol(ProtocolError::TrailingBytes));
+        }
+        Ok(merged)
+    }
+
+    /// Lists every gate the server holds, sorted.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol or server-reported failures.
+    pub fn gates(&mut self) -> Result<Vec<GateId>, ServeError> {
+        encode_list_gates(&mut self.out);
+        self.roundtrip(FrameKind::GateList)?;
+        Ok(parse_gate_list(self.payload())?)
+    }
+
+    /// Fetches the served library's [`LibraryDigest`].
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol or server-reported failures.
+    pub fn digest(&mut self) -> Result<LibraryDigest, ServeError> {
+        encode_library_digest(&mut self.out);
+        self.roundtrip(FrameKind::Digest)?;
+        Ok(parse_digest(self.payload())?)
+    }
+
+    /// The shared engine for `variant`, built on first sight.
+    fn engine_for(
+        engines: &mut Vec<(Variant, DecompressionEngine)>,
+        variant: Variant,
+    ) -> Result<&DecompressionEngine, ServeError> {
+        if let Some(pos) = engines.iter().position(|(v, _)| *v == variant) {
+            return Ok(&engines[pos].1);
+        }
+        let engine = DecompressionEngine::for_variant(variant).map_err(ServeError::Codec)?;
+        engines.push((variant, engine));
+        Ok(&engines.last().expect("just pushed").1)
+    }
+}

@@ -275,14 +275,15 @@ fn steady_state_library_codec_allocates_nothing() {
     // ---- Serving path: steady-state store fetches allocate nothing.
     // The sharded store adds lock acquisition, engine lookup, scratch
     // checkout/checkin and counter updates around the same decode — all
-    // of which must stay off the heap. Hot capacity is sized so every
-    // gate stays cached even if all of them hash to one shard, so
-    // steady-state `fetch_cached` is pure hits.
+    // of which must stay off the heap. `hot_capacity` is a *global*
+    // bound, so sizing it at exactly the library keeps every gate
+    // cached even if all of them hash to one shard — steady-state
+    // `fetch_cached` is pure hits.
     use compaqt::core::store::{Store, StoreConfig};
     let store = Store::from_library_with(
         &lib,
         &compressor,
-        StoreConfig { shards: 4, hot_capacity: 4 * waveforms.len() },
+        StoreConfig { shards: 4, hot_capacity: waveforms.len() },
     )
     .unwrap();
     let gates = store.gates();
@@ -433,5 +434,50 @@ fn steady_state_library_codec_allocates_nothing() {
         0,
         "mixed-shape container fetches across {} gates x 10 passes must not allocate, saw {delta}",
         mixed_gates.len()
+    );
+
+    // ---- Wire serving: the server's per-connection request→response
+    // machine. `Responder` owns every reusable buffer the fetch path
+    // needs (response frame, gate-id parse slots), so once warm,
+    // answering Ping / FetchGate / same-shape FetchMany frames — frame
+    // parse, CRC check, shard read lock, stream serialization, CRC
+    // append — allocates nothing. This is exactly what each
+    // `compaqt-serve` connection thread runs per request; only the
+    // socket I/O around it is missing here.
+    use compaqt::io::serve::{Responder, ServeConfig};
+    use compaqt::io::wire::{encode_fetch_gate, encode_fetch_many, encode_ping};
+    let requests: Vec<Vec<u8>> = {
+        let mut out = bytes::BytesMut::new();
+        let mut frames = Vec::new();
+        encode_ping(&mut out, 0xD1A6);
+        frames.push(out.as_ref().to_vec());
+        for gate in &gates {
+            encode_fetch_gate(&mut out, gate).unwrap();
+            frames.push(out.as_ref().to_vec());
+        }
+        encode_fetch_many(&mut out, &gates).unwrap();
+        frames.push(out.as_ref().to_vec());
+        frames
+    };
+    let mut responder = Responder::new(&ServeConfig::default());
+    for _ in 0..2 {
+        for frame in &requests {
+            responder.respond(&store, frame).unwrap();
+        }
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut response_bytes = 0usize;
+    for _ in 0..10 {
+        for frame in &requests {
+            response_bytes += responder.respond(&store, frame).unwrap().len();
+        }
+    }
+    let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert!(response_bytes > 0);
+    assert_eq!(
+        delta,
+        0,
+        "steady-state wire responses across {} requests x 10 passes must not allocate, saw {delta}",
+        requests.len()
     );
 }

@@ -112,11 +112,35 @@ fn replay(device: &str, store: &Store, reference: &HashMap<GateId, Waveform>, pl
         "{device}: circuit traffic should be repeat-heavy, got {}",
         stats.hit_rate()
     );
+
+    // Batched leg: one `fetch_many` over the distinct working set must
+    // book exactly one fetch and one decode per requested gate — the
+    // per-gate ledger the wire server's FetchMany path also relies on —
+    // while leaving the hot-set counters untouched.
+    let batch: Vec<GateId> = seen.iter().map(|g| (*g).clone()).collect();
+    let mut outs: Vec<(Vec<f64>, Vec<f64>)> = batch.iter().map(|_| Default::default()).collect();
+    store
+        .fetch_many(&batch, &mut outs)
+        .unwrap_or_else(|e| panic!("{device}: fetch_many over the working set: {e}"));
+    for (gate, (bi, bq)) in batch.iter().zip(&outs) {
+        let wf = &reference[gate];
+        assert!(
+            bits_equal(bi, wf.i()) && bits_equal(bq, wf.q()),
+            "{device}: fetch_many({gate}) is not bit-identical to the direct decode"
+        );
+    }
+    let after = store.stats();
+    assert_eq!(after.fetches, stats.fetches + distinct, "{device}: batched fetch count");
+    assert_eq!(after.decodes, stats.decodes + distinct, "{device}: batched decode count");
+    assert_eq!(after.hot_hits, stats.hot_hits, "{device}: a batch never touches the hot set");
+    assert_eq!(after.hot_misses, stats.hot_misses, "{device}: a batch never touches the hot set");
 }
 
-/// A store that can never evict under a whole-library working set.
+/// A store that can never evict under a whole-library working set:
+/// `hot_capacity` is an honest global bound, so the library's own size
+/// is exactly enough — no per-shard headroom multiplier.
 fn roomy_config(library_len: usize) -> StoreConfig {
-    StoreConfig { shards: 4, hot_capacity: 4 * library_len }
+    StoreConfig { shards: 4, hot_capacity: library_len }
 }
 
 #[test]

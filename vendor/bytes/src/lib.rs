@@ -177,6 +177,54 @@ impl Buf for Bytes {
     }
 }
 
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "buffer underflow");
+        *self = &self[cnt..];
+    }
+
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len(), "buffer underflow");
+        let out = Bytes::copy_from_slice(&self[..n]);
+        self.advance(n);
+        out
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(!self.is_empty(), "buffer underflow");
+        let v = self[0];
+        self.advance(1);
+        v
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        assert!(self.len() >= 2, "buffer underflow");
+        let v = u16::from_le_bytes([self[0], self[1]]);
+        self.advance(2);
+        v
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        assert!(self.len() >= 4, "buffer underflow");
+        let v = u32::from_le_bytes([self[0], self[1], self[2], self[3]]);
+        self.advance(4);
+        v
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        assert!(self.len() >= 8, "buffer underflow");
+        let v = u64::from_le_bytes([
+            self[0], self[1], self[2], self[3], self[4], self[5], self[6], self[7],
+        ]);
+        self.advance(8);
+        v
+    }
+}
+
 /// A growable byte buffer; freeze it into [`Bytes`] when done writing.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct BytesMut {
@@ -207,6 +255,38 @@ impl BytesMut {
     /// Converts into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
+    }
+
+    /// Clears the buffer, keeping its capacity (the real crate's
+    /// reuse idiom for per-connection write buffers).
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Shortens the buffer to `len` bytes (no-op if already shorter).
+    pub fn truncate(&mut self, len: usize) {
+        self.data.truncate(len);
+    }
+
+    /// Reserves capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    /// Mutable view of the written bytes — what frame encoders use to
+    /// back-patch a length field after the payload is appended.
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
     }
 }
 
@@ -277,6 +357,34 @@ mod tests {
         assert_eq!(r.get_u64_le(), 0x0123_4567_89AB_CDEF);
         r.advance(1);
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn slices_are_buf_cursors() {
+        let data = [7u8, 0xEF, 0xBE, 1, 2, 3, 4, 5];
+        let mut cursor: &[u8] = &data;
+        assert_eq!(cursor.remaining(), 8);
+        assert_eq!(cursor.get_u8(), 7);
+        assert_eq!(cursor.get_u16_le(), 0xBEEF);
+        assert_eq!(cursor.copy_to_bytes(2).to_vec(), vec![1, 2]);
+        cursor.advance(1);
+        assert_eq!(cursor, &[4, 5]);
+    }
+
+    #[test]
+    fn bytes_mut_clear_truncate_and_patch_in_place() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_u32_le(0);
+        b.put_slice(b"xyz");
+        b[0..4].copy_from_slice(&3u32.to_le_bytes());
+        assert_eq!(&b[..], &[3, 0, 0, 0, b'x', b'y', b'z']);
+        b.truncate(4);
+        assert_eq!(b.len(), 4);
+        b.clear();
+        assert!(b.is_empty());
+        b.reserve(16);
+        b.put_u8(1);
+        assert_eq!(&b[..], &[1]);
     }
 
     #[test]
