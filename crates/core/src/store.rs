@@ -29,11 +29,17 @@
 //!   bound: `hot_len() <= hot_capacity` always, however unevenly the
 //!   gates hash). [`Store::fetch_cached`] returns an `Arc<Waveform>`
 //!   clone on a hit, skipping the RLE + IDCT entirely — the win for
-//!   calibration-critical gates fetched over and over. Recency is an
-//!   atomic stamp per entry, so hits ride the shared read lock (no
-//!   writer serialization), and the recency clock and fetch counters
-//!   are shard-local, so readers on different shards share no atomic
-//!   cache line at all.
+//!   calibration-critical gates fetched over and over. Each shard's
+//!   hot set is an immutable snapshot published through an RCU-style
+//!   [`ArcSwap`], so a **hit takes no lock at all** — not even the
+//!   shard's read lock — and a queued recalibration writer can never
+//!   stall the hit path. Mutations (parking a miss, eviction,
+//!   invalidation) rebuild the snapshot under the shard's write lock
+//!   and publish it atomically. Recency is an atomic stamp per entry
+//!   shared *across* snapshots (entries are `Arc`ed), so hits keep
+//!   LRU order exact without ever writing to the snapshot itself; the
+//!   recency clock and fetch counters are shard-local, so readers on
+//!   different shards share no atomic cache line at all.
 //! * **Engine registry** — one shared [`DecompressionEngine`] per
 //!   variant, built at insert time, shared `&self` by all readers.
 //!
@@ -43,8 +49,8 @@
 //! right call when the caller streams samples onward (DAC staging) and
 //! wants deterministic latency and zero allocation. [`Store::fetch_cached`]
 //! amortizes: the first fetch decodes and parks an `Arc<Waveform>` in the
-//! hot set; repeats are a lock-shared lookup + refcount bump. Use it for
-//! skewed traffic (a few gates dominating fetches); size
+//! hot set; repeats are a lock-free snapshot lookup + refcount bump. Use
+//! it for skewed traffic (a few gates dominating fetches); size
 //! [`StoreConfig::hot_capacity`] to that working set.
 //!
 //! # Example
@@ -75,6 +81,7 @@
 use crate::compress::{CompressedWaveform, Compressor, Variant};
 use crate::engine::{DecodeScratch, DecompressionEngine, EncodeScratch, EngineStats};
 use crate::CompressError;
+use arc_swap::ArcSwap;
 use compaqt_pulse::library::{GateId, PulseLibrary};
 use compaqt_pulse::waveform::Waveform;
 use parking_lot::{Mutex, RwLock};
@@ -197,9 +204,20 @@ struct Counters {
 struct HotEntry {
     id: GateId,
     decoded: Arc<Waveform>,
-    /// Recency stamp from the store-wide clock; atomic so cache *hits*
-    /// can bump it under the shared read lock.
+    /// Recency stamp from the shard clock; atomic so lock-free cache
+    /// *hits* can bump it, and `Arc`-shared across snapshot rebuilds
+    /// so no bump is ever lost to a concurrent republication.
     last_used: AtomicU64,
+}
+
+/// One immutable generation of a shard's hot set, published through
+/// [`ShardSlot::hot`]. Readers clone `Arc<HotEntry>` handles out of
+/// whichever generation they loaded; writers never mutate a published
+/// set — they build a new one (reusing the entry `Arc`s) and swap it
+/// in, so the hit path needs no lock and no retry loop.
+#[derive(Debug, Default)]
+struct HotSet {
+    entries: Vec<Arc<HotEntry>>,
 }
 
 /// One stored stream plus the shard generation it was inserted at.
@@ -215,24 +233,34 @@ struct StoredEntry {
     z: CompressedWaveform,
 }
 
-/// One shard: the compressed map plus its bounded hot set.
+/// One shard: the compressed map and its generation counter. The hot
+/// set lives outside the lock (see [`ShardSlot::hot`]).
 #[derive(Debug, Default)]
 struct Shard {
     map: HashMap<GateId, StoredEntry>,
-    hot: Vec<HotEntry>,
     /// Monotonic insert counter; source of [`StoredEntry::gen`].
     next_gen: u64,
 }
 
 /// One shard slot: the locked shard state plus its contention-free
-/// sidecars. The recency clock and fetch counters deliberately live
-/// *outside* the lock and *per shard*: hot hits then touch only
-/// shard-local cache lines, so readers hammering different shards never
-/// serialize on a store-wide atomic. (A shard-local clock is exact —
-/// LRU eviction only ever compares entries of the same shard.)
+/// sidecars. The hot set, recency clock and fetch counters deliberately
+/// live *outside* the lock and *per shard*: hot hits then touch only
+/// shard-local cache lines and take no lock, so readers hammering
+/// different shards never serialize on a store-wide atomic — and
+/// readers hammering the *same* shard never serialize on its lock
+/// either. (A shard-local clock is exact — LRU eviction only ever
+/// compares entries of the same shard.)
+///
+/// Publication discipline: `hot` is only ever `store`d while holding
+/// `state`'s **write** lock. That makes the write lock the total order
+/// on snapshot generations (no lost updates from racing rebuilds),
+/// while loads stay lock-free.
 #[derive(Debug, Default)]
 struct ShardSlot {
     state: RwLock<Shard>,
+    /// This shard's hot-set snapshot; see the publication discipline
+    /// above.
+    hot: ArcSwap<HotSet>,
     /// This shard's recency clock.
     clock: AtomicU64,
     /// This shard's fetch counters; [`Store::stats`] sums across shards.
@@ -283,14 +311,11 @@ impl Store {
         let n_shards = config.shards.max(1).next_power_of_two();
         let shards = (0..n_shards)
             .map(|_| ShardSlot {
-                state: RwLock::new(Shard {
-                    map: HashMap::new(),
-                    // Grows on demand: any single shard may hold up to
-                    // the whole global budget under skewed hashing, so
-                    // pre-sizing every shard to it would waste memory.
-                    hot: Vec::new(),
-                    next_gen: 0,
-                }),
+                state: RwLock::new(Shard { map: HashMap::new(), next_gen: 0 }),
+                // Snapshots grow on demand: any single shard may hold
+                // up to the whole global budget under skewed hashing,
+                // so pre-sizing every shard to it would waste memory.
+                hot: ArcSwap::from_pointee(HotSet::default()),
                 clock: AtomicU64::new(0),
                 counters: Counters::default(),
             })
@@ -517,11 +542,16 @@ impl Store {
 
     /// Fetches one gate's decoded waveform through the hot set.
     ///
-    /// A hit is a shared-lock lookup plus an `Arc` refcount bump — the
-    /// IDCT is skipped entirely. A miss snapshots the compressed stream
-    /// (one clone), decodes it **outside every lock** (pooled scratch),
-    /// parks the result in its shard's hot set and returns it. Parking
-    /// first reserves a slot of the **global** [`StoreConfig::hot_capacity`]
+    /// A hit is **lock-free**: one atomic snapshot load, a scan, a
+    /// recency-stamp store and an `Arc` refcount bump — the IDCT is
+    /// skipped entirely and the shard lock is never touched, so a
+    /// queued recalibration writer cannot stall hits (enforced as a
+    /// zero-allocation, no-lock path by the `alloc_regression` and
+    /// `store_concurrency` integration tests). A miss snapshots the
+    /// compressed stream (one clone, under the shard's read lock),
+    /// decodes it **outside every lock** (pooled scratch), parks the
+    /// result in its shard's hot set and returns it. Parking first
+    /// reserves a slot of the **global** [`StoreConfig::hot_capacity`]
     /// budget, evicting the least recently used entry (home shard
     /// preferred) when the budget is exhausted — so `hot_len()` never
     /// exceeds `hot_capacity`, and a working set skewed onto one shard
@@ -529,7 +559,8 @@ impl Store {
     /// the gate was recalibrated while the miss was decoding, the
     /// now-stale decode is returned to its caller (it was the truth
     /// when the fetch started) but never cached, so [`Store::insert`]'s
-    /// no-stale-reads guarantee holds.
+    /// no-stale-reads guarantee holds: a `fetch_cached` that *begins*
+    /// after an `insert` returns can only observe the new calibration.
     ///
     /// # Errors
     ///
@@ -538,16 +569,19 @@ impl Store {
     pub fn fetch_cached(&self, id: &GateId) -> Result<Arc<Waveform>, StoreError> {
         let home = self.shard_index(id);
         let slot = &self.shards[home];
-        // Fast path: shared lock, shard-local recency bump and counters,
-        // refcount clone.
+        // Fast path: lock-free snapshot load, shard-local recency bump
+        // and counters, refcount clone. Inserts publish a rebuilt
+        // snapshot before they return, so a hit here is never stale.
+        let snapshot = slot.hot.load_full();
+        if let Some(entry) = snapshot.entries.iter().find(|e| &e.id == id) {
+            entry.last_used.store(slot.tick(), Ordering::Relaxed);
+            slot.counters.hot_hits.fetch_add(1, Ordering::Relaxed);
+            slot.counters.fetches.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(&entry.decoded));
+        }
+        drop(snapshot);
         let (z, gen) = {
             let shard = slot.state.read();
-            if let Some(entry) = shard.hot.iter().find(|e| &e.id == id) {
-                entry.last_used.store(slot.tick(), Ordering::Relaxed);
-                slot.counters.hot_hits.fetch_add(1, Ordering::Relaxed);
-                slot.counters.fetches.fetch_add(1, Ordering::Relaxed);
-                return Ok(Arc::clone(&entry.decoded));
-            }
             let entry = shard.map.get(id).ok_or_else(|| StoreError::UnknownGate(id.clone()))?;
             // Snapshot the stream so the (long) decode holds no lock: a
             // cold miss must not stall writers — or, through the
@@ -577,10 +611,13 @@ impl Store {
         // taking the home shard's write lock (eviction may lock any one
         // shard, and no two shard locks are ever held together).
         self.reserve_hot_slot(home);
-        let mut shard = slot.state.write();
+        let shard = slot.state.write();
         // Another reader may have raced us here; keep the first entry
-        // so every caller converges on one shared decode.
-        if let Some(entry) = shard.hot.iter().find(|e| &e.id == id) {
+        // so every caller converges on one shared decode. (The write
+        // lock pins the current snapshot: nobody else can publish while
+        // we hold it.)
+        let current = slot.hot.load_full();
+        if let Some(entry) = current.entries.iter().find(|e| &e.id == id) {
             entry.last_used.store(slot.tick(), Ordering::Relaxed);
             let shared = Arc::clone(&entry.decoded);
             drop(shard);
@@ -592,12 +629,13 @@ impl Store {
         // samples until the next invalidation. The generation stamp
         // pins the exact stream we decoded.
         if shard.map.get(id).is_some_and(|e| e.gen == gen) {
-            let entry = HotEntry {
+            let mut entries = current.entries.clone();
+            entries.push(Arc::new(HotEntry {
                 id: id.clone(),
                 decoded: Arc::clone(&decoded),
                 last_used: AtomicU64::new(slot.tick()),
-            };
-            shard.hot.push(entry); // consumes the reservation
+            }));
+            slot.hot.store(Arc::new(HotSet { entries })); // consumes the reservation
         } else {
             drop(shard);
             self.hot_count.fetch_sub(1, Ordering::Relaxed); // release: stale decode, not parked
@@ -646,13 +684,18 @@ impl Store {
         shard.map.remove(id).map(|e| e.z)
     }
 
-    /// Drops the hot-set copy of `id` from `shard` (which must be
-    /// `slot`'s locked state), counting the invalidation and releasing
-    /// the entry's global hot-budget slot. The single removal-accounting
-    /// site shared by insert/invalidate/remove.
-    fn drop_hot(&self, slot: &ShardSlot, shard: &mut Shard, id: &GateId) -> bool {
-        if let Some(pos) = shard.hot.iter().position(|e| &e.id == id) {
-            shard.hot.swap_remove(pos);
+    /// Drops the hot-set copy of `id` by publishing a rebuilt snapshot
+    /// without it, counting the invalidation and releasing the entry's
+    /// global hot-budget slot. The `_shard` write guard is the
+    /// publication witness (snapshots may only be stored under the
+    /// shard's write lock). The single removal-accounting site shared
+    /// by insert/invalidate/remove.
+    fn drop_hot(&self, slot: &ShardSlot, _shard: &mut Shard, id: &GateId) -> bool {
+        let current = slot.hot.load_full();
+        if let Some(pos) = current.entries.iter().position(|e| &e.id == id) {
+            let mut entries = current.entries.clone();
+            entries.swap_remove(pos);
+            slot.hot.store(Arc::new(HotSet { entries }));
             self.hot_count.fetch_sub(1, Ordering::Relaxed);
             slot.counters.invalidations.fetch_add(1, Ordering::Relaxed);
             true
@@ -700,15 +743,21 @@ impl Store {
         let n = self.shards.len();
         for k in 0..n {
             let slot = &self.shards[(home + k) % n];
-            let mut shard = slot.state.write();
-            let coldest = shard
-                .hot
+            // The write lock is the publication witness: it pins the
+            // current snapshot while the victim is chosen and the
+            // rebuilt set is stored.
+            let _shard = slot.state.write();
+            let current = slot.hot.load_full();
+            let coldest = current
+                .entries
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
                 .map(|(pos, _)| pos);
             if let Some(pos) = coldest {
-                shard.hot.swap_remove(pos);
+                let mut entries = current.entries.clone();
+                entries.swap_remove(pos);
+                slot.hot.store(Arc::new(HotSet { entries }));
                 self.hot_count.fetch_sub(1, Ordering::Relaxed);
                 return true;
             }
@@ -774,9 +823,10 @@ impl Store {
         }
     }
 
-    /// Decoded waveforms currently parked across all hot sets.
+    /// Decoded waveforms currently parked across all hot sets
+    /// (lock-free: sums the published snapshots).
     pub fn hot_len(&self) -> usize {
-        self.shards.iter().map(|s| s.state.read().hot.len()).sum()
+        self.shards.iter().map(|s| s.hot.load_full().entries.len()).sum()
     }
 
     /// The number of shards (power of two).

@@ -38,13 +38,20 @@
 //!
 //! # The validate-then-borrow contract
 //!
-//! [`Reader::new`] validates the *entire* index before any payload is
+//! [`Reader::open`] accepts any [`ContainerSource`] — owned bytes, a
+//! caller-borrowed region, or a read-only memory map of a container
+//! file — and validates the *entire* index before any payload is
 //! parsed: magic, version, section sizes, the header's CRC-32 over the
 //! index bytes (so a flipped bit in a gate field can never silently
 //! remap a waveform to the wrong qubit), strict gate ordering (which
 //! also proves uniqueness), offset contiguity (which also proves
-//! bounds and non-overlap), per-entry payload CRC-32, and decodability
-//! of every declared variant. A container that survives construction can then
+//! bounds and non-overlap), and decodability of every declared
+//! variant. Per-entry payload CRC-32 verification is eager by default
+//! ([`ValidationMode::Eager`], the historical [`Reader::new`]
+//! behaviour) or deferred to first touch with a cached per-entry
+//! verdict ([`ValidationMode::LazyCrc`]), which makes opening a
+//! larger-than-RAM mapped library O(index) instead of O(payload). A
+//! container that survives construction can then
 //! hand out zero-copy payload views ([`Entry::payload`]) and decode
 //! straight through a pooled
 //! [`DecodeScratch`](compaqt_core::engine::DecodeScratch)
@@ -85,20 +92,24 @@
 #![deny(missing_debug_implementations)]
 
 pub mod crc32;
+pub mod fetch;
 mod format;
 pub mod reader;
 pub mod scenario;
 pub mod serve;
+pub mod source;
 pub mod wire;
 pub mod writer;
 
+pub use fetch::{FetchError, FetchSource};
 pub use format::PayloadKind;
 pub use reader::{ContainerScratch, Entry, FromContainer, Reader, StreamPayload};
 pub use scenario::{run_device, run_fleet, ScenarioError, ScenarioRow, ScenarioVariant};
 pub use serve::{
-    serve, serve_with, Client, ClientConfig, Responder, ServeConfig, ServeError, ServeStats,
-    ServerHandle,
+    serve, serve_source, serve_with, Client, ClientConfig, Responder, ServeConfig, ServeError,
+    ServeStats, ServerHandle,
 };
+pub use source::{ContainerSource, ReaderOptions, ValidationMode};
 pub use wire::{ErrorCode, FrameKind, LibraryDigest, ProtocolError};
 pub use writer::{write_library, write_report, write_store, Writer};
 

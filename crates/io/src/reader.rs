@@ -1,11 +1,20 @@
 //! The zero-copy container reader: validate everything once, then
 //! borrow forever.
 //!
-//! [`Reader::new`] performs the full structural audit described in the
-//! [crate docs](crate) — header, section sizes, sorted/contiguous
-//! index, per-entry CRC-32, decodable variants — **before any payload
-//! is parsed**. Afterwards every access is served from the one backing
-//! buffer: [`Entry::payload`] is an `Arc`-backed slice,
+//! [`Reader::open`] accepts any [`ContainerSource`] — an owned
+//! [`Bytes`] buffer, a caller-borrowed `&[u8]` region, or a read-only
+//! memory map of a container file — and performs the structural audit
+//! described in the [crate docs](crate): header, section sizes,
+//! sorted/contiguous index, decodable variants, **before any payload
+//! is parsed**. Payload CRC-32 verification is governed by
+//! [`ReaderOptions`]: [`ValidationMode::Eager`] (the default, and the
+//! historical [`Reader::new`] behaviour) sweeps every payload at open;
+//! [`ValidationMode::LazyCrc`] defers each entry's check to first
+//! touch and caches the verdict in an atomic bitmap, so opening a
+//! larger-than-RAM mapped library costs O(index), not O(payload).
+//!
+//! Afterwards every access is served from the one backing buffer:
+//! [`Entry::payload_slice`] is a borrowed view,
 //! [`Reader::fetch_into`] parses a payload into a reusable stream slot
 //! and decodes it through a caller-owned [`DecodeScratch`] (zero heap
 //! allocations in the steady state), and [`Reader::into_store`] bulk
@@ -16,6 +25,7 @@ use crate::format::{
     decode_variant, need, take_adaptive, take_gate, take_overlap, take_plain_into, PayloadKind,
     SlotSpares, HEADER_BYTES, MIN_ENTRY_BYTES,
 };
+use crate::source::{ContainerSource, ReaderOptions, ValidationMode};
 use crate::{crc32::crc32, ContainerError, MAGIC, VERSION};
 use bytes::{Buf, Bytes};
 use compaqt_core::adaptive::AdaptiveCompressed;
@@ -26,6 +36,7 @@ use compaqt_core::store::{Store, StoreConfig};
 use compaqt_pulse::library::GateId;
 use compaqt_pulse::waveform::Waveform;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One validated index entry (the payload stays unparsed bytes).
 #[derive(Debug)]
@@ -116,11 +127,16 @@ impl ContainerScratch {
     }
 }
 
-/// A validated CWL container over one backing buffer. See the [module
+/// A validated CWL container over one backing source. See the [module
 /// docs](self).
-pub struct Reader {
-    data: Bytes,
-    /// Byte offset of the payload section in `data`.
+///
+/// The lifetime `'src` is the borrow of a
+/// [`ContainerSource::Borrowed`] region; owned and mapped sources
+/// yield `Reader<'static>`, which is what the legacy constructors
+/// ([`Reader::new`], [`Reader::from_vec`]) return.
+pub struct Reader<'src> {
+    source: ContainerSource<'src>,
+    /// Byte offset of the payload section in the source.
     payload_base: usize,
     /// Library-wide DAC rate from the header (`None` when mixed).
     sample_rate_gs: Option<f64>,
@@ -128,30 +144,73 @@ pub struct Reader {
     /// One decompression engine per distinct plain/adaptive variant,
     /// built (and thereby validated) at construction.
     engines: Vec<(Variant, DecompressionEngine)>,
+    /// Payload integrity policy chosen at open.
+    validation: ValidationMode,
+    /// Lazy-mode verdict bitmaps, one bit per entry, one `u64` word
+    /// per 64 entries, preallocated at open (so first touch allocates
+    /// nothing). `crc_ok` bit set ⇒ the payload hashed clean once and
+    /// the bytes are immutable; `crc_bad` bit set ⇒ it is damaged and
+    /// every access fails from the cached verdict without re-hashing.
+    /// Both empty in [`ValidationMode::Eager`].
+    crc_ok: Vec<AtomicU64>,
+    crc_bad: Vec<AtomicU64>,
 }
 
-impl fmt::Debug for Reader {
+impl fmt::Debug for Reader<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Reader")
             .field("entries", &self.index.len())
-            .field("bytes", &self.data.len())
+            .field("bytes", &self.source.len())
+            .field("source", &self.source.kind_name())
+            .field("validation", &self.validation)
             .field("sample_rate_gs", &self.sample_rate_gs)
             .finish_non_exhaustive()
     }
 }
 
-impl Reader {
-    /// Validates a container end to end and indexes it for zero-copy
-    /// access. No payload is parsed here; every structural claim the
-    /// index makes is checked first (see the crate docs for the exact
-    /// audit).
+impl Reader<'static> {
+    /// Validates a container over an owned buffer with the default
+    /// (eager) options — equivalent to
+    /// `Reader::open(data, ReaderOptions::default())`, kept as the
+    /// stable entry point for resident containers.
     ///
     /// # Errors
     ///
     /// A typed [`ContainerError`] naming the first violation — never a
     /// panic, and never an allocation sized from an unverified claim.
-    pub fn new(data: Bytes) -> Result<Reader, ContainerError> {
-        let mut cur = data.clone();
+    pub fn new(data: Bytes) -> Result<Reader<'static>, ContainerError> {
+        Reader::open(data, ReaderOptions::default())
+    }
+
+    /// [`Reader::new`] over an owned byte vector.
+    ///
+    /// # Errors
+    ///
+    /// As [`Reader::new`].
+    pub fn from_vec(data: Vec<u8>) -> Result<Reader<'static>, ContainerError> {
+        Reader::new(Bytes::from(data))
+    }
+}
+
+impl<'src> Reader<'src> {
+    /// Validates a container from any [`ContainerSource`] and indexes
+    /// it for zero-copy access. No payload is parsed here; every
+    /// structural claim the index makes is checked first (see the
+    /// crate docs for the exact audit). Whether payload CRC-32s are
+    /// swept now or deferred to first touch is chosen by
+    /// `options.validation`.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`ContainerError`] naming the first violation — never a
+    /// panic, and never an allocation sized from an unverified claim.
+    pub fn open(
+        source: impl Into<ContainerSource<'src>>,
+        options: ReaderOptions,
+    ) -> Result<Reader<'src>, ContainerError> {
+        let source = source.into();
+        let data: &[u8] = source.as_slice();
+        let mut cur: &[u8] = data;
         need(&cur, HEADER_BYTES)?;
         if cur.get_u32_le() != MAGIC {
             return Err(ContainerError::BadMagic);
@@ -194,11 +253,11 @@ impl Reader {
             return Err(ContainerError::IndexInvalid("entry count exceeds the index section"));
         }
 
-        let mut idx = data.slice(HEADER_BYTES..HEADER_BYTES + index_bytes as usize);
+        let mut idx: &[u8] = &data[HEADER_BYTES..HEADER_BYTES + index_bytes as usize];
         // Index integrity before index *content*: payload CRCs cannot
         // catch a flipped gate field that would remap an intact payload
         // to the wrong gate, so the index carries its own checksum.
-        if crc32(&idx) != index_crc {
+        if crc32(idx) != index_crc {
             return Err(ContainerError::IndexCrcMismatch);
         }
         let mut index: Vec<IndexEntry> = Vec::with_capacity(count);
@@ -241,15 +300,29 @@ impl Reader {
             return Err(ContainerError::IndexInvalid("payload section larger than its entries"));
         }
 
-        // Integrity: every payload range must match its recorded CRC-32.
+        // Integrity: every payload range must match its recorded
+        // CRC-32. Eager mode sweeps all of them now (O(payload), and a
+        // constructed reader can never report CrcMismatch later); lazy
+        // mode only preallocates the verdict bitmaps, deferring each
+        // entry's hash to its first touch (`checked_payload`).
         let payload_base = HEADER_BYTES + index_bytes as usize;
-        for e in &index {
-            let start = payload_base + e.offset as usize;
-            let bytes = &data[start..start + e.len as usize];
-            if crc32(bytes) != e.crc {
-                return Err(ContainerError::CrcMismatch { gate: e.gate.clone() });
+        let (crc_ok, crc_bad) = match options.validation {
+            ValidationMode::Eager => {
+                for e in &index {
+                    let start = payload_base + e.offset as usize;
+                    let bytes = &data[start..start + e.len as usize];
+                    if crc32(bytes) != e.crc {
+                        return Err(ContainerError::CrcMismatch { gate: e.gate.clone() });
+                    }
+                }
+                (Vec::new(), Vec::new())
             }
-        }
+            ValidationMode::LazyCrc => {
+                let words = count.div_ceil(64);
+                let zeroed = || (0..words).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();
+                (zeroed(), zeroed())
+            }
+        };
 
         // Decodability: build (and thereby validate) one engine per
         // distinct plain/adaptive variant; check lapped window sizes.
@@ -271,16 +344,16 @@ impl Reader {
                 }
             }
         }
-        Ok(Reader { data, payload_base, sample_rate_gs, index, engines })
-    }
-
-    /// [`Reader::new`] over an owned byte vector.
-    ///
-    /// # Errors
-    ///
-    /// As [`Reader::new`].
-    pub fn from_vec(data: Vec<u8>) -> Result<Reader, ContainerError> {
-        Reader::new(Bytes::from(data))
+        Ok(Reader {
+            source,
+            payload_base,
+            sample_rate_gs,
+            index,
+            engines,
+            validation: options.validation,
+            crc_ok,
+            crc_bad,
+        })
     }
 
     /// Number of entries.
@@ -295,7 +368,38 @@ impl Reader {
 
     /// Total container size in bytes.
     pub fn total_bytes(&self) -> usize {
-        self.data.len()
+        self.source.len()
+    }
+
+    /// The payload integrity policy this reader was opened with.
+    pub fn validation(&self) -> ValidationMode {
+        self.validation
+    }
+
+    /// The source kind serving this reader: `"owned"`, `"borrowed"` or
+    /// `"mapped"`.
+    pub fn source_kind(&self) -> &'static str {
+        self.source.kind_name()
+    }
+
+    /// How many entries have a decided payload-CRC verdict.
+    ///
+    /// All of them under [`ValidationMode::Eager`]; under
+    /// [`ValidationMode::LazyCrc`] this counts first-touched entries
+    /// (clean or damaged), so it starts at 0 for a freshly opened
+    /// reader — the observable proof that open was O(index).
+    pub fn crc_checked(&self) -> usize {
+        match self.validation {
+            ValidationMode::Eager => self.index.len(),
+            ValidationMode::LazyCrc => self
+                .crc_ok
+                .iter()
+                .zip(&self.crc_bad)
+                .map(|(ok, bad)| {
+                    (ok.load(Ordering::Relaxed) | bad.load(Ordering::Relaxed)).count_ones() as usize
+                })
+                .sum(),
+        }
     }
 
     /// The library-wide DAC sample rate from the header (`None` when
@@ -349,9 +453,9 @@ impl Reader {
         if e.kind != PayloadKind::Plain {
             return Err(ContainerError::Unservable { gate: gate.clone() });
         }
-        let mut cur = self.payload_of(k);
+        let mut cur: &[u8] = self.checked_payload(k)?;
         take_plain_into(&mut cur, &mut scratch.slot, &mut scratch.spares)?;
-        check_parsed_plain(&cur, scratch.slot.variant, e.variant)?;
+        check_parsed_plain(cur, scratch.slot.variant, e.variant)?;
         let engine = self
             .engines
             .iter()
@@ -384,24 +488,79 @@ impl Reader {
             if e.kind != PayloadKind::Plain {
                 return Err(ContainerError::Unservable { gate: e.gate.clone() });
             }
-            let mut cur = self.payload_of(k);
+            let mut cur: &[u8] = self.checked_payload(k)?;
             let mut z = CompressedWaveform::empty();
             take_plain_into(&mut cur, &mut z, &mut spares)?;
-            check_parsed_plain(&cur, z.variant, e.variant)?;
+            check_parsed_plain(cur, z.variant, e.variant)?;
             store.insert(e.gate.clone(), z)?;
         }
         Ok(store)
+    }
+
+    /// The validated wire-encoded stream bytes for a plain entry — the
+    /// exact bytes a serve-loop response frame carries, since the
+    /// container payload encoding and the wire stream encoding are the
+    /// same `put_plain` layout. This is the zero-parse serving path: a
+    /// responder can append these bytes to a frame without ever
+    /// decoding the stream.
+    ///
+    /// In [`ValidationMode::LazyCrc`] this is a first-touch point: the
+    /// payload CRC is verified (or its cached verdict replayed) before
+    /// any byte is handed out.
+    ///
+    /// # Errors
+    ///
+    /// [`ContainerError::UnknownGate`] for an absent gate,
+    /// [`ContainerError::Unservable`] for lapped/adaptive entries,
+    /// [`ContainerError::CrcMismatch`] for a damaged payload in lazy
+    /// mode.
+    pub fn stream_bytes(&self, gate: &GateId) -> Result<&[u8], ContainerError> {
+        let k = self.find_index(gate).ok_or_else(|| ContainerError::UnknownGate(gate.clone()))?;
+        if self.index[k].kind != PayloadKind::Plain {
+            return Err(ContainerError::Unservable { gate: gate.clone() });
+        }
+        self.checked_payload(k)
     }
 
     fn find_index(&self, gate: &GateId) -> Option<usize> {
         self.index.binary_search_by(|e| e.gate.cmp(gate)).ok()
     }
 
-    /// Zero-copy view of entry `k`'s payload bytes.
-    fn payload_of(&self, k: usize) -> Bytes {
+    /// Borrowed view of entry `k`'s raw payload bytes (no CRC gate).
+    fn payload_slice(&self, k: usize) -> &[u8] {
         let e = &self.index[k];
         let start = self.payload_base + e.offset as usize;
-        self.data.slice(start..start + e.len as usize)
+        &self.source.as_slice()[start..start + e.len as usize]
+    }
+
+    /// Entry `k`'s payload bytes behind the integrity gate: a
+    /// pass-through in eager mode (the open-time sweep already proved
+    /// them), a cached-verdict check or first-touch CRC in lazy mode.
+    ///
+    /// Lazy-mode memory discipline: the bitmaps are preallocated at
+    /// open and the bits are monotonic — racing first touches compute
+    /// the same verdict over the same immutable bytes, so `fetch_or`
+    /// with relaxed ordering is enough (an `ok` bit can only ever mean
+    /// "these bytes hashed clean").
+    fn checked_payload(&self, k: usize) -> Result<&[u8], ContainerError> {
+        let bytes = self.payload_slice(k);
+        if self.validation == ValidationMode::Eager {
+            return Ok(bytes);
+        }
+        let (word, bit) = (k / 64, 1u64 << (k % 64));
+        if self.crc_ok[word].load(Ordering::Relaxed) & bit != 0 {
+            return Ok(bytes);
+        }
+        if self.crc_bad[word].load(Ordering::Relaxed) & bit != 0 {
+            return Err(ContainerError::CrcMismatch { gate: self.index[k].gate.clone() });
+        }
+        if crc32(bytes) == self.index[k].crc {
+            self.crc_ok[word].fetch_or(bit, Ordering::Relaxed);
+            Ok(bytes)
+        } else {
+            self.crc_bad[word].fetch_or(bit, Ordering::Relaxed);
+            Err(ContainerError::CrcMismatch { gate: self.index[k].gate.clone() })
+        }
     }
 }
 
@@ -410,7 +569,7 @@ impl Reader {
 /// agree with the index about its variant (a forged disagreement would
 /// otherwise let an attacker route a stream to the wrong engine).
 fn check_parsed_plain(
-    rest: &Bytes,
+    rest: &[u8],
     parsed: Variant,
     declared: Variant,
 ) -> Result<(), ContainerError> {
@@ -435,11 +594,11 @@ pub trait FromContainer: Sized {
     /// # Errors
     ///
     /// Implementation-specific [`ContainerError`]s.
-    fn from_reader(reader: &Reader, config: StoreConfig) -> Result<Self, ContainerError>;
+    fn from_reader(reader: &Reader<'_>, config: StoreConfig) -> Result<Self, ContainerError>;
 }
 
 impl FromContainer for Store {
-    fn from_reader(reader: &Reader, config: StoreConfig) -> Result<Store, ContainerError> {
+    fn from_reader(reader: &Reader<'_>, config: StoreConfig) -> Result<Store, ContainerError> {
         reader.load_store(config)
     }
 }
@@ -447,7 +606,7 @@ impl FromContainer for Store {
 /// One container entry: index metadata plus a zero-copy payload view.
 #[derive(Clone, Copy)]
 pub struct Entry<'a> {
-    reader: &'a Reader,
+    reader: &'a Reader<'a>,
     k: usize,
 }
 
@@ -489,27 +648,64 @@ impl<'a> Entry<'a> {
         self.reader.index[self.k].crc
     }
 
-    /// The raw payload bytes — a zero-copy slice of the container's
-    /// backing buffer.
+    /// The raw payload bytes as an owned handle — zero-copy (a
+    /// reference-counted slice of the backing buffer) for an owned
+    /// source, a copy for borrowed and mapped sources (their bytes
+    /// have no refcount to share; use [`Entry::payload_slice`] for the
+    /// zero-copy view).
+    ///
+    /// **Integrity caveat:** this is the raw-bytes escape hatch. Under
+    /// [`ValidationMode::LazyCrc`] the bytes may not have been
+    /// CRC-checked yet — call [`Entry::verify`] first if you are going
+    /// to trust them. Every parsing/decoding path ([`Entry::read`],
+    /// [`Reader::fetch_into`], the store bridges, the serve path)
+    /// checks the verdict itself.
     pub fn payload(&self) -> Bytes {
-        self.reader.payload_of(self.k)
+        match &self.reader.source {
+            ContainerSource::Owned(data) => {
+                let e = &self.reader.index[self.k];
+                let start = self.reader.payload_base + e.offset as usize;
+                data.slice(start..start + e.len as usize)
+            }
+            _ => Bytes::copy_from_slice(self.payload_slice()),
+        }
+    }
+
+    /// The raw payload bytes, borrowed straight from the backing
+    /// source — zero-copy for every source kind. Same integrity caveat
+    /// as [`Entry::payload`].
+    pub fn payload_slice(&self) -> &'a [u8] {
+        self.reader.payload_slice(self.k)
+    }
+
+    /// Forces this entry's payload-CRC verdict: a no-op under
+    /// [`ValidationMode::Eager`], a first-touch check (or cached
+    /// verdict replay) under [`ValidationMode::LazyCrc`].
+    ///
+    /// # Errors
+    ///
+    /// [`ContainerError::CrcMismatch`] if the payload bytes are
+    /// damaged.
+    pub fn verify(&self) -> Result<(), ContainerError> {
+        self.reader.checked_payload(self.k).map(|_| ())
     }
 
     /// Parses the payload into an owned stream.
     ///
     /// # Errors
     ///
-    /// [`ContainerError::PayloadInvalid`] for encodings forged past the
-    /// CRC (a container produced by [`Writer`](crate::Writer) always
-    /// parses).
+    /// [`ContainerError::CrcMismatch`] for a damaged payload in lazy
+    /// mode; [`ContainerError::PayloadInvalid`] for encodings forged
+    /// past the CRC (a container produced by
+    /// [`Writer`](crate::Writer) always parses).
     pub fn read(&self) -> Result<StreamPayload, ContainerError> {
         let e = &self.reader.index[self.k];
-        let mut cur = self.payload();
+        let mut cur: &[u8] = self.reader.checked_payload(self.k)?;
         match e.kind {
             PayloadKind::Plain => {
                 let mut z = CompressedWaveform::empty();
                 take_plain_into(&mut cur, &mut z, &mut SlotSpares::default())?;
-                check_parsed_plain(&cur, z.variant, e.variant)?;
+                check_parsed_plain(cur, z.variant, e.variant)?;
                 Ok(StreamPayload::Plain(z))
             }
             PayloadKind::Overlap => {

@@ -12,7 +12,10 @@
 //! rows all consume this one runner — "handles many scenarios" as an
 //! enumerable matrix instead of a single fixture.
 
-use crate::{write_report, ContainerError, ContainerScratch, Reader, StreamPayload, Writer};
+use crate::{
+    write_report, ContainerError, ContainerScratch, FetchError, FetchSource, Reader, ReaderOptions,
+    StreamPayload, Writer,
+};
 use compaqt_core::adaptive::AdaptiveCompressor;
 use compaqt_core::compress::{Compressor, Variant};
 use compaqt_core::engine::{DecodeScratch, DecompressionEngine};
@@ -110,6 +113,8 @@ pub enum ScenarioError {
     Container(ContainerError),
     /// The serving store rejected a fetch.
     Store(StoreError),
+    /// A source-generic fetch path rejected a fetch.
+    Fetch(FetchError),
     /// A decode path disagreed with the direct decode — the invariant
     /// the whole matrix exists to enforce.
     Mismatch {
@@ -130,6 +135,7 @@ impl fmt::Display for ScenarioError {
             ScenarioError::Codec(e) => write!(f, "scenario codec failure: {e}"),
             ScenarioError::Container(e) => write!(f, "scenario container failure: {e}"),
             ScenarioError::Store(e) => write!(f, "scenario store failure: {e}"),
+            ScenarioError::Fetch(e) => write!(f, "scenario fetch-source failure: {e}"),
             ScenarioError::Mismatch { device, variant, gate, path } => {
                 write!(f, "bit mismatch on {path} for gate {gate} ({device}, {variant})")
             }
@@ -143,6 +149,7 @@ impl std::error::Error for ScenarioError {
             ScenarioError::Codec(e) => Some(e),
             ScenarioError::Container(e) => Some(e),
             ScenarioError::Store(e) => Some(e),
+            ScenarioError::Fetch(e) => Some(e),
             ScenarioError::Mismatch { .. } => None,
         }
     }
@@ -163,6 +170,12 @@ impl From<ContainerError> for ScenarioError {
 impl From<StoreError> for ScenarioError {
     fn from(e: StoreError) -> Self {
         ScenarioError::Store(e)
+    }
+}
+
+impl From<FetchError> for ScenarioError {
+    fn from(e: FetchError) -> Self {
+        ScenarioError::Fetch(e)
     }
 }
 
@@ -274,6 +287,20 @@ fn run_plain(
             return Err(mismatch(spec, variant, gate, "Reader::fetch_into"));
         }
     }
+
+    // Path 1b: source-generic serving straight from a lazily-validated
+    // reader — the larger-than-RAM deployment shape, no store loaded.
+    // Every decode is a first touch through the deferred-CRC gate and
+    // must still be bit-exact.
+    let lazy = Reader::open(bytes.clone(), ReaderOptions::lazy_crc())?;
+    let source: &dyn FetchSource = &lazy;
+    for (gate, ri, rq) in &reference {
+        source.fetch_gate(gate, &mut cscratch, &mut i_buf, &mut q_buf)?;
+        if !bits_equal(&i_buf, ri) || !bits_equal(&q_buf, rq) {
+            return Err(mismatch(spec, variant, gate, "FetchSource::fetch_gate (lazy reader)"));
+        }
+    }
+    drop(lazy);
 
     // Path 2: container → store bulk load, then single-gate serving.
     // `hot_capacity` is a global bound, so the library's own size is

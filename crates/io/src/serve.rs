@@ -1,12 +1,17 @@
 //! `compaqt-serve`: a waveform service daemon and its blocking client.
 //!
 //! The deployment tier between a CWL container on disk and a fleet of
-//! controllers: a [`Store`] loaded from a container is shared behind a
-//! TCP listener, and many concurrent controller clients fetch gates
-//! over the [`crate::wire`] protocol. Waveforms travel **compressed**
-//! (the paper's model: the controller decompresses locally), so the
-//! server's per-request work is a shard read lock and a straight
-//! serialization of the stored stream — no decode, no clone.
+//! controllers: any [`FetchSource`] — a decoded [`Store`], or a
+//! [`Reader`](crate::Reader) serving straight from container bytes
+//! (including a lazily-validated memory map of a larger-than-RAM
+//! library, via [`serve_source`]) — is shared behind a TCP listener,
+//! and many concurrent controller clients fetch gates over the
+//! [`crate::wire`] protocol. Waveforms travel **compressed** (the
+//! paper's model: the controller decompresses locally), so the
+//! server's per-request work is a lookup and a straight serialization
+//! of the stored stream — no decode, no clone; for a reader-backed
+//! source the payload bytes *are* the wire bytes, so serving is
+//! zero-parse as well.
 //!
 //! # Architecture
 //!
@@ -58,9 +63,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-use crate::format::{
-    checked_u32, put_gate, put_plain, take_gate_into, take_plain_into, SlotSpares,
-};
+use crate::fetch::{FetchError, FetchSource};
+use crate::format::{checked_u32, put_gate, take_gate_into, take_plain_into, SlotSpares};
 use crate::wire::{
     begin_frame, encode_error, encode_fetch_gate, encode_fetch_many, encode_library_digest,
     encode_list_gates, encode_ping, end_frame, fnv1a64, parse_digest, parse_error,
@@ -71,7 +75,7 @@ use crate::wire::{
 use bytes::{Buf, BufMut, BytesMut};
 use compaqt_core::compress::{CompressedWaveform, Variant};
 use compaqt_core::engine::{DecodeScratch, DecompressionEngine, EngineStats};
-use compaqt_core::store::{Store, StoreError};
+use compaqt_core::store::Store;
 use compaqt_core::CompressError;
 use compaqt_pulse::library::{GateId, GateKind};
 use std::fmt;
@@ -264,18 +268,24 @@ impl Responder {
     }
 
     /// Validates a complete request frame and produces the response
-    /// frame.
+    /// frame. The `source` is any [`FetchSource`] — a [`Store`] or a
+    /// [`Reader`](crate::Reader); existing `&Store` callers compile
+    /// unchanged.
     ///
     /// # Errors
     ///
     /// Any [`ProtocolError`]: the frame (or its payload) cannot be
     /// trusted and the connection should close after a best-effort
     /// [`Responder::error_frame`].
-    pub fn respond(&mut self, store: &Store, frame: &[u8]) -> Result<&[u8], ProtocolError> {
+    pub fn respond<S: FetchSource + ?Sized>(
+        &mut self,
+        source: &S,
+        frame: &[u8],
+    ) -> Result<&[u8], ProtocolError> {
         let (kind, payload) = parse_frame(frame, self.max_frame_bytes)?;
         // Lifetime juggling: `payload` borrows `frame`, not `self`, so
         // handing both to `handle` is fine.
-        self.handle_inner(store, kind, payload)
+        self.handle_inner(source, kind, payload)
     }
 
     /// Produces the response frame for an already-validated frame kind
@@ -285,18 +295,18 @@ impl Responder {
     /// # Errors
     ///
     /// Any [`ProtocolError`] in the payload; close after reporting.
-    pub fn handle(
+    pub fn handle<S: FetchSource + ?Sized>(
         &mut self,
-        store: &Store,
+        source: &S,
         kind: FrameKind,
         payload: &[u8],
     ) -> Result<&[u8], ProtocolError> {
-        self.handle_inner(store, kind, payload)
+        self.handle_inner(source, kind, payload)
     }
 
-    fn handle_inner(
+    fn handle_inner<S: FetchSource + ?Sized>(
         &mut self,
-        store: &Store,
+        source: &S,
         kind: FrameKind,
         payload: &[u8],
     ) -> Result<&[u8], ProtocolError> {
@@ -319,22 +329,14 @@ impl Responder {
                     return Err(ProtocolError::TrailingBytes);
                 }
                 begin_frame(out, FrameKind::Gate);
-                match store.with_stream(gate, |z| put_plain(&mut *out, z)) {
-                    Ok(Ok(())) => {
+                match source.put_stream(gate, out) {
+                    Ok(()) => {
                         end_frame(out);
                         *fetches += 1;
                         Ok(&*out)
                     }
-                    Ok(Err(_)) => {
-                        encode_error(out, ErrorCode::Internal, "stored stream is unencodable");
-                        Ok(&*out)
-                    }
-                    Err(StoreError::UnknownGate(_)) => {
-                        encode_error(out, ErrorCode::UnknownGate, "no waveform for that gate");
-                        Ok(&*out)
-                    }
-                    Err(StoreError::Codec(_)) => {
-                        encode_error(out, ErrorCode::Internal, "stored stream failed");
+                    Err(e) => {
+                        encode_fetch_failure(out, &e, "no waveform for that gate");
                         Ok(&*out)
                     }
                 }
@@ -346,21 +348,14 @@ impl Responder {
                 begin_frame(out, FrameKind::GateBatch);
                 out.put_u32_le(count as u32);
                 for gate in &gates[..count] {
-                    match store.with_stream(gate, |z| put_plain(&mut *out, z)) {
-                        Ok(Ok(())) => *fetches += 1,
-                        Ok(Err(_)) => {
-                            encode_error(out, ErrorCode::Internal, "stored stream is unencodable");
-                            return Ok(&*out);
-                        }
-                        Err(StoreError::UnknownGate(_)) => {
+                    match source.put_stream(gate, out) {
+                        Ok(()) => *fetches += 1,
+                        Err(e) => {
                             // All-or-nothing: a batch naming an absent
-                            // gate gets one typed error, not a partial
-                            // body the client must detect.
-                            encode_error(out, ErrorCode::UnknownGate, "batch names an absent gate");
-                            return Ok(&*out);
-                        }
-                        Err(StoreError::Codec(_)) => {
-                            encode_error(out, ErrorCode::Internal, "stored stream failed");
+                            // (or damaged) gate gets one typed error,
+                            // not a partial body the client must
+                            // detect.
+                            encode_fetch_failure(out, &e, "batch names an absent gate");
                             return Ok(&*out);
                         }
                     }
@@ -372,7 +367,7 @@ impl Responder {
                 if !payload.is_empty() {
                     return Err(ProtocolError::Malformed("list request carries a payload"));
                 }
-                let ids = store.gates();
+                let ids = source.gate_list();
                 let Responder { out, .. } = self;
                 begin_frame(out, FrameKind::GateList);
                 let count = match checked_u32(ids.len(), "more than 2^32 gates") {
@@ -396,29 +391,31 @@ impl Responder {
                 if !payload.is_empty() {
                     return Err(ProtocolError::Malformed("digest request carries a payload"));
                 }
+                let ids = source.gate_list();
                 let Responder { out, digest_buf, .. } = self;
                 let mut count = 0u64;
                 let mut payload_bytes = 0u64;
                 let mut fingerprint = 0u64;
                 let mut broken = false;
-                store.for_each_entry(|gate, z| {
-                    if broken {
-                        return;
-                    }
+                // Per-entry digest bytes are the gate's wire encoding
+                // followed by its wire stream; the fingerprint is an
+                // order-independent wrapping sum, so a store and a
+                // reader over the same library digest identically.
+                for gate in &ids {
                     digest_buf.clear();
                     if put_gate(digest_buf, gate).is_err() {
                         broken = true;
-                        return;
+                        break;
                     }
                     let gate_bytes = digest_buf.len() as u64;
-                    if put_plain(digest_buf, z).is_err() {
+                    if source.put_stream(gate, digest_buf).is_err() {
                         broken = true;
-                        return;
+                        break;
                     }
                     payload_bytes += digest_buf.len() as u64 - gate_bytes;
                     fingerprint = fingerprint.wrapping_add(fnv1a64(digest_buf));
                     count += 1;
-                });
+                }
                 let gates = u32::try_from(count).ok().filter(|_| !broken);
                 match gates {
                     Some(gates) => {
@@ -445,6 +442,26 @@ impl Responder {
     pub fn error_frame(&mut self, code: ErrorCode, detail: &str) -> &[u8] {
         encode_error(&mut self.out, code, detail);
         &self.out
+    }
+}
+
+/// Maps a source fetch failure onto a wire error frame (restarting
+/// `out`, which may hold a half-built response). An unknown gate is
+/// the one client-actionable code and carries the call site's detail;
+/// everything else is a server-side defect reported as `Internal`.
+fn encode_fetch_failure(out: &mut BytesMut, e: &FetchError, unknown_detail: &str) {
+    match e {
+        FetchError::UnknownGate(_) => encode_error(out, ErrorCode::UnknownGate, unknown_detail),
+        FetchError::Unservable(_) => {
+            encode_error(out, ErrorCode::Internal, "entry is not a plain servable stream")
+        }
+        FetchError::Crc(_) => {
+            encode_error(out, ErrorCode::Internal, "stored payload failed its checksum")
+        }
+        FetchError::Codec(_) => encode_error(out, ErrorCode::Internal, "stored stream failed"),
+        FetchError::Malformed(_) => {
+            encode_error(out, ErrorCode::Internal, "stored stream is unencodable")
+        }
     }
 }
 
@@ -504,7 +521,7 @@ impl Drop for ServerHandle {
 ///
 /// Any bind failure.
 pub fn serve(store: Arc<Store>, addr: impl ToSocketAddrs) -> std::io::Result<ServerHandle> {
-    serve_with(store, addr, ServeConfig::default())
+    serve_source(store, addr, ServeConfig::default())
 }
 
 /// [`serve`] with explicit sizing, timeout and cap knobs.
@@ -517,6 +534,50 @@ pub fn serve_with(
     addr: impl ToSocketAddrs,
     config: ServeConfig,
 ) -> std::io::Result<ServerHandle> {
+    serve_source(store, addr, config)
+}
+
+/// Binds and starts a server over any shared [`FetchSource`] — the
+/// source-generic entry point behind [`serve`] / [`serve_with`].
+///
+/// This is the larger-than-RAM deployment path: hand it an
+/// `Arc<Reader<'static>>` opened with
+/// [`ValidationMode::LazyCrc`](crate::ValidationMode::LazyCrc) over a
+/// mapped container and the daemon serves multi-GB libraries without
+/// decoding them into a resident [`Store`] — each response appends the
+/// container's own validated payload bytes to the frame.
+///
+/// ```
+/// use compaqt_core::compress::{Compressor, Variant};
+/// use compaqt_io::serve::{serve_source, Client, ServeConfig};
+/// use compaqt_io::{write_library, Reader, ReaderOptions};
+/// use compaqt_pulse::device::Device;
+/// use compaqt_pulse::vendor::Vendor;
+/// use std::sync::Arc;
+///
+/// let lib = Device::synthesize(Vendor::Ibm, 2, 0x5E21E).pulse_library();
+/// let bytes = write_library(&lib, &Compressor::new(Variant::IntDctW { ws: 16 }))?;
+/// let reader = Arc::new(Reader::open(bytes, ReaderOptions::lazy_crc())?);
+///
+/// let handle = serve_source(reader, "127.0.0.1:0", ServeConfig::default())?;
+/// let mut client = Client::connect(handle.local_addr())?;
+/// let (gate, wf) = lib.iter().next().unwrap();
+/// let (mut i, mut q) = (Vec::new(), Vec::new());
+/// client.fetch_into(gate, &mut i, &mut q)?;
+/// assert_eq!(i.len(), wf.len());
+/// drop(client);
+/// handle.shutdown();
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// # Errors
+///
+/// Any bind failure.
+pub fn serve_source<S: FetchSource + Send + Sync + 'static>(
+    source: Arc<S>,
+    addr: impl ToSocketAddrs,
+    config: ServeConfig,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
@@ -526,7 +587,7 @@ pub fn serve_with(
         let counters = Arc::clone(&counters);
         std::thread::Builder::new()
             .name("compaqt-serve-accept".into())
-            .spawn(move || accept_loop(listener, store, config, shutdown, counters))?
+            .spawn(move || accept_loop(listener, source, config, shutdown, counters))?
     };
     Ok(ServerHandle { addr, shutdown, counters, accept: Some(accept) })
 }
@@ -541,9 +602,9 @@ impl Drop for ConnGuard {
     }
 }
 
-fn accept_loop(
+fn accept_loop<S: FetchSource + Send + Sync + 'static>(
     listener: TcpListener,
-    store: Arc<Store>,
+    source: Arc<S>,
     config: ServeConfig,
     shutdown: Arc<AtomicBool>,
     counters: Arc<ServeCounters>,
@@ -562,13 +623,13 @@ fn accept_loop(
         }
         counters.accepted.fetch_add(1, Ordering::Relaxed);
         let guard = ConnGuard(Arc::clone(&active));
-        let store = Arc::clone(&store);
+        let source = Arc::clone(&source);
         let shutdown = Arc::clone(&shutdown);
         let counters = Arc::clone(&counters);
         let spawned =
             std::thread::Builder::new().name("compaqt-serve-conn".into()).spawn(move || {
                 let _guard = guard;
-                serve_conn(stream, &store, &config, &shutdown, &counters);
+                serve_conn(stream, &*source, &config, &shutdown, &counters);
             });
         // Spawn failure (thread exhaustion) just drops the connection;
         // the guard moved into the closure only on success, so drop it
@@ -598,9 +659,9 @@ fn timeout(d: Duration) -> Option<Duration> {
 /// One connection's serve loop: read a frame, respond, repeat until
 /// the client leaves, a timeout fires, framing breaks, or the server
 /// shuts down.
-fn serve_conn(
+fn serve_conn<S: FetchSource + ?Sized>(
     mut stream: TcpStream,
-    store: &Store,
+    source: &S,
     config: &ServeConfig,
     shutdown: &AtomicBool,
     counters: &ServeCounters,
@@ -616,7 +677,7 @@ fn serve_conn(
             Ok(FrameRead::Eof) => break,
             Ok(FrameRead::Frame(kind)) => {
                 let payload = &read_buf[FRAME_HEADER_BYTES..read_buf.len() - FRAME_TRAILER_BYTES];
-                match responder.handle(store, kind, payload) {
+                match responder.handle(source, kind, payload) {
                     Ok(frame) => {
                         if stream.write_all(frame).is_err() {
                             break;

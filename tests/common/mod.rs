@@ -1,0 +1,58 @@
+//! Shared helpers for the container integration suites: open the same
+//! bytes through every [`ContainerSource`] kind, routed by the
+//! `COMPAQT_SOURCE_KIND` env var so CI can run each suite once per
+//! kind (owned | borrowed | mapped) while a plain `cargo test` covers
+//! all three in one run.
+#![allow(dead_code)] // each test binary uses a subset of these helpers
+
+use compaqt::io::{ContainerError, ContainerSource, Reader, ReaderOptions};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Every source kind a [`Reader`] can open, by its
+/// [`Reader::source_kind`] name.
+pub const KINDS: [&str; 3] = ["owned", "borrowed", "mapped"];
+
+/// The source kinds this run must cover: the one named by
+/// `COMPAQT_SOURCE_KIND` if set (unknown names panic rather than
+/// silently testing nothing), all three otherwise.
+pub fn selected_kinds() -> Vec<&'static str> {
+    match std::env::var("COMPAQT_SOURCE_KIND") {
+        Ok(v) => {
+            let kind = KINDS.iter().find(|k| **k == v).unwrap_or_else(|| {
+                panic!("unknown COMPAQT_SOURCE_KIND {v:?} (want one of {KINDS:?})")
+            });
+            vec![*kind]
+        }
+        Err(_) => KINDS.to_vec(),
+    }
+}
+
+/// Opens `bytes` as a reader backed by `kind` and hands the open result
+/// to `f`. The mapped kind round-trips through a unique temp file,
+/// removed before returning, so hostile-byte proptests can hammer it
+/// without littering the filesystem.
+pub fn with_source<R>(
+    kind: &str,
+    bytes: &[u8],
+    options: ReaderOptions,
+    f: impl FnOnce(Result<Reader<'_>, ContainerError>) -> R,
+) -> R {
+    match kind {
+        "owned" => f(Reader::open(bytes::Bytes::copy_from_slice(bytes), options)),
+        "borrowed" => f(Reader::open(bytes, options)),
+        "mapped" => {
+            static UNIQUE: AtomicU64 = AtomicU64::new(0);
+            let path = std::env::temp_dir().join(format!(
+                "compaqt-source-{}-{}.cwl",
+                std::process::id(),
+                UNIQUE.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::write(&path, bytes).expect("write temp container for mmap");
+            let source = ContainerSource::map_path(&path).expect("map temp container");
+            let out = f(Reader::open(source, options));
+            let _ = std::fs::remove_file(&path);
+            out
+        }
+        other => panic!("unknown source kind {other:?}"),
+    }
+}

@@ -21,10 +21,12 @@
 
 use compaqt::core::compress::{Compressor, Variant};
 use compaqt::core::store::StoreConfig;
-use compaqt::io::{write_library, ContainerError, ContainerScratch, Reader};
+use compaqt::io::{write_library, ContainerError, ContainerScratch, Reader, ReaderOptions};
 use compaqt::pulse::device::Device;
 use compaqt::pulse::vendor::Vendor;
 use proptest::prelude::*;
+
+mod common;
 
 /// Header layout offsets (see the `compaqt-io` crate docs).
 const VERSION_AT: usize = 4;
@@ -248,4 +250,145 @@ fn layout_lies_and_crc_damage_are_rejected() {
     let payload_base = HEADER_BYTES + index_bytes;
     bad[payload_base + 3] ^= 0x40;
     assert!(matches!(Reader::from_vec(bad).unwrap_err(), ContainerError::CrcMismatch { .. }));
+}
+
+/// Lazy-CRC mode defers payload verdicts to first touch, and then
+/// caches them: a damaged payload behind an intact index opens fine
+/// (the O(index) larger-than-RAM contract), fails **typed** the first
+/// time its gate is touched, and keeps failing identically from the
+/// cached verdict — it never panics and never serves rotten samples.
+/// Every source kind must behave identically.
+#[test]
+fn lazy_crc_defers_verdicts_and_caches_failures() {
+    let clean = container_bytes();
+    let index_bytes =
+        u64::from_le_bytes(clean[INDEX_BYTES_AT..INDEX_BYTES_AT + 8].try_into().unwrap()) as usize;
+    let mut bad = clean.clone();
+    // Damage the first entry's payload (offset 0 in the payload section).
+    bad[HEADER_BYTES + index_bytes + 3] ^= 0x40;
+
+    // Eager mode (the Reader::new path) refuses the container at open.
+    assert!(matches!(
+        Reader::from_vec(bad.clone()).unwrap_err(),
+        ContainerError::CrcMismatch { .. }
+    ));
+
+    // Reference decodes from the clean container, for the undamaged
+    // gates the lazy reader must still serve bit-exactly.
+    let reference = Reader::from_vec(clean.clone()).unwrap();
+
+    for kind in common::selected_kinds() {
+        common::with_source(kind, &bad, ReaderOptions::lazy_crc(), |r| {
+            let reader = r.expect("a damaged payload must not fail an O(index) lazy open");
+            assert_eq!(reader.source_kind(), kind);
+            assert_eq!(reader.crc_checked(), 0, "{kind}: open must not touch payload CRCs");
+
+            let damaged = reader.entries().next().unwrap().gate().clone();
+            let mut scratch = ContainerScratch::new();
+            let (mut i, mut q) = (Vec::new(), Vec::new());
+
+            // First touch: typed failure naming the damaged gate.
+            let first = reader.fetch_into(&damaged, &mut scratch, &mut i, &mut q).unwrap_err();
+            assert_eq!(first, ContainerError::CrcMismatch { gate: damaged.clone() }, "{kind}");
+            assert_eq!(reader.crc_checked(), 1, "{kind}: exactly one verdict recorded");
+
+            // Every later touch serves the cached verdict — same typed
+            // error through every read surface, no recheck, no panic.
+            let again = reader.fetch_into(&damaged, &mut scratch, &mut i, &mut q).unwrap_err();
+            assert_eq!(again, first, "{kind}: cached verdict must match the first touch");
+            let entry = reader.find(&damaged).unwrap();
+            assert_eq!(entry.verify().unwrap_err(), first, "{kind}: verify sees the verdict");
+            assert_eq!(entry.read().unwrap_err(), first, "{kind}: read sees the verdict");
+            assert_eq!(reader.crc_checked(), 1, "{kind}: verdict is cached, not recounted");
+
+            // Undamaged gates still serve, bit-identical to the clean
+            // eager reader.
+            let (mut ri, mut rq) = (Vec::new(), Vec::new());
+            let mut rscratch = ContainerScratch::new();
+            for gate in reference.gates().filter(|g| **g != damaged) {
+                reader.fetch_into(gate, &mut scratch, &mut i, &mut q).unwrap();
+                reference.fetch_into(gate, &mut rscratch, &mut ri, &mut rq).unwrap();
+                assert_eq!(i, ri, "{kind} {gate}: lazy I decode");
+                assert_eq!(q, rq, "{kind} {gate}: lazy Q decode");
+            }
+            assert_eq!(reader.crc_checked(), reader.len(), "{kind}: every entry now judged");
+        });
+    }
+}
+
+/// Truncation is structural, not a payload property: even lazy mode
+/// rejects a cut container at open with a typed error — deferral never
+/// lets a short buffer through to be discovered (or panicked over) at
+/// fetch time.
+#[test]
+fn lazy_crc_still_rejects_truncation_at_open() {
+    let clean = container_bytes();
+    let index_bytes =
+        u64::from_le_bytes(clean[INDEX_BYTES_AT..INDEX_BYTES_AT + 8].try_into().unwrap()) as usize;
+    for cut in [clean.len() - 1, HEADER_BYTES + index_bytes + 1, HEADER_BYTES + 1] {
+        for kind in common::selected_kinds() {
+            common::with_source(kind, &clean[..cut], ReaderOptions::lazy_crc(), |r| {
+                let err = r.expect_err("a truncated container must not open lazily either");
+                assert!(
+                    matches!(err, ContainerError::Truncated | ContainerError::IndexInvalid(_)),
+                    "{kind} cut at {cut}: got {err:?}"
+                );
+            });
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any single payload bit flip under lazy validation: the open
+    /// succeeds, exactly one gate fails its first touch with a CRC
+    /// mismatch naming itself, repeat touches reproduce the identical
+    /// error from the cached verdict, and every other gate still
+    /// decodes — across every source kind.
+    #[test]
+    fn lazy_payload_flips_fail_typed_on_first_touch(
+        pos in proptest::num::usize::ANY,
+        bit in 0u32..8,
+    ) {
+        let mut bytes = container_bytes();
+        let index_bytes =
+            u64::from_le_bytes(bytes[INDEX_BYTES_AT..INDEX_BYTES_AT + 8].try_into().unwrap())
+                as usize;
+        let payload_base = HEADER_BYTES + index_bytes;
+        let k = payload_base + pos % (bytes.len() - payload_base);
+        bytes[k] ^= 1 << bit;
+
+        for kind in common::selected_kinds() {
+            common::with_source(kind, &bytes, ReaderOptions::lazy_crc(), |r| {
+                let reader = r.expect("payload damage must not fail a lazy open");
+                let mut scratch = ContainerScratch::new();
+                let (mut i, mut q) = (Vec::new(), Vec::new());
+                let mut failures = 0usize;
+                let gates: Vec<_> = reader.gates().cloned().collect();
+                for gate in &gates {
+                    let first = reader.fetch_into(gate, &mut scratch, &mut i, &mut q);
+                    let second = reader.fetch_into(gate, &mut scratch, &mut i, &mut q);
+                    match (&first, &second) {
+                        (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "{} {}: stable decode", kind, gate),
+                        (Err(a), Err(b)) => {
+                            prop_assert_eq!(a, b, "{} {}: stable cached verdict", kind, gate);
+                            prop_assert_eq!(
+                                a,
+                                &ContainerError::CrcMismatch { gate: gate.clone() },
+                                "{} {}: flip must surface as that gate's CRC mismatch",
+                                kind,
+                                gate
+                            );
+                            failures += 1;
+                        }
+                        _ => prop_assert!(false, "{} {}: verdict flipped between touches", kind, gate),
+                    }
+                }
+                prop_assert_eq!(failures, 1, "{}: exactly the damaged gate fails", kind);
+                prop_assert_eq!(reader.crc_checked(), reader.len());
+                Ok(())
+            })?;
+        }
+    }
 }

@@ -33,6 +33,8 @@ use compaqt::pulse::vendor::Vendor;
 use compaqt::pulse::waveform::Waveform;
 use proptest::prelude::*;
 
+mod common;
+
 /// The plain variants the container must carry losslessly.
 fn plain_variants() -> [Variant; 10] {
     [
@@ -177,6 +179,99 @@ fn container_bytes_are_deterministic() {
     let reader = Reader::new(direct.clone()).unwrap();
     let reloaded = reader.into_store(StoreConfig::default()).unwrap();
     assert_eq!(direct.as_ref(), write_store(&reloaded).unwrap().as_ref(), "reload fixed point");
+}
+
+/// One container opened through every [`ContainerSource`] kind — owned
+/// bytes, a caller-borrowed region, a memory-mapped file — and both
+/// validation modes must serve **bit-identical** results across every
+/// stream kind the format holds: same payload bytes, same field-exact
+/// stream round-trip, same decoded samples as the owned eager reader.
+/// The source is a transport detail; the contract is invariant.
+#[test]
+fn every_source_kind_serves_bit_identically() {
+    // A container with every payload kind: all ten plain variants plus
+    // an overlapped and an adaptive stream.
+    let mut writer = Writer::new();
+    let mut plain_gates = Vec::new();
+    for (k, variant) in plain_variants().into_iter().enumerate() {
+        let wf = ramp_pulse(180 + 16 * k, 0.2 + 0.05 * k as f64);
+        let gate = GateId::single(GateKind::Custom(format!("plain{k}")), k as u16);
+        writer.add(&gate, &Compressor::new(variant).compress(&wf).unwrap()).unwrap();
+        plain_gates.push(gate);
+    }
+    let g_overlap = GateId::single(GateKind::X, 40);
+    let lapped = OverlapCompressor::new(16).unwrap().compress(&ramp_pulse(260, 0.5)).unwrap();
+    writer.add_overlap(&g_overlap, &lapped).unwrap();
+    let g_adaptive = GateId::pair(GateKind::Cx, 40, 41);
+    let adaptive = AdaptiveCompressor::new(Variant::IntDctW { ws: 16 })
+        .compress(&flat_pulse(600, 0.4))
+        .unwrap();
+    writer.add_adaptive(&g_adaptive, &adaptive).unwrap();
+    let bytes = writer.finish().unwrap();
+
+    // Owned + eager is the historical `Reader::new` behaviour — the
+    // reference every other (kind, mode) pair must match bit-for-bit.
+    let reference = Reader::new(bytes.clone()).unwrap();
+    let mut rscratch = ContainerScratch::new();
+    let (mut ri, mut rq) = (Vec::new(), Vec::new());
+
+    use compaqt::io::ReaderOptions;
+    for kind in common::selected_kinds() {
+        for options in [ReaderOptions::new(), ReaderOptions::lazy_crc()] {
+            common::with_source(kind, bytes.as_ref(), options, |r| {
+                let reader = r.expect("a clean container must open from every source");
+                let mode = format!("{kind}/{:?}", reader.validation());
+                assert_eq!(reader.len(), reference.len(), "{mode}");
+                assert_eq!(
+                    reader.gates().collect::<Vec<_>>(),
+                    reference.gates().collect::<Vec<_>>(),
+                    "{mode}: gate listing"
+                );
+
+                // Raw payload bytes are identical regardless of backing.
+                for entry in reference.entries() {
+                    let other = reader.find(entry.gate()).unwrap();
+                    assert_eq!(
+                        entry.payload_slice(),
+                        other.payload_slice(),
+                        "{mode} {}: payload bytes",
+                        entry.gate()
+                    );
+                    assert_eq!(entry.crc32(), other.crc32(), "{mode}: index CRC field");
+                }
+
+                // Plain gates: decoded samples and zero-parse stream
+                // bytes match the reference exactly.
+                let mut scratch = ContainerScratch::new();
+                let (mut i, mut q) = (Vec::new(), Vec::new());
+                for gate in &plain_gates {
+                    reference.fetch_into(gate, &mut rscratch, &mut ri, &mut rq).unwrap();
+                    reader.fetch_into(gate, &mut scratch, &mut i, &mut q).unwrap();
+                    assert_eq!(ri, i, "{mode} {gate}: I channel");
+                    assert_eq!(rq, q, "{mode} {gate}: Q channel");
+                    assert_eq!(
+                        reference.stream_bytes(gate).unwrap(),
+                        reader.stream_bytes(gate).unwrap(),
+                        "{mode} {gate}: wire stream bytes"
+                    );
+                }
+
+                // Lapped and adaptive streams round-trip field-exactly
+                // from every backing.
+                let StreamPayload::Overlap(back) = reader.find(&g_overlap).unwrap().read().unwrap()
+                else {
+                    panic!("{mode}: overlap entry read back as a different kind");
+                };
+                assert_eq!(back, lapped, "{mode}: lapped stream");
+                let StreamPayload::Adaptive(back) =
+                    reader.find(&g_adaptive).unwrap().read().unwrap()
+                else {
+                    panic!("{mode}: adaptive entry read back as a different kind");
+                };
+                assert_eq!(back, adaptive, "{mode}: adaptive stream");
+            });
+        }
+    }
 }
 
 /// A store loaded from a container serves every gate of a full device

@@ -181,6 +181,79 @@ mod store {
         }
     }
 
+    /// The lock-free hot path's freshness contract, cross-thread: a
+    /// `fetch_cached` that *begins* after an `insert` returned must
+    /// observe that insert's calibration (or a newer one) — never an
+    /// older decode left in the snapshot. Each round publishes a
+    /// distinct calibration, so a stale hit is distinguishable from a
+    /// legitimately-newer one: the observed round may only move
+    /// forward from what the reader saw published before fetching.
+    #[test]
+    fn cached_fetch_begun_after_insert_observes_the_new_calibration() {
+        use std::sync::atomic::AtomicU64;
+
+        const ROUNDS: u64 = 64;
+        let lib = library();
+        let compressor = Compressor::new(Variant::IntDctW { ws: 16 });
+        let store = Store::from_library(&lib, &compressor).unwrap();
+        let gate = store.gates().remove(0);
+        let base = lib.get(&gate).unwrap();
+
+        // One distinct stream (and reference decode) per round.
+        let mut streams = Vec::new();
+        let mut refs: Vec<Vec<f64>> = Vec::new();
+        let engine = DecompressionEngine::for_variant(compressor.variant()).unwrap();
+        let mut scratch = DecodeScratch::new();
+        for r in 0..=ROUNDS {
+            let scaled: Vec<f64> =
+                base.i().iter().map(|v| v * (1.0 + r as f64 / ROUNDS as f64)).collect();
+            let wf = Waveform::new(format!("{gate}"), scaled, base.q().to_vec(), 4.54);
+            let z = compressor.compress(&wf).unwrap();
+            let (mut i, mut q) = (Vec::new(), Vec::new());
+            engine.decompress_into(&z, &mut scratch, &mut i, &mut q).unwrap();
+            streams.push(z);
+            refs.push(i);
+        }
+
+        // `published` only advances *after* the matching insert
+        // returned, so round k visible ⇒ insert k complete.
+        let published = AtomicU64::new(u64::MAX); // nothing published yet
+        std::thread::scope(|scope| {
+            let store = &store;
+            let (streams, refs, gate) = (&streams, &refs, &gate);
+            let published = &published;
+            scope.spawn(move || {
+                for r in 0..=ROUNDS {
+                    store.insert(gate.clone(), streams[r as usize].clone()).unwrap();
+                    published.store(r, Ordering::SeqCst);
+                }
+            });
+            scope.spawn(move || {
+                loop {
+                    let before = published.load(Ordering::SeqCst);
+                    if before == u64::MAX {
+                        std::hint::spin_loop();
+                        continue; // nothing published yet
+                    }
+                    let seen = store.fetch_cached(gate).unwrap();
+                    let observed = refs
+                        .iter()
+                        .position(|r| r.as_slice() == seen.i())
+                        .expect("cached fetch returned a waveform no calibration produced");
+                    assert!(
+                        observed as u64 >= before,
+                        "fetch begun after round {before} returned stale round {observed}"
+                    );
+                    if before == ROUNDS {
+                        return;
+                    }
+                }
+            });
+        });
+        // The settled state is exactly the final calibration.
+        assert_eq!(store.fetch_cached(&gate).unwrap().i(), refs[ROUNDS as usize].as_slice());
+    }
+
     #[test]
     fn removed_gates_error_while_others_keep_serving() {
         let lib = library();

@@ -1,0 +1,221 @@
+//! Offline stub of the `arc-swap` crate: the subset compaqt uses.
+//!
+//! [`ArcSwap<T>`] is an atomically swappable `Arc<T>` — a single-value
+//! RCU cell. Readers call [`ArcSwap::load_full`] to clone the current
+//! `Arc` without ever blocking; writers call [`ArcSwap::store`] /
+//! [`ArcSwap::swap`] to publish a replacement.
+//!
+//! The real crate avoids contending on the `Arc`'s reference count with
+//! hazard-pointer-style debt tracking. This stub uses a simpler
+//! two-slot ping-pong protocol with the same *lock-free reader*
+//! guarantee, which is the property compaqt's store hot path relies on:
+//!
+//! - Two slots each hold an `Option<Arc<T>>` plus a reader count; an
+//!   atomic `current` index names the live slot.
+//! - A reader increments the reader count of the slot it believes is
+//!   current, re-checks `current`, clones the `Arc`, and decrements.
+//!   The re-check makes the hold valid: a writer never mutates a slot
+//!   while it is current, and never makes a slot current before its
+//!   value write completes, so a validated hold pins an initialized,
+//!   immutable `Option`. Readers never take a lock and retry at most
+//!   once per concurrent swap.
+//! - Writers serialize on a mutex, wait for the *spare* slot's readers
+//!   to drain (they can only be stragglers from an earlier epoch, so
+//!   the wait is bounded), install the new value there, then flip
+//!   `current`. The previous value stays in its slot — still pinned
+//!   for any late readers — until the next swap overwrites it, so at
+//!   most one superseded generation is kept alive.
+//!
+//! Store-side writers in compaqt already serialize on a shard write
+//! lock, so the writer mutex adds no contention in practice.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One ping-pong slot: a value and the count of readers pinning it.
+struct Slot<T> {
+    readers: AtomicUsize,
+    value: UnsafeCell<Option<Arc<T>>>,
+}
+
+impl<T> Slot<T> {
+    fn new(value: Option<Arc<T>>) -> Self {
+        Slot { readers: AtomicUsize::new(0), value: UnsafeCell::new(value) }
+    }
+}
+
+/// An atomically swappable `Arc<T>`: lock-free reads, serialized writes.
+pub struct ArcSwap<T> {
+    slots: [Slot<T>; 2],
+    /// Index of the live slot. The pointed-to slot always holds `Some`.
+    current: AtomicUsize,
+    /// Serializes writers; readers never touch it.
+    writer: Mutex<()>,
+}
+
+// Safety: the slot protocol above confines mutation of each
+// `UnsafeCell` to one writer at a time (the mutex) while no reader
+// pins the slot, and readers only clone through a shared reference.
+// `T` crosses threads only inside an `Arc`, hence the `Send + Sync`
+// bounds.
+unsafe impl<T: Send + Sync> Send for ArcSwap<T> {}
+unsafe impl<T: Send + Sync> Sync for ArcSwap<T> {}
+
+impl<T> ArcSwap<T> {
+    /// Creates a cell holding `value`.
+    pub fn new(value: Arc<T>) -> Self {
+        ArcSwap {
+            slots: [Slot::new(Some(value)), Slot::new(None)],
+            current: AtomicUsize::new(0),
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// Creates a cell from a bare value (wraps it in an `Arc`).
+    pub fn from_pointee(value: T) -> Self {
+        ArcSwap::new(Arc::new(value))
+    }
+
+    /// Clones the current `Arc` without blocking.
+    ///
+    /// Lock-free: at most one retry per writer flip that lands between
+    /// the index load and the reader-count increment.
+    pub fn load_full(&self) -> Arc<T> {
+        loop {
+            let idx = self.current.load(Ordering::SeqCst);
+            let slot = &self.slots[idx];
+            slot.readers.fetch_add(1, Ordering::SeqCst);
+            if self.current.load(Ordering::SeqCst) == idx {
+                // Safety: `current == idx` observed *after* our
+                // increment means any writer targeting this slot must
+                // first flip `current` away and then wait for our
+                // count to drop, so the value is initialized (`Some`)
+                // and cannot be mutated while we hold the pin.
+                let value = unsafe {
+                    (*slot.value.get()).as_ref().expect("current slot always holds a value").clone()
+                };
+                slot.readers.fetch_sub(1, Ordering::SeqCst);
+                return value;
+            }
+            // A writer flipped between our load and increment; drop the
+            // useless pin and retry against the new current slot.
+            slot.readers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Publishes `new` as the current value.
+    pub fn store(&self, new: Arc<T>) {
+        drop(self.swap(new));
+    }
+
+    /// Publishes `new` and returns the value it replaced.
+    pub fn swap(&self, new: Arc<T>) -> Arc<T> {
+        let _serialize = self.writer.lock().expect("arc-swap writer mutex poisoned");
+        let old_idx = self.current.load(Ordering::SeqCst);
+        let new_idx = 1 - old_idx;
+        let spare = &self.slots[new_idx];
+        // Drain stragglers still pinning the spare slot from the epoch
+        // before last. New readers go to `current == old_idx`, so this
+        // wait is bounded by the in-flight loads at this instant.
+        while spare.readers.load(Ordering::SeqCst) != 0 {
+            std::hint::spin_loop();
+        }
+        // Safety: the writer mutex excludes other writers and the
+        // drained, non-current spare slot has no reader pins, so the
+        // cell is ours to mutate.
+        unsafe { *spare.value.get() = Some(new) };
+        self.current.store(new_idx, Ordering::SeqCst);
+        // The superseded value stays in its slot for late readers; hand
+        // the caller its own clone.
+        let old = &self.slots[old_idx];
+        // Safety: a slot's value is only mutated by a writer, writers
+        // hold the mutex we hold, and the old slot held `Some` while it
+        // was current (values are never taken out, only replaced).
+        unsafe {
+            (*old.value.get())
+                .as_ref()
+                .expect("previously current slot always holds a value")
+                .clone()
+        }
+    }
+}
+
+impl<T: Default> Default for ArcSwap<T> {
+    fn default() -> Self {
+        ArcSwap::from_pointee(T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for ArcSwap<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("ArcSwap").field(&self.load_full()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn load_returns_what_was_stored() {
+        let cell = ArcSwap::from_pointee(1u64);
+        assert_eq!(*cell.load_full(), 1);
+        cell.store(Arc::new(2));
+        assert_eq!(*cell.load_full(), 2);
+        let old = cell.swap(Arc::new(3));
+        assert_eq!(*old, 2);
+        assert_eq!(*cell.load_full(), 3);
+    }
+
+    #[test]
+    fn same_thread_reads_see_the_latest_store_immediately() {
+        let cell = ArcSwap::from_pointee(0u64);
+        for v in 1..=100u64 {
+            cell.store(Arc::new(v));
+            assert_eq!(*cell.load_full(), v);
+        }
+    }
+
+    #[test]
+    fn concurrent_readers_only_ever_observe_published_values() {
+        // One writer publishes (gen, gen) pairs; readers must only see
+        // internally consistent, monotonically advancing pairs. Readers
+        // run until they observe the final generation (not until a stop
+        // flag flips), so the test cannot under-run on a single-vCPU
+        // box where the writer finishes before a reader is scheduled.
+        const FINAL: u64 = 10_000;
+        let cell = Arc::new(ArcSwap::from_pointee((0u64, 0u64)));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                thread::spawn(move || {
+                    let mut last = 0;
+                    let mut loads = 0u64;
+                    loop {
+                        let pair = cell.load_full();
+                        assert_eq!(pair.0, pair.1, "torn or stale-slot read");
+                        assert!(pair.0 >= last, "generation went backwards");
+                        last = pair.0;
+                        loads += 1;
+                        if pair.0 == FINAL {
+                            return loads;
+                        }
+                    }
+                })
+            })
+            .collect();
+        for gen in 1..=FINAL {
+            cell.store(Arc::new((gen, gen)));
+        }
+        for r in readers {
+            assert!(r.join().unwrap() > 0);
+        }
+        assert_eq!(cell.load_full().0, FINAL);
+    }
+}

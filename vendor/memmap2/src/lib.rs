@@ -1,0 +1,207 @@
+//! Offline stub of the `memmap2` crate: the subset compaqt uses.
+//!
+//! [`Mmap`] is a read-only, private memory mapping of a whole file,
+//! dereferencing to `&[u8]`. On unix it calls `mmap(2)` / `munmap(2)`
+//! directly through the C library the Rust standard library already
+//! links — no new native dependency. On other targets it falls back to
+//! reading the file into an owned buffer, keeping the same API (and
+//! losing only the demand-paging property, not correctness).
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+use std::fmt;
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+    use std::fs::File;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    // POSIX values shared by every unix target this repo builds on
+    // (linux-gnu in CI); declared here because the stub deliberately
+    // avoids a libc crate dependency.
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    /// Maps `len` bytes of `file` read-only. `len` must be non-zero.
+    pub(crate) unsafe fn map(file: &File, len: usize) -> io::Result<*const u8> {
+        let ptr = mmap(std::ptr::null_mut(), len, PROT_READ, MAP_PRIVATE, file.as_raw_fd(), 0);
+        if ptr as isize == -1 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ptr.cast_const().cast())
+        }
+    }
+
+    pub(crate) unsafe fn unmap(ptr: *const u8, len: usize) {
+        let _ = munmap(ptr.cast_mut().cast(), len);
+    }
+}
+
+/// The backing of a mapping: a real page mapping or the owned fallback.
+enum Backing {
+    /// `mmap(2)` pages; unmapped on drop. Never used with `len == 0`.
+    #[cfg(unix)]
+    Pages { ptr: *const u8, len: usize },
+    /// Owned copy (zero-length mappings, and all of non-unix).
+    Owned(Box<[u8]>),
+}
+
+/// A read-only memory map of an entire file.
+///
+/// Dereferences to `&[u8]`. The mapping is private (`MAP_PRIVATE`):
+/// writes by other processes after the map call are not part of this
+/// view's contract — callers treat the bytes as an immutable snapshot,
+/// which is what makes the `Send + Sync` exposure sound.
+pub struct Mmap {
+    backing: Backing,
+}
+
+// Safety: the mapping is created read-only and never mutated through
+// this type; sharing immutable bytes across threads is sound. (As with
+// the real crate, truncating the underlying file while mapped is
+// outside the contract.)
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps `file` in its entirety, read-only.
+    ///
+    /// # Safety
+    ///
+    /// The caller must ensure the file is not truncated or mutated
+    /// through the filesystem for the lifetime of the mapping (the same
+    /// contract as the real `memmap2::Mmap::map`). Shrinking a mapped
+    /// file turns in-bounds reads into faults.
+    pub unsafe fn map(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len).map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidInput, "file exceeds address space")
+        })?;
+        #[cfg(unix)]
+        {
+            if len == 0 {
+                // mmap(2) rejects zero-length maps; an empty slice is
+                // the honest equivalent.
+                return Ok(Mmap { backing: Backing::Owned(Box::new([])) });
+            }
+            let ptr = sys::map(file, len)?;
+            Ok(Mmap { backing: Backing::Pages { ptr, len } })
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::Read;
+            let mut buf = Vec::with_capacity(len);
+            let mut file = file;
+            file.read_to_end(&mut buf)?;
+            Ok(Mmap { backing: Backing::Owned(buf.into_boxed_slice()) })
+        }
+    }
+
+    /// The mapped bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(unix)]
+            // Safety: `ptr` is a live PROT_READ mapping of exactly
+            // `len` bytes, valid until `Drop` unmaps it.
+            Backing::Pages { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Backing::Owned(buf) => buf,
+        }
+    }
+
+    /// Number of mapped bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the mapping is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Pages { ptr, len } => unsafe { sys::unmap(*ptr, *len) },
+            Backing::Owned(_) => {}
+        }
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mmap").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("memmap2-stub-{}-{tag}", std::process::id()))
+    }
+
+    #[test]
+    fn maps_file_contents_bit_exactly() {
+        let path = temp_path("roundtrip");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::File::create(&path).unwrap().write_all(&payload).unwrap();
+        let file = File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file).unwrap() };
+        assert_eq!(&map[..], &payload[..]);
+        assert_eq!(map.len(), payload.len());
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_files_map_to_empty_slices() {
+        let path = temp_path("empty");
+        std::fs::File::create(&path).unwrap();
+        let file = File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file).unwrap() };
+        assert!(map.is_empty());
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+}
