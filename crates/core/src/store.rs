@@ -82,13 +82,14 @@ use crate::compress::{CompressedWaveform, Compressor, Variant};
 use crate::engine::{DecodeScratch, DecompressionEngine, EncodeScratch, EngineStats};
 use crate::CompressError;
 use arc_swap::ArcSwap;
+use compaqt_obs::{Collect, Histogram, Snapshot, TraceKind, TraceRing};
 use compaqt_pulse::library::{GateId, PulseLibrary};
 use compaqt_pulse::waveform::Waveform;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Sizing knobs for a [`Store`].
@@ -110,13 +111,22 @@ pub struct StoreConfig {
     /// disables the hot set: [`Store::fetch_cached`] then decodes on
     /// every call.
     pub hot_capacity: usize,
+    /// Opt-in per-codec-variant latency histograms (and encode timing
+    /// in [`Store::from_library_with`]). Off by default: the aggregate
+    /// decode histograms are always on (they reuse the timings the
+    /// fetch paths already take for [`StoreStats::decode_ns`]), but the
+    /// per-variant breakdown costs one extra engine-table lookup per
+    /// decode, so it is gated. Never affects the lock-free
+    /// [`Store::fetch_cached`] hit path, which records nothing.
+    pub codec_metrics: bool,
 }
 
 impl Default for StoreConfig {
     /// 16 shards, 64 hot waveforms: comfortable for a ~100-qubit
-    /// machine's calibration-critical working set.
+    /// machine's calibration-critical working set. Per-variant codec
+    /// metrics are off.
     fn default() -> Self {
-        StoreConfig { shards: 16, hot_capacity: 64 }
+        StoreConfig { shards: 16, hot_capacity: 64, codec_metrics: false }
     }
 }
 
@@ -197,6 +207,44 @@ struct Counters {
     decodes: AtomicU64,
     decode_ns: AtomicU64,
     invalidations: AtomicU64,
+}
+
+/// Telemetry sidecar of a [`Store`]: log2 latency histograms fed
+/// exclusively from timings the fetch paths already take for
+/// [`StoreStats::decode_ns`] — instrumentation adds **no** extra clock
+/// reads to any fetch path, and nothing at all to the lock-free
+/// [`Store::fetch_cached`] hit path. Recording is a single relaxed
+/// atomic add; reading happens only in [`Store::collect_obs`].
+#[derive(Debug, Default)]
+struct StoreMetrics {
+    /// Streaming-decode latency: one sample per [`Store::fetch_into`]
+    /// call and one per locked shard batch of [`Store::fetch_many`]
+    /// (mirroring how [`StoreStats::decode_ns`] books wall time).
+    decode_ns: Histogram,
+    /// [`Store::fetch_cached`] **miss** decode latency; hits record
+    /// nothing by design.
+    miss_decode_ns: Histogram,
+    /// Library-encode latency per waveform, populated by
+    /// [`Store::from_library_with`] when [`StoreConfig::codec_metrics`]
+    /// is set.
+    encode_ns: Histogram,
+    /// Per-variant decode latency (single-gate paths only — a batch
+    /// sample spans variants), populated when
+    /// [`StoreConfig::codec_metrics`] is set. Grows by at most one row
+    /// per variant ever decoded; rows are recorded under the read lock,
+    /// so steady state never allocates.
+    variant_decode_ns: RwLock<Vec<(Variant, Histogram)>>,
+}
+
+/// Metric-name suffix for a codec variant: lowercase, `[a-z0-9_]` only,
+/// so exposition names need no sanitizing.
+fn variant_metric_suffix(v: Variant) -> String {
+    match v {
+        Variant::Delta => "delta".to_string(),
+        Variant::DctN => "dct_n".to_string(),
+        Variant::DctW { ws } => format!("dct_w{ws}"),
+        Variant::IntDctW { ws } => format!("int_dct_w{ws}"),
+    }
 }
 
 /// One decoded waveform parked in a shard's hot set.
@@ -297,6 +345,14 @@ pub struct Store {
     scratches: Mutex<Vec<DecodeScratch>>,
     /// Upper bound on parked scratches (pool pre-allocated to this).
     scratch_bound: usize,
+    /// Whether per-variant codec histograms are recorded.
+    codec_metrics: bool,
+    /// Latency histograms; see [`StoreMetrics`] for the feeding rules.
+    metrics: StoreMetrics,
+    /// Optional event ring ([`Store::attach_trace`]); checked with one
+    /// atomic load on the cold paths that emit events (insert-replace,
+    /// eviction) — never on a fetch.
+    trace: OnceLock<Arc<TraceRing>>,
 }
 
 impl Default for Store {
@@ -329,6 +385,9 @@ impl Store {
             engines: RwLock::new(Vec::new()),
             scratches: Mutex::new(Vec::with_capacity(scratch_bound)),
             scratch_bound,
+            codec_metrics: config.codec_metrics,
+            metrics: StoreMetrics::default(),
+            trace: OnceLock::new(),
         }
     }
 
@@ -361,7 +420,11 @@ impl Store {
         let mut enc = EncodeScratch::new();
         for (gate, wf) in library.iter() {
             let mut z = CompressedWaveform::empty();
+            let started = config.codec_metrics.then(Instant::now);
             compressor.compress_into(wf, &mut enc, &mut z)?;
+            if let Some(t) = started {
+                store.metrics.encode_ns.record(t.elapsed().as_nanos() as u64);
+            }
             store.insert(gate.clone(), z)?;
         }
         Ok(store)
@@ -402,7 +465,8 @@ impl Store {
         // reader that can see the stream can also decode it. (Engine and
         // shard locks are never held together, in either order.)
         self.ensure_engine(z.variant)?;
-        let slot = &self.shards[self.shard_index(&id)];
+        let home = self.shard_index(&id);
+        let slot = &self.shards[home];
         let mut shard = slot.state.write();
         self.drop_hot(slot, &mut shard, &id);
         // The generation bump is what keeps a concurrent cached-fetch
@@ -410,7 +474,13 @@ impl Store {
         // from parking its stale result after we return.
         shard.next_gen += 1;
         let gen = shard.next_gen;
-        shard.map.insert(id, StoredEntry { gen, z });
+        let replaced = shard.map.insert(id, StoredEntry { gen, z }).is_some();
+        drop(shard);
+        if replaced {
+            // A replacement is a recalibration publish; initial loads
+            // are not traced (they would drown the ring at store build).
+            self.trace_event(TraceKind::RecalibrationPublish, home as u64, gen);
+        }
         Ok(())
     }
 
@@ -453,6 +523,8 @@ impl Store {
         slot.counters.decodes.fetch_add(1, Ordering::Relaxed);
         slot.counters.decode_ns.fetch_add(elapsed, Ordering::Relaxed);
         slot.counters.fetches.fetch_add(1, Ordering::Relaxed);
+        self.metrics.decode_ns.record(elapsed);
+        self.record_variant_ns(z.variant, elapsed);
         Ok(stats)
     }
 
@@ -534,6 +606,10 @@ impl Store {
                 slot.counters.decodes.fetch_add(decoded, Ordering::Relaxed);
                 slot.counters.fetches.fetch_add(decoded, Ordering::Relaxed);
                 slot.counters.decode_ns.fetch_add(elapsed, Ordering::Relaxed);
+                // One histogram sample per locked shard batch (the
+                // measured span); a batch crosses variants, so the
+                // per-variant breakdown only covers single-gate paths.
+                self.metrics.decode_ns.record(elapsed);
             }
             result?;
         }
@@ -604,6 +680,8 @@ impl Store {
         slot.counters.decode_ns.fetch_add(elapsed, Ordering::Relaxed);
         slot.counters.hot_misses.fetch_add(1, Ordering::Relaxed);
         slot.counters.fetches.fetch_add(1, Ordering::Relaxed);
+        self.metrics.miss_decode_ns.record(elapsed);
+        self.record_variant_ns(z.variant, elapsed);
         if self.hot_capacity == 0 {
             return Ok(decoded);
         }
@@ -756,9 +834,11 @@ impl Store {
                 .map(|(pos, _)| pos);
             if let Some(pos) = coldest {
                 let mut entries = current.entries.clone();
+                let remaining = entries.len() as u64 - 1;
                 entries.swap_remove(pos);
                 slot.hot.store(Arc::new(HotSet { entries }));
                 self.hot_count.fetch_sub(1, Ordering::Relaxed);
+                self.trace_event(TraceKind::HotEviction, ((home + k) % n) as u64, remaining);
                 return true;
             }
         }
@@ -777,6 +857,83 @@ impl Store {
             out.invalidations += slot.counters.invalidations.load(Ordering::Relaxed);
         }
         out
+    }
+
+    /// Attaches a trace ring: cold store events (recalibration
+    /// publishes over existing gates, hot-set evictions) are pushed to
+    /// it from then on. First attach wins — returns `false` (ring
+    /// dropped, existing one kept) if one is already attached. Fetches
+    /// never emit events, so attaching costs the fetch paths nothing.
+    pub fn attach_trace(&self, ring: Arc<TraceRing>) -> bool {
+        self.trace.set(ring).is_ok()
+    }
+
+    /// The attached trace ring, if any.
+    pub fn trace(&self) -> Option<&Arc<TraceRing>> {
+        self.trace.get()
+    }
+
+    /// Pushes an event to the attached ring (one atomic load when none
+    /// is attached).
+    fn trace_event(&self, kind: TraceKind, a: u64, b: u64) {
+        if let Some(ring) = self.trace.get() {
+            ring.push(kind, a, b);
+        }
+    }
+
+    /// Records a per-variant decode sample when
+    /// [`StoreConfig::codec_metrics`] is on. The row is created on the
+    /// variant's first decode (one allocation, write lock); every later
+    /// sample finds it under the read lock and records with a single
+    /// relaxed atomic add — steady state stays allocation-free.
+    fn record_variant_ns(&self, variant: Variant, ns: u64) {
+        if !self.codec_metrics {
+            return;
+        }
+        {
+            let table = self.metrics.variant_decode_ns.read();
+            if let Some((_, h)) = table.iter().find(|(v, _)| *v == variant) {
+                h.record(ns);
+                return;
+            }
+        }
+        let mut table = self.metrics.variant_decode_ns.write();
+        if !table.iter().any(|(v, _)| *v == variant) {
+            table.push((variant, Histogram::new()));
+        }
+        if let Some((_, h)) = table.iter().find(|(v, _)| *v == variant) {
+            h.record(ns);
+        }
+    }
+
+    /// Contributes this store's telemetry to an observability snapshot:
+    /// the [`StoreStats`] counters, occupancy gauges, the decode
+    /// latency histograms, and (when [`StoreConfig::codec_metrics`] is
+    /// on) the per-variant breakdown. Cold path — it takes shard read
+    /// locks for the gauges and allocates freely; never call it from a
+    /// fetch loop. Also available through the [`Collect`] trait for
+    /// [`compaqt_obs::Registry::register_collector`].
+    pub fn collect_obs(&self, out: &mut Snapshot) {
+        let s = self.stats();
+        out.push_counter("store_fetches", s.fetches);
+        out.push_counter("store_hot_hits", s.hot_hits);
+        out.push_counter("store_hot_misses", s.hot_misses);
+        out.push_counter("store_decodes", s.decodes);
+        out.push_counter("store_decode_ns_total", s.decode_ns);
+        out.push_counter("store_invalidations", s.invalidations);
+        out.push_gauge("store_gates", self.len() as u64);
+        out.push_gauge("store_hot_len", self.hot_len() as u64);
+        out.push_gauge("store_hot_capacity", self.hot_capacity as u64);
+        out.push_gauge("store_shards", self.shards.len() as u64);
+        out.push_histogram("store_decode_ns", self.metrics.decode_ns.snapshot());
+        out.push_histogram("store_miss_decode_ns", self.metrics.miss_decode_ns.snapshot());
+        if self.codec_metrics {
+            out.push_histogram("store_encode_ns", self.metrics.encode_ns.snapshot());
+            for (variant, h) in self.metrics.variant_decode_ns.read().iter() {
+                let name = format!("store_decode_ns_{}", variant_metric_suffix(*variant));
+                out.push_histogram(name, h.snapshot());
+            }
+        }
     }
 
     /// Number of gates stored.
@@ -879,6 +1036,12 @@ impl Store {
     }
 }
 
+impl Collect for Store {
+    fn collect(&self, out: &mut Snapshot) {
+        self.collect_obs(out);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -973,9 +1136,12 @@ mod tests {
         // least recently used.
         let lib = library();
         let compressor = Compressor::new(Variant::IntDctW { ws: 16 });
-        let store =
-            Store::from_library_with(&lib, &compressor, StoreConfig { shards: 1, hot_capacity: 2 })
-                .unwrap();
+        let store = Store::from_library_with(
+            &lib,
+            &compressor,
+            StoreConfig { shards: 1, hot_capacity: 2, ..StoreConfig::default() },
+        )
+        .unwrap();
         let gates = store.gates();
         assert!(gates.len() >= 3);
         store.fetch_cached(&gates[0]).unwrap();
@@ -995,9 +1161,12 @@ mod tests {
     fn zero_hot_capacity_disables_caching() {
         let lib = library();
         let compressor = Compressor::new(Variant::IntDctW { ws: 16 });
-        let store =
-            Store::from_library_with(&lib, &compressor, StoreConfig { shards: 4, hot_capacity: 0 })
-                .unwrap();
+        let store = Store::from_library_with(
+            &lib,
+            &compressor,
+            StoreConfig { shards: 4, hot_capacity: 0, ..StoreConfig::default() },
+        )
+        .unwrap();
         let gate = store.gates().remove(0);
         store.fetch_cached(&gate).unwrap();
         store.fetch_cached(&gate).unwrap();
@@ -1008,7 +1177,8 @@ mod tests {
 
     #[test]
     fn shard_routing_is_stable_and_in_range() {
-        let store = Store::new(StoreConfig { shards: 5, hot_capacity: 8 });
+        let store =
+            Store::new(StoreConfig { shards: 5, hot_capacity: 8, ..StoreConfig::default() });
         assert_eq!(store.shard_count(), 8, "rounded up to a power of two");
         let id = GateId::pair(GateKind::Cx, 3, 7);
         let s = store.shard_index(&id);
@@ -1024,12 +1194,17 @@ mod tests {
         for (requested, effective) in
             [(0, 1), (1, 1), (2, 2), (3, 4), (5, 8), (8, 8), (9, 16), (16, 16), (17, 32)]
         {
-            let store = Store::new(StoreConfig { shards: requested, hot_capacity: 0 });
+            let store = Store::new(StoreConfig {
+                shards: requested,
+                hot_capacity: 0,
+                ..StoreConfig::default()
+            });
             assert_eq!(store.shard_count(), effective, "shards: {requested}");
         }
         // Routing is the stable hash masked by (shards - 1); pin the
         // formula so the layout itself can't drift either.
-        let store = Store::new(StoreConfig { shards: 8, hot_capacity: 0 });
+        let store =
+            Store::new(StoreConfig { shards: 8, hot_capacity: 0, ..StoreConfig::default() });
         for id in [
             GateId::single(GateKind::X, 0),
             GateId::single(GateKind::Sx, 12),
@@ -1051,9 +1226,12 @@ mod tests {
         // (b) let the skewed 4-gate working set stay entirely hot.
         let lib = library();
         let compressor = Compressor::new(Variant::IntDctW { ws: 16 });
-        let store =
-            Store::from_library_with(&lib, &compressor, StoreConfig { shards: 8, hot_capacity: 4 })
-                .unwrap();
+        let store = Store::from_library_with(
+            &lib,
+            &compressor,
+            StoreConfig { shards: 8, hot_capacity: 4, ..StoreConfig::default() },
+        )
+        .unwrap();
         let gates = store.gates();
         // Pick the shard holding the most gates and keep 4 of its gates.
         let busiest =
@@ -1092,7 +1270,7 @@ mod tests {
         let store = Store::from_library_with(
             &lib,
             &compressor,
-            StoreConfig { shards: 1, hot_capacity: 64 },
+            StoreConfig { shards: 1, hot_capacity: 64, ..StoreConfig::default() },
         )
         .unwrap();
         let ids = store.gates();
@@ -1210,7 +1388,8 @@ mod tests {
     #[test]
     fn fetch_many_is_bit_exact_with_repeated_fetch_into() {
         let lib = library();
-        let store = Store::new(StoreConfig { shards: 4, hot_capacity: 8 });
+        let store =
+            Store::new(StoreConfig { shards: 4, hot_capacity: 8, ..StoreConfig::default() });
         // Mixed variants so the batch crosses engines as well as shards.
         for (k, (gate, wf)) in lib.iter().enumerate() {
             let variant = match k % 3 {
@@ -1233,6 +1412,87 @@ mod tests {
         }
         assert_eq!(batch_stats, merged, "batch stats are the per-gate merge");
         assert_eq!(store.stats().fetches, 2 * ids.len() as u64);
+    }
+
+    #[test]
+    fn collect_obs_mirrors_stats_and_feeds_histograms() {
+        let lib = library();
+        let compressor = Compressor::new(Variant::IntDctW { ws: 16 });
+        let store = Store::from_library_with(
+            &lib,
+            &compressor,
+            StoreConfig { codec_metrics: true, ..StoreConfig::default() },
+        )
+        .unwrap();
+        let gate = store.gates().remove(0);
+        let (mut i, mut q) = (Vec::new(), Vec::new());
+        store.fetch_into(&gate, &mut i, &mut q).unwrap();
+        store.fetch_cached(&gate).unwrap(); // miss
+        store.fetch_cached(&gate).unwrap(); // hit: must not record
+        let mut snap = Snapshot::new();
+        store.collect_obs(&mut snap);
+        let s = store.stats();
+        assert_eq!(snap.counter("store_fetches"), Some(s.fetches));
+        assert_eq!(snap.counter("store_hot_hits"), Some(1));
+        assert_eq!(snap.counter("store_decode_ns_total"), Some(s.decode_ns));
+        assert_eq!(snap.gauge("store_gates"), Some(lib.len() as u64));
+        assert_eq!(snap.gauge("store_hot_len"), Some(1));
+        let decode = snap.histogram("store_decode_ns").expect("aggregate histogram present");
+        assert_eq!(decode.count(), 1, "one fetch_into sample");
+        let miss = snap.histogram("store_miss_decode_ns").expect("miss histogram present");
+        assert_eq!(miss.count(), 1, "one miss sample; the hit recorded nothing");
+        // codec_metrics: encode timing plus the per-variant breakdown.
+        let enc = snap.histogram("store_encode_ns").expect("encode histogram present");
+        assert_eq!(enc.count(), lib.len() as u64, "one encode sample per waveform");
+        let variant =
+            snap.histogram("store_decode_ns_int_dct_w16").expect("per-variant histogram present");
+        assert_eq!(variant.count(), 2, "fetch_into + miss; batch and hit paths excluded");
+    }
+
+    #[test]
+    fn codec_metrics_off_suppresses_variant_histograms() {
+        let store = store(); // default config: codec_metrics = false
+        let gate = store.gates().remove(0);
+        let (mut i, mut q) = (Vec::new(), Vec::new());
+        store.fetch_into(&gate, &mut i, &mut q).unwrap();
+        let mut snap = Snapshot::new();
+        store.collect_obs(&mut snap);
+        assert!(snap.histogram("store_decode_ns").is_some(), "aggregates stay on");
+        assert!(snap.histogram("store_encode_ns").is_none());
+        assert!(snap.histogram("store_decode_ns_int_dct_w16").is_none());
+    }
+
+    #[test]
+    fn trace_captures_recalibration_and_eviction() {
+        let lib = library();
+        let compressor = Compressor::new(Variant::IntDctW { ws: 16 });
+        let store = Store::from_library_with(
+            &lib,
+            &compressor,
+            StoreConfig { shards: 1, hot_capacity: 1, ..StoreConfig::default() },
+        )
+        .unwrap();
+        let ring = Arc::new(TraceRing::new(16));
+        assert!(store.attach_trace(Arc::clone(&ring)));
+        assert!(!store.attach_trace(Arc::new(TraceRing::new(16))), "first attach wins");
+
+        let gates = store.gates();
+        store.fetch_cached(&gates[0]).unwrap();
+        store.fetch_cached(&gates[1]).unwrap(); // budget 1: evicts gate 0
+        let events = ring.snapshot();
+        assert!(
+            events.iter().any(|e| e.kind == TraceKind::HotEviction && e.b == 0),
+            "eviction must be traced with the post-eviction occupancy: {events:?}"
+        );
+
+        // Re-inserting an existing gate is a recalibration publish;
+        // the initial library load above must NOT have traced any.
+        assert!(!events.iter().any(|e| e.kind == TraceKind::RecalibrationPublish));
+        let wf = lib.get(&gates[0]).unwrap();
+        let z = compressor.compress(wf).unwrap();
+        store.insert(gates[0].clone(), z).unwrap();
+        let events = ring.snapshot();
+        assert!(events.iter().any(|e| e.kind == TraceKind::RecalibrationPublish && e.a == 0));
     }
 
     #[test]

@@ -29,8 +29,10 @@ use bytes::{BufMut, BytesMut};
 use compaqt_core::engine::EngineStats;
 use compaqt_core::store::{Store, StoreError};
 use compaqt_core::CompressError;
+use compaqt_obs::{Snapshot, TraceRing};
 use compaqt_pulse::library::GateId;
 use std::fmt;
+use std::sync::Arc;
 
 /// The canonical error for source-generic fetching — every
 /// [`FetchSource`] implementation funnels its native error type
@@ -150,6 +152,23 @@ pub trait FetchSource {
     /// [`FetchError::Unservable`] for non-plain entries;
     /// [`FetchError::Crc`] for damaged payload bytes in lazy mode.
     fn put_stream(&self, gate: &GateId, out: &mut BytesMut) -> Result<(), FetchError>;
+
+    /// Contributes this source's telemetry (counters, gauges, latency
+    /// histograms) to an observability snapshot. Cold path — scrape
+    /// handlers only. The default contributes nothing, so sources
+    /// without instrumentation need no code; [`Store`] and [`Reader`]
+    /// override it with their native `collect_obs`.
+    fn collect_obs(&self, out: &mut Snapshot) {
+        let _ = out;
+    }
+
+    /// Attaches an event trace ring to the source. First attach wins:
+    /// returns `false` (ring dropped) when the source already has one
+    /// — or, the default, when the source does not support tracing.
+    fn attach_trace(&self, ring: Arc<TraceRing>) -> bool {
+        let _ = ring;
+        false
+    }
 }
 
 /// Forwarding impl: a shared handle serves exactly like the source it
@@ -177,6 +196,14 @@ impl<S: FetchSource + ?Sized> FetchSource for std::sync::Arc<S> {
     fn put_stream(&self, gate: &GateId, out: &mut BytesMut) -> Result<(), FetchError> {
         (**self).put_stream(gate, out)
     }
+
+    fn collect_obs(&self, out: &mut Snapshot) {
+        (**self).collect_obs(out)
+    }
+
+    fn attach_trace(&self, ring: Arc<TraceRing>) -> bool {
+        (**self).attach_trace(ring)
+    }
 }
 
 impl FetchSource for Store {
@@ -203,6 +230,14 @@ impl FetchSource for Store {
         // the wire encoding (unrepresentable length fields).
         self.with_stream(gate, |z| put_plain(out, z))??;
         Ok(())
+    }
+
+    fn collect_obs(&self, out: &mut Snapshot) {
+        Store::collect_obs(self, out)
+    }
+
+    fn attach_trace(&self, ring: Arc<TraceRing>) -> bool {
+        Store::attach_trace(self, ring)
     }
 }
 
@@ -232,5 +267,13 @@ impl FetchSource for Reader<'_> {
         let bytes = self.stream_bytes(gate)?;
         out.put_slice(bytes);
         Ok(())
+    }
+
+    fn collect_obs(&self, out: &mut Snapshot) {
+        Reader::collect_obs(self, out)
+    }
+
+    fn attach_trace(&self, ring: Arc<TraceRing>) -> bool {
+        Reader::attach_trace(self, ring)
     }
 }

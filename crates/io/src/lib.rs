@@ -107,7 +107,7 @@ pub use reader::{ContainerScratch, Entry, FromContainer, Reader, StreamPayload};
 pub use scenario::{run_device, run_fleet, ScenarioError, ScenarioRow, ScenarioVariant};
 pub use serve::{
     serve, serve_source, serve_with, Client, ClientConfig, Responder, ServeConfig, ServeError,
-    ServeStats, ServerHandle,
+    ServeObs, ServeStats, ServerHandle,
 };
 pub use source::{ContainerSource, ReaderOptions, ValidationMode};
 pub use wire::{ErrorCode, FrameKind, LibraryDigest, ProtocolError};

@@ -33,10 +33,13 @@ use compaqt_core::compress::{CompressedWaveform, Variant};
 use compaqt_core::engine::{DecodeScratch, DecompressionEngine, EngineStats};
 use compaqt_core::overlap::OverlapCompressed;
 use compaqt_core::store::{Store, StoreConfig};
+use compaqt_obs::{Collect, Snapshot, TraceKind, TraceRing};
 use compaqt_pulse::library::GateId;
 use compaqt_pulse::waveform::Waveform;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 /// One validated index entry (the payload stays unparsed bytes).
 #[derive(Debug)]
@@ -154,6 +157,14 @@ pub struct Reader<'src> {
     /// Both empty in [`ValidationMode::Eager`].
     crc_ok: Vec<AtomicU64>,
     crc_bad: Vec<AtomicU64>,
+    /// Wall nanoseconds [`Reader::open`] spent validating and indexing
+    /// this container — the observable cost of the open-time audit
+    /// (O(payload) eager, O(index) lazy).
+    open_ns: u64,
+    /// Optional event ring ([`Reader::attach_trace`]): lazy-mode
+    /// first-touch CRC failures are pushed to it. One atomic load on
+    /// the failure path only; clean reads never touch it.
+    trace: OnceLock<Arc<TraceRing>>,
 }
 
 impl fmt::Debug for Reader<'_> {
@@ -208,6 +219,7 @@ impl<'src> Reader<'src> {
         source: impl Into<ContainerSource<'src>>,
         options: ReaderOptions,
     ) -> Result<Reader<'src>, ContainerError> {
+        let opened = Instant::now();
         let source = source.into();
         let data: &[u8] = source.as_slice();
         let mut cur: &[u8] = data;
@@ -353,6 +365,8 @@ impl<'src> Reader<'src> {
             validation: options.validation,
             crc_ok,
             crc_bad,
+            open_ns: opened.elapsed().as_nanos() as u64,
+            trace: OnceLock::new(),
         })
     }
 
@@ -400,6 +414,44 @@ impl<'src> Reader<'src> {
                 })
                 .sum(),
         }
+    }
+
+    /// How many entries hold a **failed** payload-CRC verdict — always
+    /// 0 under [`ValidationMode::Eager`] (a damaged payload fails the
+    /// open-time sweep, so no eager reader exists to report it); under
+    /// [`ValidationMode::LazyCrc`] this counts first-touched entries
+    /// whose bytes did not hash to the recorded CRC. Monotone: verdicts
+    /// are cached, never retried.
+    pub fn crc_failed(&self) -> usize {
+        self.crc_bad.iter().map(|bad| bad.load(Ordering::Relaxed).count_ones() as usize).sum()
+    }
+
+    /// Wall nanoseconds [`Reader::open`] spent validating and indexing
+    /// this container.
+    pub fn open_ns(&self) -> u64 {
+        self.open_ns
+    }
+
+    /// Attaches a trace ring: lazy-mode first-touch CRC failures are
+    /// pushed to it from then on (`a` = entry index, `b` = expected
+    /// CRC-32). First attach wins — returns `false` if one is already
+    /// attached. Clean reads never touch the ring.
+    pub fn attach_trace(&self, ring: Arc<TraceRing>) -> bool {
+        self.trace.set(ring).is_ok()
+    }
+
+    /// Contributes this reader's telemetry to an observability
+    /// snapshot: entry/byte gauges, lazy-CRC verdict progress
+    /// (`reader_crc_checked` / `reader_crc_failed` — the former is
+    /// monotone under reads, the observable proof that verdicts are
+    /// cached) and the one-shot open cost. Cold path; also available
+    /// through the [`Collect`] trait.
+    pub fn collect_obs(&self, out: &mut Snapshot) {
+        out.push_gauge("reader_entries", self.index.len() as u64);
+        out.push_gauge("reader_total_bytes", self.source.len() as u64);
+        out.push_gauge("reader_crc_checked", self.crc_checked() as u64);
+        out.push_gauge("reader_crc_failed", self.crc_failed() as u64);
+        out.push_gauge("reader_open_ns", self.open_ns);
     }
 
     /// The library-wide DAC sample rate from the header (`None` when
@@ -559,8 +611,20 @@ impl<'src> Reader<'src> {
             Ok(bytes)
         } else {
             self.crc_bad[word].fetch_or(bit, Ordering::Relaxed);
+            // First-touch failure (a racing toucher may emit a
+            // duplicate — the verdict bits, not the trace, are the
+            // ledger). Cached-verdict replays above do not re-emit.
+            if let Some(ring) = self.trace.get() {
+                ring.push(TraceKind::CrcFail, k as u64, u64::from(self.index[k].crc));
+            }
             Err(ContainerError::CrcMismatch { gate: self.index[k].gate.clone() })
         }
+    }
+}
+
+impl Collect for Reader<'_> {
+    fn collect(&self, out: &mut Snapshot) {
+        self.collect_obs(out);
     }
 }
 

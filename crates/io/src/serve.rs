@@ -67,16 +67,17 @@ use crate::fetch::{FetchError, FetchSource};
 use crate::format::{checked_u32, put_gate, take_gate_into, take_plain_into, SlotSpares};
 use crate::wire::{
     begin_frame, encode_error, encode_fetch_gate, encode_fetch_many, encode_library_digest,
-    encode_list_gates, encode_ping, end_frame, fnv1a64, parse_digest, parse_error,
-    parse_fetch_many, parse_frame, parse_gate_list, ErrorCode, FrameKind, FrameRead, LibraryDigest,
-    ProtocolError, ReadFrameError, DEFAULT_MAX_FRAME_BYTES, FRAME_HEADER_BYTES,
-    FRAME_TRAILER_BYTES,
+    encode_list_gates, encode_metrics, encode_metrics_report, encode_ping, end_frame, fnv1a64,
+    parse_digest, parse_error, parse_fetch_many, parse_frame, parse_gate_list,
+    parse_metrics_report, ErrorCode, FrameKind, FrameRead, LibraryDigest, ProtocolError,
+    ReadFrameError, DEFAULT_MAX_FRAME_BYTES, FRAME_HEADER_BYTES, FRAME_TRAILER_BYTES,
 };
 use bytes::{Buf, BufMut, BytesMut};
 use compaqt_core::compress::{CompressedWaveform, Variant};
 use compaqt_core::engine::{DecodeScratch, DecompressionEngine, EngineStats};
 use compaqt_core::store::Store;
 use compaqt_core::CompressError;
+use compaqt_obs::{Collect, Gauge, Histogram, Snapshot, TraceKind, TraceRing};
 use compaqt_pulse::library::{GateId, GateKind};
 use std::fmt;
 use std::io::Write;
@@ -84,7 +85,7 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Sizing and safety knobs for a server.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,16 +102,28 @@ pub struct ServeConfig {
     /// Cap on accepted request payload sizes; a frame claiming more is
     /// rejected before any payload byte is buffered.
     pub max_frame_bytes: u32,
+    /// Requests slower than this (handle + response write) are pushed
+    /// to the trace ring as [`TraceKind::SlowRequest`] events. Zero
+    /// (the default) disables slow-request tracing; per-kind latency
+    /// histograms are recorded regardless.
+    pub slow_request: Duration,
+    /// Capacity of the server's trace ring (rounded up to a power of
+    /// two, minimum 2): the last N connection/rejection/slow-request
+    /// events kept for scraping, oldest dropped first.
+    pub trace_events: usize,
 }
 
 impl Default for ServeConfig {
-    /// 64 connections, 30 s read / 10 s write timeouts, 8 MiB frames.
+    /// 64 connections, 30 s read / 10 s write timeouts, 8 MiB frames,
+    /// slow-request tracing off, 256 trace events.
     fn default() -> Self {
         ServeConfig {
             max_connections: 64,
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(10),
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            slow_request: Duration::ZERO,
+            trace_events: 256,
         }
     }
 }
@@ -131,6 +144,10 @@ pub struct ServeStats {
     pub fetches_served: u64,
     /// Frames rejected as hostile or damaged ([`ProtocolError`]s).
     pub protocol_errors: u64,
+    /// Connections dropped by a read/write timeout firing (the
+    /// transport reported `TimedOut` / `WouldBlock`; other I/O failures
+    /// — resets, broken pipes — are not timeouts and are not counted).
+    pub timeouts: u64,
 }
 
 /// Shared atomic counters behind [`ServeStats`].
@@ -141,6 +158,7 @@ struct ServeCounters {
     requests: AtomicU64,
     fetches: AtomicU64,
     protocol_errors: AtomicU64,
+    timeouts: AtomicU64,
 }
 
 impl ServeCounters {
@@ -151,7 +169,113 @@ impl ServeCounters {
             requests_served: self.requests.load(Ordering::Relaxed),
             fetches_served: self.fetches.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// The serve tier's shared telemetry hub: the [`ServeStats`] counters,
+/// a live-connection gauge, one log2 latency histogram per request
+/// kind (handle + response write, recorded by the connection loop) and
+/// the trace ring carrying connection, rejection, slow-request and
+/// protocol-error events — plus whatever events the served source
+/// pushes, since [`serve_source`] attaches this ring to the source.
+///
+/// One `Arc<ServeObs>` is shared by the accept loop, every connection
+/// thread and the [`Responder`] (which renders it into
+/// [`FrameKind::Metrics`] responses). Recording is relaxed-atomic and
+/// allocation-free; reading happens only when scraped.
+#[derive(Debug)]
+pub struct ServeObs {
+    counters: ServeCounters,
+    connections: Gauge,
+    request_ns: [Histogram; REQUEST_KINDS.len()],
+    ring: Arc<TraceRing>,
+    slow_ns: u64,
+}
+
+/// Request kinds with a per-kind latency histogram, index-aligned with
+/// [`ServeObs::request_ns`] and the exposition names below.
+const REQUEST_KINDS: [FrameKind; 6] = [
+    FrameKind::Ping,
+    FrameKind::FetchGate,
+    FrameKind::FetchMany,
+    FrameKind::ListGates,
+    FrameKind::LibraryDigest,
+    FrameKind::Metrics,
+];
+
+/// Exposition names for [`REQUEST_KINDS`], same order.
+const REQUEST_HIST_NAMES: [&str; 6] = [
+    "serve_ping_ns",
+    "serve_fetch_gate_ns",
+    "serve_fetch_many_ns",
+    "serve_list_gates_ns",
+    "serve_library_digest_ns",
+    "serve_metrics_ns",
+];
+
+impl ServeObs {
+    /// A fresh hub sized by `config` (`trace_events` ring slots,
+    /// `slow_request` threshold).
+    pub fn new(config: &ServeConfig) -> Self {
+        ServeObs {
+            counters: ServeCounters::default(),
+            connections: Gauge::new(),
+            request_ns: [(); REQUEST_KINDS.len()].map(|()| Histogram::new()),
+            ring: Arc::new(TraceRing::new(config.trace_events)),
+            slow_ns: u64::try_from(config.slow_request.as_nanos()).unwrap_or(u64::MAX),
+        }
+    }
+
+    /// The trace ring (shared with the served source by
+    /// [`serve_source`]).
+    pub fn ring(&self) -> &Arc<TraceRing> {
+        &self.ring
+    }
+
+    /// Connections currently in service.
+    pub fn connections(&self) -> u64 {
+        self.connections.get()
+    }
+
+    /// Records one served request's wall time and, past the configured
+    /// threshold, a [`TraceKind::SlowRequest`] event (`a` = the request
+    /// kind's wire tag, `b` = elapsed ns). The serve loop calls this
+    /// per request; custom transport loops feeding the same hub call it
+    /// themselves. Relaxed-atomic, allocation-free.
+    pub fn record_request(&self, kind: FrameKind, elapsed_ns: u64) {
+        if let Some(k) = REQUEST_KINDS.iter().position(|&r| r == kind) {
+            self.request_ns[k].record(elapsed_ns);
+        }
+        if self.slow_ns > 0 && elapsed_ns >= self.slow_ns {
+            self.ring.push(TraceKind::SlowRequest, u64::from(kind.tag()), elapsed_ns);
+        }
+    }
+
+    /// Contributes the serve tier's counters, connection gauge,
+    /// per-kind latency histograms and ring events to a snapshot. Cold
+    /// path; also available through the [`Collect`] trait.
+    pub fn collect_obs(&self, out: &mut Snapshot) {
+        let s = self.counters.snapshot();
+        out.push_counter("serve_connections_accepted", s.connections_accepted);
+        out.push_counter("serve_busy_rejections", s.connections_rejected_busy);
+        out.push_counter("serve_requests", s.requests_served);
+        out.push_counter("serve_fetches", s.fetches_served);
+        out.push_counter("serve_protocol_errors", s.protocol_errors);
+        out.push_counter("serve_timeouts", s.timeouts);
+        out.push_gauge("serve_connections", self.connections.get());
+        for (name, hist) in REQUEST_HIST_NAMES.iter().zip(&self.request_ns) {
+            out.push_histogram(*name, hist.snapshot());
+        }
+        self.ring.snapshot_into(&mut out.events);
+        out.dropped_events = self.ring.dropped();
+    }
+}
+
+impl Collect for ServeObs {
+    fn collect(&self, out: &mut Snapshot) {
+        self.collect_obs(out);
     }
 }
 
@@ -246,6 +370,9 @@ pub struct Responder {
     /// Streams encoded into responses so far (per-gate granularity).
     fetches: u64,
     max_frame_bytes: u32,
+    /// Serve-tier telemetry rendered into `Metrics` responses; absent
+    /// for standalone responders, whose reports carry source-only data.
+    obs: Option<Arc<ServeObs>>,
 }
 
 impl Responder {
@@ -258,7 +385,17 @@ impl Responder {
             digest_buf: BytesMut::new(),
             fetches: 0,
             max_frame_bytes: config.max_frame_bytes,
+            obs: None,
         }
+    }
+
+    /// Includes a serve tier's telemetry (counters, connection gauge,
+    /// request histograms, trace events) in this responder's `Metrics`
+    /// reports, alongside whatever the source contributes. The serve
+    /// loop attaches its shared [`ServeObs`]; a standalone responder
+    /// reports source telemetry only.
+    pub fn attach_obs(&mut self, obs: Arc<ServeObs>) {
+        self.obs = Some(obs);
     }
 
     /// Waveform streams encoded into responses so far — one per
@@ -431,6 +568,26 @@ impl Responder {
                 }
                 Ok(&*out)
             }
+            FrameKind::Metrics => {
+                if !payload.is_empty() {
+                    return Err(ProtocolError::Malformed("metrics request carries a payload"));
+                }
+                // Cold scrape path: building and encoding the snapshot
+                // allocates freely; nothing here runs per fetch.
+                let mut snap = Snapshot::new();
+                source.collect_obs(&mut snap);
+                if let Some(obs) = &self.obs {
+                    obs.collect_obs(&mut snap);
+                }
+                let Responder { out, .. } = self;
+                match encode_metrics_report(out, &snap) {
+                    Ok(()) => Ok(&*out),
+                    Err(_) => {
+                        encode_error(out, ErrorCode::Internal, "snapshot exceeds the wire format");
+                        Ok(&*out)
+                    }
+                }
+            }
             // A response kind arriving as a request is a confused or
             // hostile peer; the framing can't be trusted.
             _ => Err(ProtocolError::UnexpectedKind(kind.tag())),
@@ -477,7 +634,7 @@ fn encode_fetch_failure(out: &mut BytesMut, e: &FetchError, unknown_detail: &str
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    counters: Arc<ServeCounters>,
+    obs: Arc<ServeObs>,
     accept: Option<JoinHandle<()>>,
 }
 
@@ -490,7 +647,14 @@ impl ServerHandle {
 
     /// A snapshot of the server's counters.
     pub fn stats(&self) -> ServeStats {
-        self.counters.snapshot()
+        self.obs.counters.snapshot()
+    }
+
+    /// The server's telemetry hub — the same [`ServeObs`] its
+    /// connection threads record into and its `Metrics` responses
+    /// render, for in-process inspection without a wire round trip.
+    pub fn obs(&self) -> &Arc<ServeObs> {
+        &self.obs
     }
 
     /// Stops accepting connections and joins the accept thread.
@@ -581,15 +745,20 @@ pub fn serve_source<S: FetchSource + Send + Sync + 'static>(
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
-    let counters = Arc::new(ServeCounters::default());
+    let obs = Arc::new(ServeObs::new(&config));
+    // Share one ring across tiers: source events (evictions, CRC
+    // failures, recalibration publishes) land next to connection events
+    // in the same scrape. First attach wins, so a source already traced
+    // elsewhere keeps its ring.
+    let _ = source.attach_trace(Arc::clone(&obs.ring));
     let accept = {
         let shutdown = Arc::clone(&shutdown);
-        let counters = Arc::clone(&counters);
+        let obs = Arc::clone(&obs);
         std::thread::Builder::new()
             .name("compaqt-serve-accept".into())
-            .spawn(move || accept_loop(listener, source, config, shutdown, counters))?
+            .spawn(move || accept_loop(listener, source, config, shutdown, obs))?
     };
-    Ok(ServerHandle { addr, shutdown, counters, accept: Some(accept) })
+    Ok(ServerHandle { addr, shutdown, obs, accept: Some(accept) })
 }
 
 /// Decrements the live-connection count when a connection thread ends,
@@ -607,7 +776,7 @@ fn accept_loop<S: FetchSource + Send + Sync + 'static>(
     source: Arc<S>,
     config: ServeConfig,
     shutdown: Arc<AtomicBool>,
-    counters: Arc<ServeCounters>,
+    obs: Arc<ServeObs>,
 ) {
     let active = Arc::new(AtomicUsize::new(0));
     for conn in listener.incoming() {
@@ -617,19 +786,20 @@ fn accept_loop<S: FetchSource + Send + Sync + 'static>(
         let Ok(stream) = conn else { continue };
         if active.fetch_add(1, Ordering::AcqRel) >= config.max_connections {
             active.fetch_sub(1, Ordering::AcqRel);
-            counters.busy_rejected.fetch_add(1, Ordering::Relaxed);
+            obs.counters.busy_rejected.fetch_add(1, Ordering::Relaxed);
+            obs.ring.push(TraceKind::BusyRejected, config.max_connections as u64, 0);
             reject_busy(stream, &config);
             continue;
         }
-        counters.accepted.fetch_add(1, Ordering::Relaxed);
+        obs.counters.accepted.fetch_add(1, Ordering::Relaxed);
         let guard = ConnGuard(Arc::clone(&active));
         let source = Arc::clone(&source);
         let shutdown = Arc::clone(&shutdown);
-        let counters = Arc::clone(&counters);
+        let obs = Arc::clone(&obs);
         let spawned =
             std::thread::Builder::new().name("compaqt-serve-conn".into()).spawn(move || {
                 let _guard = guard;
-                serve_conn(stream, &*source, &config, &shutdown, &counters);
+                serve_conn(stream, &*source, &config, &shutdown, &obs);
             });
         // Spawn failure (thread exhaustion) just drops the connection;
         // the guard moved into the closure only on success, so drop it
@@ -664,24 +834,33 @@ fn serve_conn<S: FetchSource + ?Sized>(
     source: &S,
     config: &ServeConfig,
     shutdown: &AtomicBool,
-    counters: &ServeCounters,
+    obs: &Arc<ServeObs>,
 ) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(timeout(config.read_timeout));
     let _ = stream.set_write_timeout(timeout(config.write_timeout));
     let mut read_buf = Vec::new();
     let mut responder = Responder::new(config);
+    responder.attach_obs(Arc::clone(obs));
     let mut fetches_reported = 0u64;
+    let counters = &obs.counters;
+    obs.connections.add(1);
+    obs.ring.push(TraceKind::ConnOpen, obs.connections.get(), 0);
     while !shutdown.load(Ordering::Acquire) {
         match crate::wire::read_frame(&mut stream, &mut read_buf, config.max_frame_bytes) {
             Ok(FrameRead::Eof) => break,
             Ok(FrameRead::Frame(kind)) => {
                 let payload = &read_buf[FRAME_HEADER_BYTES..read_buf.len() - FRAME_TRAILER_BYTES];
+                // The histogram covers handling plus the response
+                // write — what the peer actually waits for after its
+                // request frame lands.
+                let started = Instant::now();
                 match responder.handle(source, kind, payload) {
                     Ok(frame) => {
                         if stream.write_all(frame).is_err() {
                             break;
                         }
+                        obs.record_request(kind, started.elapsed().as_nanos() as u64);
                         counters.requests.fetch_add(1, Ordering::Relaxed);
                         let fetched = responder.fetches_encoded();
                         counters.fetches.fetch_add(fetched - fetches_reported, Ordering::Relaxed);
@@ -691,6 +870,7 @@ fn serve_conn<S: FetchSource + ?Sized>(
                         // Well-framed but untrustworthy payload: report
                         // the typed rejection best-effort and close.
                         counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        obs.ring.push(TraceKind::ProtocolError, u64::from(kind.tag()), 0);
                         let detail = e.to_string();
                         let _ =
                             stream.write_all(responder.error_frame(ErrorCode::Malformed, &detail));
@@ -701,14 +881,26 @@ fn serve_conn<S: FetchSource + ?Sized>(
             Err(ReadFrameError::Protocol(e)) => {
                 // Hostile or damaged framing: same report-and-close.
                 counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                obs.ring.push(TraceKind::ProtocolError, 0, 0);
                 let detail = e.to_string();
                 let _ = stream.write_all(responder.error_frame(ErrorCode::Malformed, &detail));
                 break;
             }
-            // Timeouts, resets: nothing to say to the peer.
-            Err(ReadFrameError::Io(_)) => break,
+            Err(ReadFrameError::Io(e)) => {
+                // Nothing to say to the peer either way, but a fired
+                // deadline (idle client) is ledgered apart from resets
+                // and broken pipes. Unix spells a fired SO_RCVTIMEO
+                // `WouldBlock`; Windows spells it `TimedOut`.
+                if matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+                {
+                    counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                }
+                break;
+            }
         }
     }
+    obs.connections.sub(1);
+    obs.ring.push(TraceKind::ConnClose, obs.connections.get(), 0);
     let _ = stream.shutdown(Shutdown::Both);
 }
 
@@ -955,6 +1147,21 @@ impl Client {
         encode_library_digest(&mut self.out);
         self.roundtrip(FrameKind::Digest)?;
         Ok(parse_digest(self.payload())?)
+    }
+
+    /// Scrapes the server's telemetry: source counters, gauges and
+    /// latency histograms, the serve tier's own ledger, and the last N
+    /// trace events. Render the result with
+    /// [`render_text`](compaqt_obs::render_text) for a Prometheus-style
+    /// exposition.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol or server-reported failures.
+    pub fn metrics(&mut self) -> Result<Snapshot, ServeError> {
+        encode_metrics(&mut self.out);
+        self.roundtrip(FrameKind::MetricsReport)?;
+        Ok(parse_metrics_report(self.payload())?)
     }
 
     /// The shared engine for `variant`, built on first sight.

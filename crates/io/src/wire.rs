@@ -33,7 +33,22 @@
 //! | [`FrameKind::FetchMany`] | `count:u32` gate ids | [`FrameKind::GateBatch`] | `count:u32` streams, request order |
 //! | [`FrameKind::ListGates`] | empty | [`FrameKind::GateList`] | `count:u32` gate ids, sorted |
 //! | [`FrameKind::LibraryDigest`] | empty | [`FrameKind::Digest`] | [`LibraryDigest`] |
+//! | [`FrameKind::Metrics`] | empty | [`FrameKind::MetricsReport`] | an encoded [`Snapshot`] |
 //! | *(any)* | | [`FrameKind::Error`] | `code:u8 len:u16 detail:utf8` |
+//!
+//! The metrics report payload (all little endian):
+//!
+//! ```text
+//! report    := n_samples:u32 sample* n_events:u32 event* dropped:u64
+//! sample    := name_len:u16 name:utf8 tag:u8 value
+//! value     := counter/gauge (tag 1/2): v:u64
+//!            | histogram (tag 3): nonzero:u8 (bucket:u8 count:u64)*
+//! event     := kind:u8 a:u64 b:u64 t_ns:u64
+//! ```
+//!
+//! Histograms ship sparse (only non-empty log2 buckets, strictly
+//! ascending — a canonical encoding, so equal snapshots encode to
+//! identical bytes) and events carry the [`TraceKind`] tag byte.
 //!
 //! Gate ids and plain streams reuse the container codec, so the
 //! parsing rules (bounds checks, covered-by-input counts, canonical
@@ -43,6 +58,7 @@ use crate::crc32::crc32;
 use crate::format::{need, put_gate, take_gate, take_gate_into};
 use crate::ContainerError;
 use bytes::{Buf, BufMut, BytesMut};
+use compaqt_obs::{HistogramSnapshot, Sample, Snapshot, TraceEvent, TraceKind, Value, BUCKETS};
 use compaqt_pulse::library::GateId;
 use std::fmt;
 use std::io::Read;
@@ -78,6 +94,8 @@ pub enum FrameKind {
     ListGates,
     /// Summarize the served library (count, bytes, fingerprint).
     LibraryDigest,
+    /// Scrape the server's telemetry snapshot.
+    Metrics,
     /// Response to [`FrameKind::Ping`]: the echoed nonce.
     Pong,
     /// Response to [`FrameKind::FetchGate`]: one plain stream.
@@ -88,6 +106,8 @@ pub enum FrameKind {
     GateList,
     /// Response to [`FrameKind::LibraryDigest`]: a [`LibraryDigest`].
     Digest,
+    /// Response to [`FrameKind::Metrics`]: an encoded [`Snapshot`].
+    MetricsReport,
     /// Typed failure response; payload is `code:u8 len:u16 detail`.
     Error,
 }
@@ -101,11 +121,13 @@ impl FrameKind {
             FrameKind::FetchMany => 0x0003,
             FrameKind::ListGates => 0x0004,
             FrameKind::LibraryDigest => 0x0005,
+            FrameKind::Metrics => 0x0006,
             FrameKind::Pong => 0x8001,
             FrameKind::Gate => 0x8002,
             FrameKind::GateBatch => 0x8003,
             FrameKind::GateList => 0x8004,
             FrameKind::Digest => 0x8005,
+            FrameKind::MetricsReport => 0x8006,
             FrameKind::Error => 0x80FF,
         }
     }
@@ -118,11 +140,13 @@ impl FrameKind {
             0x0003 => Some(FrameKind::FetchMany),
             0x0004 => Some(FrameKind::ListGates),
             0x0005 => Some(FrameKind::LibraryDigest),
+            0x0006 => Some(FrameKind::Metrics),
             0x8001 => Some(FrameKind::Pong),
             0x8002 => Some(FrameKind::Gate),
             0x8003 => Some(FrameKind::GateBatch),
             0x8004 => Some(FrameKind::GateList),
             0x8005 => Some(FrameKind::Digest),
+            0x8006 => Some(FrameKind::MetricsReport),
             0x80FF => Some(FrameKind::Error),
             _ => None,
         }
@@ -499,6 +523,12 @@ pub fn encode_library_digest(out: &mut BytesMut) {
     end_frame(out);
 }
 
+/// Encodes a complete [`FrameKind::Metrics`] frame (empty payload).
+pub fn encode_metrics(out: &mut BytesMut) {
+    begin_frame(out, FrameKind::Metrics);
+    end_frame(out);
+}
+
 // ---------------------------------------------------------- responses
 
 /// Encodes a complete [`FrameKind::Error`] frame. Detail strings
@@ -513,6 +543,154 @@ pub fn encode_error(out: &mut BytesMut, code: ErrorCode, detail: &str) {
     out.put_u16_le(cut as u16);
     out.put_slice(&detail.as_bytes()[..cut]);
     end_frame(out);
+}
+
+/// Encodes a complete [`FrameKind::MetricsReport`] frame carrying a
+/// telemetry [`Snapshot`] in the sparse layout of the [module
+/// docs](self). The encoding is canonical — equal snapshots produce
+/// identical bytes — which is what lets tests bit-check a scraped
+/// report against a locally rendered one.
+///
+/// # Errors
+///
+/// [`ContainerError::Unrepresentable`] if a metric name exceeds
+/// `u16::MAX` bytes or a count exceeds `u32::MAX`.
+pub fn encode_metrics_report(out: &mut BytesMut, snap: &Snapshot) -> Result<(), ContainerError> {
+    begin_frame(out, FrameKind::MetricsReport);
+    out.put_u32_le(crate::format::checked_u32(
+        snap.samples.len(),
+        "more than 2^32 metric samples in one report",
+    )?);
+    for sample in &snap.samples {
+        let name = sample.name.as_bytes();
+        if name.len() > usize::from(u16::MAX) {
+            return Err(ContainerError::Unrepresentable("metric name exceeds u16::MAX bytes"));
+        }
+        out.put_u16_le(name.len() as u16);
+        out.put_slice(name);
+        match &sample.value {
+            Value::Counter(v) => {
+                out.put_u8(1);
+                out.put_u64_le(*v);
+            }
+            Value::Gauge(v) => {
+                out.put_u8(2);
+                out.put_u64_le(*v);
+            }
+            Value::Histogram(h) => {
+                out.put_u8(3);
+                // At most BUCKETS (= 64) non-empty buckets: fits u8.
+                let nonzero = h.buckets.iter().filter(|&&c| c != 0).count() as u8;
+                out.put_u8(nonzero);
+                for (b, &count) in h.buckets.iter().enumerate() {
+                    if count != 0 {
+                        out.put_u8(b as u8);
+                        out.put_u64_le(count);
+                    }
+                }
+            }
+        }
+    }
+    out.put_u32_le(crate::format::checked_u32(
+        snap.events.len(),
+        "more than 2^32 trace events in one report",
+    )?);
+    for e in &snap.events {
+        out.put_u8(e.kind.tag());
+        out.put_u64_le(e.a);
+        out.put_u64_le(e.b);
+        out.put_u64_le(e.t_ns);
+    }
+    out.put_u64_le(snap.dropped_events);
+    end_frame(out);
+    Ok(())
+}
+
+/// Parses a [`FrameKind::MetricsReport`] payload back into a
+/// [`Snapshot`]. Total: every count is covered by input before it
+/// sizes an allocation, bucket indexes must be in range and strictly
+/// ascending (the canonical encoding), and unknown sample/event tags
+/// are typed errors.
+///
+/// # Errors
+///
+/// [`ProtocolError::Malformed`] / [`ProtocolError::Truncated`] /
+/// [`ProtocolError::TrailingBytes`] naming the first violation.
+pub fn parse_metrics_report(mut payload: &[u8]) -> Result<Snapshot, ProtocolError> {
+    let mut snap = Snapshot::new();
+    need(&payload, 4).map_err(|_| ProtocolError::Malformed("report shorter than sample count"))?;
+    let n_samples = payload.get_u32_le() as usize;
+    // Minimum sample is 4 bytes (empty name, empty histogram): the
+    // count is covered by input before anything is reserved.
+    need(&payload, n_samples.checked_mul(4).ok_or(ProtocolError::Truncated)?)
+        .map_err(|_| ProtocolError::Truncated)?;
+    snap.samples.reserve(n_samples);
+    for _ in 0..n_samples {
+        need(&payload, 2).map_err(|_| ProtocolError::Truncated)?;
+        let name_len = usize::from(payload.get_u16_le());
+        need(&payload, name_len + 1).map_err(|_| ProtocolError::Truncated)?;
+        let name = std::str::from_utf8(&payload[..name_len])
+            .map_err(|_| ProtocolError::Malformed("metric name is not UTF-8"))?
+            .to_string();
+        payload.advance(name_len);
+        let value = match payload.get_u8() {
+            1 => {
+                need(&payload, 8).map_err(|_| ProtocolError::Truncated)?;
+                Value::Counter(payload.get_u64_le())
+            }
+            2 => {
+                need(&payload, 8).map_err(|_| ProtocolError::Truncated)?;
+                Value::Gauge(payload.get_u64_le())
+            }
+            3 => {
+                need(&payload, 1).map_err(|_| ProtocolError::Truncated)?;
+                let nonzero = usize::from(payload.get_u8());
+                need(&payload, nonzero.checked_mul(9).ok_or(ProtocolError::Truncated)?)
+                    .map_err(|_| ProtocolError::Truncated)?;
+                let mut h = HistogramSnapshot::empty();
+                let mut prev: Option<usize> = None;
+                for _ in 0..nonzero {
+                    let b = usize::from(payload.get_u8());
+                    if b >= BUCKETS {
+                        return Err(ProtocolError::Malformed("histogram bucket out of range"));
+                    }
+                    if prev.is_some_and(|p| p >= b) {
+                        return Err(ProtocolError::Malformed(
+                            "histogram buckets are not strictly ascending",
+                        ));
+                    }
+                    prev = Some(b);
+                    let count = payload.get_u64_le();
+                    if count == 0 {
+                        return Err(ProtocolError::Malformed("histogram encodes an empty bucket"));
+                    }
+                    h.buckets[b] = count;
+                }
+                Value::Histogram(h)
+            }
+            _ => return Err(ProtocolError::Malformed("unknown metric sample tag")),
+        };
+        snap.samples.push(Sample { name, value });
+    }
+    need(&payload, 4).map_err(|_| ProtocolError::Malformed("report shorter than event count"))?;
+    let n_events = payload.get_u32_le() as usize;
+    need(&payload, n_events.checked_mul(25).ok_or(ProtocolError::Truncated)?)
+        .map_err(|_| ProtocolError::Truncated)?;
+    snap.events.reserve(n_events);
+    for _ in 0..n_events {
+        let kind = TraceKind::from_tag(payload.get_u8())
+            .ok_or(ProtocolError::Malformed("unknown trace event tag"))?;
+        let a = payload.get_u64_le();
+        let b = payload.get_u64_le();
+        let t_ns = payload.get_u64_le();
+        snap.events.push(TraceEvent { kind, a, b, t_ns });
+    }
+    need(&payload, 8).map_err(|_| ProtocolError::Malformed("report missing dropped count"))?;
+    snap.dropped_events = payload.get_u64_le();
+    if !payload.is_empty() {
+        return Err(ProtocolError::TrailingBytes);
+    }
+    Ok(snap)
 }
 
 /// Parses a [`FrameKind::Pong`] payload into its nonce.
@@ -656,11 +834,13 @@ mod tests {
             FrameKind::FetchMany,
             FrameKind::ListGates,
             FrameKind::LibraryDigest,
+            FrameKind::Metrics,
             FrameKind::Pong,
             FrameKind::Gate,
             FrameKind::GateBatch,
             FrameKind::GateList,
             FrameKind::Digest,
+            FrameKind::MetricsReport,
             FrameKind::Error,
         ] {
             assert_eq!(FrameKind::from_tag(kind.tag()), Some(kind));
@@ -762,6 +942,87 @@ mod tests {
             assert_eq!(ErrorCode::from_tag(code.tag()), Some(code));
         }
         assert_eq!(ErrorCode::from_tag(0), None);
+    }
+
+    #[test]
+    fn metrics_report_round_trips_and_is_canonical() {
+        let mut snap = Snapshot::new();
+        snap.push_counter("requests", 41);
+        snap.push_gauge("connections", 3);
+        let hist = compaqt_obs::Histogram::new();
+        for v in [0, 1, 90, 90, 4000] {
+            hist.record(v);
+        }
+        snap.push_histogram("lat_ns", hist.snapshot());
+        snap.events.push(TraceEvent { kind: TraceKind::SlowRequest, a: 2, b: 9000, t_ns: 77 });
+        snap.dropped_events = 5;
+
+        let mut out = BytesMut::new();
+        encode_metrics_report(&mut out, &snap).unwrap();
+        let (kind, payload) = parse_frame(&out, DEFAULT_MAX_FRAME_BYTES).unwrap();
+        assert_eq!(kind, FrameKind::MetricsReport);
+        let back = parse_metrics_report(payload).unwrap();
+        assert_eq!(back.samples, snap.samples);
+        assert_eq!(back.events, snap.events);
+        assert_eq!(back.dropped_events, 5);
+
+        // Canonical: re-encoding the parsed snapshot is bit-identical.
+        let mut again = BytesMut::new();
+        encode_metrics_report(&mut again, &back).unwrap();
+        assert_eq!(&out[..], &again[..]);
+
+        // The empty request frame pairs with it.
+        encode_metrics(&mut out);
+        assert_eq!(parse_frame(&out, 64).unwrap(), (FrameKind::Metrics, &[][..]));
+    }
+
+    #[test]
+    fn hostile_metrics_reports_are_typed_errors() {
+        // An empty snapshot still carries its three section footers.
+        let mut out = BytesMut::new();
+        encode_metrics_report(&mut out, &Snapshot::new()).unwrap();
+        let (_, payload) = parse_frame(&out, 1024).unwrap();
+        assert_eq!(parse_metrics_report(payload).unwrap(), Snapshot::new());
+
+        // Lying sample count: covered-by-input before allocation.
+        let mut lying = Snapshot::new();
+        let mut raw = BytesMut::new();
+        encode_metrics_report(&mut raw, &lying).unwrap();
+        let mut bytes = raw[FRAME_HEADER_BYTES..raw.len() - FRAME_TRAILER_BYTES].to_vec();
+        bytes[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(parse_metrics_report(&bytes), Err(ProtocolError::Truncated));
+
+        // Out-of-range bucket index.
+        lying.push_histogram("h", HistogramSnapshot::empty());
+        let mut raw = BytesMut::new();
+        encode_metrics_report(&mut raw, &lying).unwrap();
+        let mut bytes = raw[FRAME_HEADER_BYTES..raw.len() - FRAME_TRAILER_BYTES].to_vec();
+        // sample: count(4) name_len(2) "h"(1) tag(1) -> nonzero at 8
+        bytes[8] = 1;
+        bytes.splice(9..9, [200u8, 1, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(
+            parse_metrics_report(&bytes),
+            Err(ProtocolError::Malformed("histogram bucket out of range"))
+        );
+
+        // Unknown trace tag.
+        let mut evs = Snapshot::new();
+        evs.events.push(TraceEvent { kind: TraceKind::ConnOpen, a: 0, b: 0, t_ns: 0 });
+        let mut raw = BytesMut::new();
+        encode_metrics_report(&mut raw, &evs).unwrap();
+        let mut bytes = raw[FRAME_HEADER_BYTES..raw.len() - FRAME_TRAILER_BYTES].to_vec();
+        bytes[8] = 0xEE; // the event's kind byte (after two u32 counts)
+        assert_eq!(
+            parse_metrics_report(&bytes),
+            Err(ProtocolError::Malformed("unknown trace event tag"))
+        );
+
+        // Trailing bytes after the dropped count.
+        let mut raw = BytesMut::new();
+        encode_metrics_report(&mut raw, &Snapshot::new()).unwrap();
+        let mut bytes = raw[FRAME_HEADER_BYTES..raw.len() - FRAME_TRAILER_BYTES].to_vec();
+        bytes.push(0);
+        assert_eq!(parse_metrics_report(&bytes), Err(ProtocolError::TrailingBytes));
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Zero-overhead telemetry for the COMPAQT serving stack.
+//!
+//! Production control hardware treats per-request latency distributions
+//! and structured event logs as first-class — an operator must be able
+//! to answer "what is p99 fetch latency", "how far has lazy-CRC
+//! validation progressed", "why did this request take 2 ms" without
+//! attaching a debugger. This crate supplies that layer under the
+//! repo's standing constraints: the hot paths it instruments are
+//! **lock-free and zero-allocation**, so every hot-path primitive here
+//! is a relaxed atomic operation on preallocated storage.
+//!
+//! Three pieces:
+//!
+//! - [`metrics`] — named atomic [`Counter`]s, [`Gauge`]s and
+//!   log2-bucketed latency [`Histogram`]s (`[AtomicU64; 64]` fixed
+//!   buckets; `record()` is a single relaxed `fetch_add`; p50/p90/p99
+//!   and max are estimated from bucket midpoints on snapshots, which
+//!   are plain arrays and merge bucket-wise).
+//! - [`ring`] — a bounded lock-free [`TraceRing`] of typed
+//!   [`TraceEvent`]s (connection open/close, slow request, Busy
+//!   rejection, protocol error, lazy-CRC first-touch failure, hot-set
+//!   eviction, recalibration publish) with monotonic timestamps,
+//!   seqlock-style slot stamping and drop-oldest semantics.
+//! - [`registry`] — an instantiable [`Registry`] tying metrics,
+//!   [`Collect`]ors and a trace ring into mergeable [`Snapshot`]s, plus
+//!   Prometheus-style text exposition ([`render_text`], cold path,
+//!   allocation allowed).
+//!
+//! Metrics are either `Arc`-shared through a registry or declared as
+//! const-initialized statics with [`static_metrics!`], so a hot-path
+//! `record()`/`incr()` never allocates and never takes a lock.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod metrics;
+pub mod registry;
+pub mod ring;
+
+pub use metrics::{bucket_bounds, Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS};
+pub use registry::{render_text, Collect, Registry, Sample, Snapshot, Value};
+pub use ring::{now_ns, TraceEvent, TraceKind, TraceRing};
+
+/// Declares const-initialized static metrics, so hot-path recording is
+/// a single relaxed atomic add on a process-lifetime cell — no lazy
+/// initialization, no lock, no allocation.
+///
+/// ```
+/// use compaqt_obs::{static_metrics, Registry};
+///
+/// static_metrics! {
+///     /// Total widgets frobbed.
+///     static WIDGETS: Counter;
+///     /// Frob latency in nanoseconds.
+///     static FROB_NS: Histogram;
+/// }
+///
+/// WIDGETS.incr();
+/// FROB_NS.record(1280);
+///
+/// let registry = Registry::new();
+/// registry.register_static_counter("widgets", &WIDGETS);
+/// registry.register_static_histogram("frob_ns", &FROB_NS);
+/// assert_eq!(registry.snapshot().counter("widgets"), Some(1));
+/// ```
+#[macro_export]
+macro_rules! static_metrics {
+    ($($(#[$meta:meta])* $vis:vis static $name:ident : $kind:ident;)+) => {
+        $($(#[$meta])* $vis static $name: $crate::$kind = $crate::$kind::new();)+
+    };
+}

@@ -1,0 +1,410 @@
+//! The registry: named metrics, pluggable collectors and one trace
+//! ring, snapshotted together and rendered as Prometheus-style text.
+//!
+//! A [`Registry`] is **instantiable**, not process-global: a serve
+//! daemon, a store under test and a bench harness each own their own,
+//! so parallel tests can assert exact ledgers without cross-talk.
+//! Registration is the cold path (allocates, takes a mutex); recording
+//! happens on the metric handles themselves and never touches the
+//! registry. Process-lifetime statics declared with
+//! [`static_metrics!`](crate::static_metrics) join a registry by
+//! reference.
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use crate::ring::{TraceEvent, TraceRing};
+use std::fmt::Write as _;
+use std::ops::Deref;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A handle to a registered metric: shared (`Arc`) or a
+/// process-lifetime static.
+#[derive(Debug)]
+enum Handle<T: 'static> {
+    Shared(Arc<T>),
+    Static(&'static T),
+}
+
+impl<T> Clone for Handle<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Handle::Shared(m) => Handle::Shared(Arc::clone(m)),
+            Handle::Static(m) => Handle::Static(m),
+        }
+    }
+}
+
+impl<T> Deref for Handle<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        match self {
+            Handle::Shared(m) => m,
+            Handle::Static(m) => m,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Handle<Counter>),
+    Gauge(Handle<Gauge>),
+    Histogram(Handle<Histogram>),
+}
+
+/// Anything that contributes samples (and possibly events) to a
+/// snapshot beyond the registry's own named metrics — a store walking
+/// its shard counters, a reader reporting validation progress.
+pub trait Collect: Send + Sync {
+    /// Appends this collector's current samples/events to `out`.
+    fn collect(&self, out: &mut Snapshot);
+}
+
+/// One named sample in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The metric name (snake_case; sanitized at render time).
+    pub name: String,
+    /// The sampled value.
+    pub value: Value,
+}
+
+/// A sampled metric value.
+///
+/// The histogram variant inlines its full 512-byte bucket array:
+/// samples exist only on the cold scrape path, where one contiguous
+/// `Vec<Sample>` beats a pointer chase per histogram.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A monotone count.
+    Counter(u64),
+    /// A point-in-time level.
+    Gauge(u64),
+    /// A full bucket distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// A point-in-time view of everything a registry (or collector set)
+/// knows: named samples plus the trace ring's published events. Plain
+/// data — cheap to merge, serialize and render.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Named samples, in registration/collection order.
+    pub samples: Vec<Sample>,
+    /// Published trace events, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Events the ring abandoned under write contention.
+    pub dropped_events: u64,
+}
+
+impl Snapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Snapshot::default()
+    }
+
+    /// Appends a counter sample.
+    pub fn push_counter(&mut self, name: impl Into<String>, value: u64) {
+        self.samples.push(Sample { name: name.into(), value: Value::Counter(value) });
+    }
+
+    /// Appends a gauge sample.
+    pub fn push_gauge(&mut self, name: impl Into<String>, value: u64) {
+        self.samples.push(Sample { name: name.into(), value: Value::Gauge(value) });
+    }
+
+    /// Appends a histogram sample.
+    pub fn push_histogram(&mut self, name: impl Into<String>, value: HistogramSnapshot) {
+        self.samples.push(Sample { name: name.into(), value: Value::Histogram(value) });
+    }
+
+    /// The first sample with this name, if any.
+    pub fn find(&self, name: &str) -> Option<&Value> {
+        self.samples.iter().find(|s| s.name == name).map(|s| &s.value)
+    }
+
+    /// The value of the named counter, if present as one.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.find(name) {
+            Some(Value::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value of the named gauge, if present as one.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        match self.find(name) {
+            Some(Value::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The named histogram, if present as one.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.find(name) {
+            Some(Value::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+/// The instantiable metrics registry. See the [module docs](self).
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<Vec<(String, Metric)>>,
+    collectors: Mutex<Vec<Arc<dyn Collect>>>,
+    ring: OnceLock<Arc<TraceRing>>,
+}
+
+impl std::fmt::Debug for dyn Collect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("dyn Collect")
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Returns the named counter, creating and registering it on first
+    /// use. Reusing a name with a different metric kind panics — one
+    /// name, one meaning.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut metrics = self.metrics.lock().unwrap();
+        if let Some((_, m)) = metrics.iter().find(|(n, _)| n == name) {
+            match m {
+                Metric::Counter(Handle::Shared(c)) => return Arc::clone(c),
+                _ => panic!("metric {name:?} already registered with a different kind"),
+            }
+        }
+        let c = Arc::new(Counter::new());
+        metrics.push((name.to_string(), Metric::Counter(Handle::Shared(Arc::clone(&c)))));
+        c
+    }
+
+    /// Returns the named gauge, creating and registering it on first
+    /// use. Same reuse rule as [`Registry::counter`].
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut metrics = self.metrics.lock().unwrap();
+        if let Some((_, m)) = metrics.iter().find(|(n, _)| n == name) {
+            match m {
+                Metric::Gauge(Handle::Shared(g)) => return Arc::clone(g),
+                _ => panic!("metric {name:?} already registered with a different kind"),
+            }
+        }
+        let g = Arc::new(Gauge::new());
+        metrics.push((name.to_string(), Metric::Gauge(Handle::Shared(Arc::clone(&g)))));
+        g
+    }
+
+    /// Returns the named histogram, creating and registering it on
+    /// first use. Same reuse rule as [`Registry::counter`].
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut metrics = self.metrics.lock().unwrap();
+        if let Some((_, m)) = metrics.iter().find(|(n, _)| n == name) {
+            match m {
+                Metric::Histogram(Handle::Shared(h)) => return Arc::clone(h),
+                _ => panic!("metric {name:?} already registered with a different kind"),
+            }
+        }
+        let h = Arc::new(Histogram::new());
+        metrics.push((name.to_string(), Metric::Histogram(Handle::Shared(Arc::clone(&h)))));
+        h
+    }
+
+    /// Registers a [`static_metrics!`](crate::static_metrics)-declared
+    /// counter under `name`.
+    pub fn register_static_counter(&self, name: &str, counter: &'static Counter) {
+        self.metrics
+            .lock()
+            .unwrap()
+            .push((name.to_string(), Metric::Counter(Handle::Static(counter))));
+    }
+
+    /// Registers a static gauge under `name`.
+    pub fn register_static_gauge(&self, name: &str, gauge: &'static Gauge) {
+        self.metrics.lock().unwrap().push((name.to_string(), Metric::Gauge(Handle::Static(gauge))));
+    }
+
+    /// Registers a static histogram under `name`.
+    pub fn register_static_histogram(&self, name: &str, histogram: &'static Histogram) {
+        self.metrics
+            .lock()
+            .unwrap()
+            .push((name.to_string(), Metric::Histogram(Handle::Static(histogram))));
+    }
+
+    /// Adds a collector whose samples join every future snapshot.
+    pub fn register_collector(&self, collector: Arc<dyn Collect>) {
+        self.collectors.lock().unwrap().push(collector);
+    }
+
+    /// Attaches the trace ring snapshots read events from. First call
+    /// wins (returns `false` if a ring was already attached).
+    pub fn set_trace(&self, ring: Arc<TraceRing>) -> bool {
+        self.ring.set(ring).is_ok()
+    }
+
+    /// The attached trace ring, if any.
+    pub fn trace(&self) -> Option<&Arc<TraceRing>> {
+        self.ring.get()
+    }
+
+    /// Samples every registered metric, runs every collector and
+    /// copies the trace ring's published events. Cold path; allocates.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut out = Snapshot::new();
+        for (name, metric) in self.metrics.lock().unwrap().iter() {
+            match metric {
+                Metric::Counter(c) => out.push_counter(name.clone(), c.get()),
+                Metric::Gauge(g) => out.push_gauge(name.clone(), g.get()),
+                Metric::Histogram(h) => out.push_histogram(name.clone(), h.snapshot()),
+            }
+        }
+        let collectors: Vec<Arc<dyn Collect>> = self.collectors.lock().unwrap().clone();
+        for collector in collectors {
+            collector.collect(&mut out);
+        }
+        if let Some(ring) = self.ring.get() {
+            ring.snapshot_into(&mut out.events);
+            out.dropped_events += ring.dropped();
+        }
+        out
+    }
+}
+
+/// Sanitizes a metric name for the text exposition: anything outside
+/// `[A-Za-z0-9_:]` becomes `_`.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' })
+        .collect()
+}
+
+/// Renders a snapshot as Prometheus-style exposition text (cold path,
+/// allocation allowed): `# TYPE` headers, cumulative `_bucket{le=..}`
+/// lines for non-empty histogram buckets, `{quantile=..}` estimate
+/// lines (p50/p90/p99), `_count`/`_max` totals, and the trace events
+/// as trailing `# trace` comment lines. Deterministic: equal snapshots
+/// render byte-identical text.
+pub fn render_text(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for sample in &snap.samples {
+        let name = sanitize(&sample.name);
+        match &sample.value {
+            Value::Counter(v) => {
+                let _ = writeln!(out, "# TYPE {name} counter\n{name} {v}");
+            }
+            Value::Gauge(v) => {
+                let _ = writeln!(out, "# TYPE {name} gauge\n{name} {v}");
+            }
+            Value::Histogram(h) => {
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                let mut cumulative = 0u64;
+                for (b, &n) in h.buckets.iter().enumerate() {
+                    if n == 0 {
+                        continue;
+                    }
+                    cumulative = cumulative.saturating_add(n);
+                    let le = crate::metrics::bucket_bounds(b).1;
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+                }
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+                    let _ = writeln!(out, "{name}{{quantile=\"{label}\"}} {}", h.quantile(q));
+                }
+                let _ = writeln!(out, "{name}_count {}", h.count());
+                let _ = writeln!(out, "{name}_max {}", h.max_estimate());
+            }
+        }
+    }
+    if snap.dropped_events > 0 {
+        let _ = writeln!(out, "# trace_dropped {}", snap.dropped_events);
+    }
+    for e in &snap.events {
+        let _ = writeln!(out, "# trace {} a={} b={} t_ns={}", e.kind.as_str(), e.a, e.b, e.t_ns);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::TraceKind;
+
+    #[test]
+    fn registry_snapshot_carries_every_registered_metric() {
+        let registry = Registry::new();
+        let fetches = registry.counter("fetches");
+        let conns = registry.gauge("connections");
+        let lat = registry.histogram("request_ns");
+        fetches.add(3);
+        conns.add(2);
+        lat.record(900);
+        lat.record(90_000);
+
+        let ring = Arc::new(TraceRing::new(8));
+        ring.push(TraceKind::BusyRejected, 64, 0);
+        assert!(registry.set_trace(Arc::clone(&ring)));
+        assert!(!registry.set_trace(ring), "second attach is refused");
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("fetches"), Some(3));
+        assert_eq!(snap.gauge("connections"), Some(2));
+        let h = snap.histogram("request_ns").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(snap.events[0].kind, TraceKind::BusyRejected);
+
+        // Same-name requests share the cell; the count keeps growing.
+        registry.counter("fetches").incr();
+        assert_eq!(registry.snapshot().counter("fetches"), Some(4));
+    }
+
+    #[test]
+    fn collectors_join_the_snapshot() {
+        struct Fixed;
+        impl Collect for Fixed {
+            fn collect(&self, out: &mut Snapshot) {
+                out.push_gauge("fixed_gauge", 7);
+            }
+        }
+        let registry = Registry::new();
+        registry.register_collector(Arc::new(Fixed));
+        assert_eq!(registry.snapshot().gauge("fixed_gauge"), Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn reusing_a_name_with_a_different_kind_panics() {
+        let registry = Registry::new();
+        registry.counter("x");
+        registry.gauge("x");
+    }
+
+    #[test]
+    fn render_text_is_deterministic_and_complete() {
+        let mut snap = Snapshot::new();
+        snap.push_counter("fetches", 12);
+        snap.push_gauge("conns", 3);
+        let h = crate::metrics::Histogram::new();
+        for v in [100u64, 100, 5000] {
+            h.record(v);
+        }
+        snap.push_histogram("lat ns", h.snapshot()); // space gets sanitized
+        snap.events.push(TraceEvent { kind: TraceKind::ConnOpen, a: 1, b: 0, t_ns: 42 });
+
+        let text = render_text(&snap);
+        assert_eq!(text, render_text(&snap.clone()), "equal snapshots render identically");
+        assert!(text.contains("# TYPE fetches counter\nfetches 12\n"));
+        assert!(text.contains("# TYPE conns gauge\nconns 3\n"));
+        assert!(text.contains("# TYPE lat_ns histogram"));
+        assert!(text.contains("lat_ns_bucket{le=\"127\"} 2"));
+        assert!(text.contains("lat_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_ns_count 3"));
+        assert!(text.contains("{quantile=\"0.99\"}"));
+        assert!(text.contains("# trace conn_open a=1 b=0 t_ns=42"));
+    }
+}

@@ -23,6 +23,8 @@
 //!   memory and the hardware decompression-engine model ([`compaqt_core`]).
 //! * [`io`] — the versioned zero-copy "CWL" container format that ships
 //!   compressed libraries between processes and hosts ([`compaqt_io`]).
+//! * [`obs`] — zero-overhead telemetry: metrics registry, log2 latency
+//!   histograms, lock-free event tracing ([`compaqt_obs`]).
 //! * [`quantum`] — pulse-to-unitary simulation, randomized benchmarking,
 //!   benchmark circuits and scheduling ([`compaqt_quantum`]).
 //! * [`hw`] — RFSoC and cryogenic-ASIC hardware models ([`compaqt_hw`]).
@@ -56,5 +58,6 @@ pub use compaqt_core as core;
 pub use compaqt_dsp as dsp;
 pub use compaqt_hw as hw;
 pub use compaqt_io as io;
+pub use compaqt_obs as obs;
 pub use compaqt_pulse as pulse;
 pub use compaqt_quantum as quantum;

@@ -283,7 +283,7 @@ fn steady_state_library_codec_allocates_nothing() {
     let store = Store::from_library_with(
         &lib,
         &compressor,
-        StoreConfig { shards: 4, hot_capacity: waveforms.len() },
+        StoreConfig { shards: 4, hot_capacity: waveforms.len(), ..StoreConfig::default() },
     )
     .unwrap();
     let gates = store.gates();
@@ -567,4 +567,103 @@ fn steady_state_library_codec_allocates_nothing() {
         "zero-parse wire responses from a lazy reader across {} requests x 10 passes must not allocate, saw {delta}",
         requests.len()
     );
+
+    // ---- Instrumented serving: arming every observability instrument
+    // must cost the steady state nothing on the heap. A store built
+    // with `codec_metrics: true` and a live trace ring records
+    // aggregate *and* per-variant latency histograms on each decode
+    // (relaxed atomic adds; the per-variant row is found under a read
+    // lock once its slot exists); the same fetch loops as above must
+    // still count zero.
+    use compaqt::obs::TraceRing;
+    use std::sync::Arc;
+    let obs_store = Store::from_library_with(
+        &lib,
+        &compressor,
+        StoreConfig { shards: 4, hot_capacity: waveforms.len(), codec_metrics: true },
+    )
+    .unwrap();
+    assert!(obs_store.attach_trace(Arc::new(TraceRing::new(64))));
+    let obs_gates = obs_store.gates();
+    let mut obs_outs: Vec<(Vec<f64>, Vec<f64>)> =
+        obs_gates.iter().map(|_| Default::default()).collect();
+    for _ in 0..2 {
+        for gate in &obs_gates {
+            obs_store.fetch_into(gate, &mut i, &mut q).unwrap();
+            assert!(!obs_store.fetch_cached(gate).unwrap().i().is_empty());
+        }
+        obs_store.fetch_many(&obs_gates, &mut obs_outs).unwrap();
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut instrumented = 0usize;
+    for _ in 0..10 {
+        for gate in &obs_gates {
+            instrumented += obs_store.fetch_into(gate, &mut i, &mut q).unwrap().output_samples;
+            instrumented += obs_store.fetch_cached(gate).unwrap().len();
+        }
+        instrumented += obs_store.fetch_many(&obs_gates, &mut obs_outs).unwrap().output_samples;
+    }
+    let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert!(instrumented > 0);
+    assert_eq!(
+        delta,
+        0,
+        "instrumented store fetches across {} gates x 10 passes must not allocate, saw {delta}",
+        obs_gates.len()
+    );
+    // The instruments actually recorded (scraping may allocate — it is
+    // the cold path, and runs outside the measured region).
+    let mut snap = compaqt::obs::Snapshot::new();
+    obs_store.collect_obs(&mut snap);
+    assert!(snap.histogram("store_decode_ns").unwrap().count() > 0);
+    assert!(snap.histogram("store_decode_ns_int_dct_w16").unwrap().count() > 0);
+
+    // ---- Instrumented wire serving: a responder wired to a serve-tier
+    // hub, with slow-request tracing armed so every recorded request
+    // also pushes a ring event. Request handling, latency recording and
+    // ring stamping must all stay off the heap; only the `Metrics`
+    // scrape itself (after the measured region) may allocate.
+    use compaqt::io::serve::ServeObs;
+    use compaqt::io::wire::{encode_metrics, parse_metrics_report, FrameKind};
+    use std::time::Instant;
+    let obs_config =
+        ServeConfig { slow_request: std::time::Duration::from_nanos(1), ..ServeConfig::default() };
+    let serve_obs = Arc::new(ServeObs::new(&obs_config));
+    let mut obs_responder = Responder::new(&obs_config);
+    obs_responder.attach_obs(Arc::clone(&serve_obs));
+    for _ in 0..2 {
+        for frame in &requests {
+            obs_responder.respond(&obs_store, frame).unwrap();
+        }
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut obs_response_bytes = 0usize;
+    for _ in 0..10 {
+        for frame in &requests {
+            let started = Instant::now();
+            obs_response_bytes += obs_responder.respond(&obs_store, frame).unwrap().len();
+            serve_obs.record_request(FrameKind::FetchGate, started.elapsed().as_nanos() as u64);
+        }
+    }
+    let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert!(obs_response_bytes > 0);
+    assert_eq!(
+        delta,
+        0,
+        "instrumented wire responses across {} requests x 10 passes must not allocate, saw {delta}",
+        requests.len()
+    );
+    // The cold scrape sees what the hot loops recorded: per-kind
+    // latency counts and the slow-request events stamped above.
+    let mut scrape = bytes::BytesMut::new();
+    encode_metrics(&mut scrape);
+    let report = obs_responder.respond(&obs_store, &scrape).unwrap();
+    use compaqt::io::wire::{FRAME_HEADER_BYTES, FRAME_TRAILER_BYTES};
+    let payload = &report[FRAME_HEADER_BYTES..report.len() - FRAME_TRAILER_BYTES];
+    let snap = parse_metrics_report(payload).unwrap();
+    assert_eq!(
+        snap.histogram("serve_fetch_gate_ns").unwrap().count(),
+        (10 * requests.len()) as u64
+    );
+    assert!(snap.events.iter().any(|e| e.kind == compaqt::obs::TraceKind::SlowRequest));
 }

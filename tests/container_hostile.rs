@@ -22,9 +22,11 @@
 use compaqt::core::compress::{Compressor, Variant};
 use compaqt::core::store::StoreConfig;
 use compaqt::io::{write_library, ContainerError, ContainerScratch, Reader, ReaderOptions};
+use compaqt::obs::{Snapshot, TraceKind, TraceRing};
 use compaqt::pulse::device::Device;
 use compaqt::pulse::vendor::Vendor;
 use proptest::prelude::*;
+use std::sync::Arc;
 
 mod common;
 
@@ -277,11 +279,22 @@ fn lazy_crc_defers_verdicts_and_caches_failures() {
     // gates the lazy reader must still serve bit-exactly.
     let reference = Reader::from_vec(clean.clone()).unwrap();
 
+    // The reader's validation-progress gauges, as a scrape would see
+    // them: (reader_crc_checked, reader_crc_failed).
+    let crc_gauges = |reader: &Reader| -> (u64, u64) {
+        let mut snap = Snapshot::new();
+        reader.collect_obs(&mut snap);
+        (snap.gauge("reader_crc_checked").unwrap(), snap.gauge("reader_crc_failed").unwrap())
+    };
+
     for kind in common::selected_kinds() {
         common::with_source(kind, &bad, ReaderOptions::lazy_crc(), |r| {
             let reader = r.expect("a damaged payload must not fail an O(index) lazy open");
             assert_eq!(reader.source_kind(), kind);
             assert_eq!(reader.crc_checked(), 0, "{kind}: open must not touch payload CRCs");
+            assert_eq!(crc_gauges(&reader), (0, 0), "{kind}: gauges start untouched");
+            let ring = Arc::new(TraceRing::new(16));
+            assert!(reader.attach_trace(Arc::clone(&ring)), "{kind}: first attach wins");
 
             let damaged = reader.entries().next().unwrap().gate().clone();
             let mut scratch = ContainerScratch::new();
@@ -291,6 +304,11 @@ fn lazy_crc_defers_verdicts_and_caches_failures() {
             let first = reader.fetch_into(&damaged, &mut scratch, &mut i, &mut q).unwrap_err();
             assert_eq!(first, ContainerError::CrcMismatch { gate: damaged.clone() }, "{kind}");
             assert_eq!(reader.crc_checked(), 1, "{kind}: exactly one verdict recorded");
+            assert_eq!(crc_gauges(&reader), (1, 1), "{kind}: one check, one failure");
+            let fails = ring.snapshot();
+            assert_eq!(fails.len(), 1, "{kind}: first touch emits one trace event");
+            assert_eq!(fails[0].kind, TraceKind::CrcFail, "{kind}");
+            assert_eq!(fails[0].a, 0, "{kind}: the damaged entry is index 0");
 
             // Every later touch serves the cached verdict — same typed
             // error through every read surface, no recheck, no panic.
@@ -300,18 +318,31 @@ fn lazy_crc_defers_verdicts_and_caches_failures() {
             assert_eq!(entry.verify().unwrap_err(), first, "{kind}: verify sees the verdict");
             assert_eq!(entry.read().unwrap_err(), first, "{kind}: read sees the verdict");
             assert_eq!(reader.crc_checked(), 1, "{kind}: verdict is cached, not recounted");
+            assert_eq!(crc_gauges(&reader), (1, 1), "{kind}: cached replays move no gauge");
+            assert_eq!(ring.snapshot().len(), 1, "{kind}: cached replays re-emit no event");
 
             // Undamaged gates still serve, bit-identical to the clean
-            // eager reader.
+            // eager reader — and validation progress is monotone, one
+            // gauge step per first touch, with no further failures.
             let (mut ri, mut rq) = (Vec::new(), Vec::new());
             let mut rscratch = ContainerScratch::new();
+            let mut last_checked = 1;
             for gate in reference.gates().filter(|g| **g != damaged) {
                 reader.fetch_into(gate, &mut scratch, &mut i, &mut q).unwrap();
                 reference.fetch_into(gate, &mut rscratch, &mut ri, &mut rq).unwrap();
                 assert_eq!(i, ri, "{kind} {gate}: lazy I decode");
                 assert_eq!(q, rq, "{kind} {gate}: lazy Q decode");
+                let (checked, failed) = crc_gauges(&reader);
+                assert_eq!(checked, last_checked + 1, "{kind}: progress is monotone");
+                assert_eq!(failed, 1, "{kind}: clean gates add no failures");
+                last_checked = checked;
             }
             assert_eq!(reader.crc_checked(), reader.len(), "{kind}: every entry now judged");
+            assert_eq!(
+                crc_gauges(&reader),
+                (reader.len() as u64, 1),
+                "{kind}: final gauges — all judged, one bad"
+            );
         });
     }
 }

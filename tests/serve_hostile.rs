@@ -38,7 +38,7 @@ use std::sync::Arc;
 fn test_store() -> Arc<Store> {
     let lib = Device::synthesize(Vendor::Ibm, 2, 0x5EED).pulse_library();
     let compressor = Compressor::new(Variant::IntDctW { ws: 16 });
-    let config = StoreConfig { shards: 4, hot_capacity: lib.len() };
+    let config = StoreConfig { shards: 4, hot_capacity: lib.len(), ..StoreConfig::default() };
     Arc::new(Store::from_library_with(&lib, &compressor, config).unwrap())
 }
 
@@ -184,6 +184,10 @@ fn mangled_frames_on_the_wire_never_kill_the_server() {
     assert_still_serving(addr);
     let stats = handle.stats();
     assert!(stats.protocol_errors > 0, "the attacks above must register as protocol errors");
+    // Every attack was answered (or EOF'd) immediately — nothing sat
+    // on a read deadline, and no slot was ever contended.
+    assert_eq!(stats.timeouts, 0, "protocol rejections must not masquerade as timeouts");
+    assert_eq!(stats.connections_rejected_busy, 0);
     handle.shutdown();
 }
 

@@ -8,7 +8,7 @@
 
 use compaqt::core::compress::{Compressor, Variant};
 use compaqt::core::store::{Store, StoreConfig};
-use compaqt::io::serve::{serve, serve_with, Client, ServeConfig, ServeError};
+use compaqt::io::serve::{serve, serve_with, Client, ServeConfig, ServeError, ServeStats};
 use compaqt::io::{write_library, ErrorCode, Reader};
 use compaqt::pulse::device::Device;
 use compaqt::pulse::library::{GateId, GateKind, PulseLibrary};
@@ -27,8 +27,22 @@ fn guadalupe() -> Arc<PulseLibrary> {
 fn container_loaded_store(lib: &PulseLibrary) -> Arc<Store> {
     let bytes = write_library(lib, &Compressor::new(Variant::IntDctW { ws: 16 })).unwrap();
     let reader = Reader::new(bytes).unwrap();
-    let config = StoreConfig { shards: 8, hot_capacity: lib.len() };
+    let config = StoreConfig { shards: 8, hot_capacity: lib.len(), ..StoreConfig::default() };
     Arc::new(reader.into_store(config).unwrap())
+}
+
+/// Asserts the server's ledger settles at exactly `expected`. Counters
+/// increment just after the response bytes are written, so a client can
+/// observe its answer a beat before the ledger moves — spin briefly
+/// before the final (exact) comparison.
+fn assert_exact_ledger(handle: &compaqt::io::serve::ServerHandle, expected: ServeStats) {
+    for _ in 0..200 {
+        if handle.stats() == expected {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(handle.stats(), expected);
 }
 
 #[test]
@@ -79,13 +93,20 @@ fn eight_concurrent_clients_fetch_bit_identically() {
         }
     });
 
-    let stats = handle.stats();
-    assert_eq!(stats.connections_accepted, CLIENTS as u64);
-    assert_eq!(stats.connections_rejected_busy, 0);
-    assert_eq!(stats.protocol_errors, 0);
-    assert_eq!(stats.fetches_served, (CLIENTS * gates.len()) as u64);
-    // One ping + one fetch per gate, per client.
-    assert_eq!(stats.requests_served, (CLIENTS * (gates.len() + 1)) as u64);
+    // The exact ledger: one ping + one fetch per gate per client, and
+    // nothing else moved — no rejections, no protocol errors, no
+    // timeouts.
+    assert_exact_ledger(
+        &handle,
+        ServeStats {
+            connections_accepted: CLIENTS as u64,
+            connections_rejected_busy: 0,
+            requests_served: (CLIENTS * (gates.len() + 1)) as u64,
+            fetches_served: (CLIENTS * gates.len()) as u64,
+            protocol_errors: 0,
+            timeouts: 0,
+        },
+    );
     handle.shutdown();
 }
 
@@ -157,6 +178,8 @@ fn connection_cap_rejects_with_busy_then_recovers() {
     });
     assert!(recovered, "a freed slot must readmit clients");
     assert!(handle.stats().connections_rejected_busy >= 1);
+    // Clients left on their own; the 30 s default deadline never fired.
+    assert_eq!(handle.stats().timeouts, 0);
     handle.shutdown();
 }
 
@@ -180,6 +203,10 @@ fn read_timeout_frees_a_stalled_slot() {
         Client::connect(addr).and_then(|mut c| c.ping()).is_ok()
     });
     assert!(recovered, "the read timeout must evict a stalled connection");
+    // Exactly one deadline fired: the stalled client's. The probing
+    // clients above were Busy-rejected or left cleanly (EOF), and
+    // neither path counts as a timeout.
+    assert_eq!(handle.stats().timeouts, 1);
     drop(stalled);
     handle.shutdown();
 }
@@ -210,6 +237,18 @@ fn unknown_gate_is_an_answer_not_a_disconnect() {
     client.fetch_into(&gates[0], &mut i, &mut q).unwrap();
     assert!(!i.is_empty());
 
-    assert_eq!(handle.stats().protocol_errors, 0);
+    // The exact ledger: five requests (two misses, ping, list, one
+    // fetch), one stream served, and no errors of any kind.
+    assert_exact_ledger(
+        &handle,
+        ServeStats {
+            connections_accepted: 1,
+            connections_rejected_busy: 0,
+            requests_served: 5,
+            fetches_served: 1,
+            protocol_errors: 0,
+            timeouts: 0,
+        },
+    );
     handle.shutdown();
 }
